@@ -1,0 +1,41 @@
+# Convenience targets for the pyjama-go reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the experimental report (quick scale; use SCALE=full for the
+# paper-scale sweep).
+SCALE ?= quick
+report:
+	$(GO) run ./cmd/report -scale $(SCALE) > report.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagepipeline
+	$(GO) run ./examples/encryptservice -users 6 -reqs 2 -kbytes 16
+	$(GO) run ./examples/guiapp -events 15 -rate 60 -handler 5ms
+	$(GO) run ./examples/netservice
+	$(GO) run ./examples/devicesim -mb 4
+	$(GO) run ./examples/annotated
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,256 @@
+// Top-level benchmarks: one per table/figure of the paper's evaluation.
+//
+//	BenchmarkTableI_*   — cost of each scheduling-property mode (Table I)
+//	BenchmarkTableII_*  — cost of the registration runtime functions (Table II)
+//	BenchmarkFig7_*     — per-event end-to-end response, per kernel and
+//	                      handler strategy (Figures 7-8; the full
+//	                      load-sweep harness is cmd/edtbench)
+//	BenchmarkFig9_*     — HTTP service throughput per organization
+//	                      (Figure 9; the full sweep is cmd/httpbench)
+//	BenchmarkAblation_* — design-choice ablations from DESIGN.md §7
+package repro
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evaluation"
+	"repro/internal/eventloop"
+	"repro/internal/gid"
+	"repro/internal/gui"
+	"repro/internal/httpserver"
+	"repro/internal/kernels"
+	"repro/internal/workload"
+)
+
+// --- Table I: scheduling-property modes -------------------------------------
+
+func benchMode(b *testing.B, mode core.Mode, tag string) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	if _, err := rt.CreateWorker("worker", 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tag != "" {
+			rt.InvokeNamed("worker", tag, func() {})
+		} else {
+			rt.Invoke("worker", mode, func() {})
+		}
+	}
+	b.StopTimer()
+	if tag != "" {
+		rt.WaitTag(tag)
+	}
+}
+
+func BenchmarkTableI_Default(b *testing.B) { benchMode(b, core.Wait, "") }
+func BenchmarkTableI_Nowait(b *testing.B)  { benchMode(b, core.Nowait, "") }
+func BenchmarkTableI_NameAs(b *testing.B)  { benchMode(b, core.NameAs, "t") }
+func BenchmarkTableI_Await(b *testing.B)   { benchMode(b, core.Await, "") }
+
+// --- Table II: registration functions ---------------------------------------
+
+func BenchmarkTableII_CreateWorker(b *testing.B) {
+	reg := &gid.Registry{}
+	for i := 0; i < b.N; i++ {
+		rt := core.NewRuntime(reg)
+		if _, err := rt.CreateWorker("worker", 4); err != nil {
+			b.Fatal(err)
+		}
+		rt.Shutdown()
+	}
+}
+
+func BenchmarkTableII_RegisterEDT(b *testing.B) {
+	reg := &gid.Registry{}
+	loop := eventloop.New("edt", reg)
+	loop.Start()
+	defer loop.Stop()
+	for i := 0; i < b.N; i++ {
+		rt := core.NewRuntime(reg)
+		if err := rt.RegisterEDT("edt", loop); err != nil {
+			b.Fatal(err)
+		}
+		rt.Shutdown()
+	}
+}
+
+// --- Figures 7-8: per-event response by kernel and approach -----------------
+
+// benchFig7 measures one event's end-to-end handling (fire -> GUI updated
+// after the kernel) for a given kernel family and handler strategy.
+func benchFig7(b *testing.B, kernel string, approach evaluation.Approach) {
+	reg := &gid.Registry{}
+	tk := gui.NewToolkit(reg)
+	defer tk.Dispose()
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	if err := rt.RegisterEDT("edt", tk.EDT()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.CreateWorker("worker", 3); err != nil {
+		b.Fatal(err)
+	}
+	es := gui.NewFixedThreadPool(3, reg)
+	defer es.Shutdown()
+
+	factory := kernels.Factories()[kernel]
+	size := kernels.TestSize(kernel)
+	status := tk.NewLabel("status")
+	runKernel := func(par bool) {
+		k := factory(size)
+		if par {
+			k.RunPar(3)
+		} else {
+			k.RunSeq()
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fin := make(chan struct{})
+		finish := func() { close(fin) }
+		tk.EDT().Post(func() {
+			status.SetText("processing")
+			switch approach {
+			case evaluation.Sequential:
+				runKernel(false)
+				status.SetText("done")
+				finish()
+			case evaluation.SyncParallel:
+				runKernel(true)
+				status.SetText("done")
+				finish()
+			case evaluation.SwingWorker:
+				w := gui.NewSwingWorker[int, int](tk)
+				w.DoInBackground = func(func(...int)) int { runKernel(false); return 0 }
+				w.Done = func(int) { status.SetText("done"); finish() }
+				w.Execute()
+			case evaluation.ExecutorService:
+				es.Execute(func() {
+					runKernel(false)
+					tk.InvokeLater(func() { status.SetText("done"); finish() })
+				})
+			case evaluation.PyjamaAsync, evaluation.PyjamaAsyncParallel:
+				par := approach == evaluation.PyjamaAsyncParallel
+				rt.Invoke("worker", core.Nowait, func() {
+					runKernel(par)
+					rt.Invoke("edt", core.Wait, func() { status.SetText("done"); finish() })
+				})
+			}
+		})
+		<-fin
+	}
+}
+
+func BenchmarkFig7_Crypt(b *testing.B) {
+	for _, a := range evaluation.Approaches() {
+		b.Run(string(a), func(b *testing.B) { benchFig7(b, "crypt", a) })
+	}
+}
+
+func BenchmarkFig7_Series(b *testing.B) {
+	for _, a := range evaluation.Approaches() {
+		b.Run(string(a), func(b *testing.B) { benchFig7(b, "series", a) })
+	}
+}
+
+func BenchmarkFig7_MonteCarlo(b *testing.B) {
+	for _, a := range evaluation.Approaches() {
+		b.Run(string(a), func(b *testing.B) { benchFig7(b, "montecarlo", a) })
+	}
+}
+
+func BenchmarkFig7_RayTracer(b *testing.B) {
+	for _, a := range evaluation.Approaches() {
+		b.Run(string(a), func(b *testing.B) { benchFig7(b, "raytracer", a) })
+	}
+}
+
+// --- Figure 9: HTTP throughput ----------------------------------------------
+
+func benchFig9(b *testing.B, mode httpserver.Mode, omp int) {
+	srv := httpserver.New(httpserver.Config{
+		Mode: mode, Workers: 4, OMPThreads: omp, KernelBytes: 16 * 1024,
+	})
+	base, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	client := httpserver.NewClient(base)
+
+	var failed atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.Encrypt(0); err != nil {
+				failed.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if failed.Load() > 0 {
+		b.Fatalf("%d requests failed", failed.Load())
+	}
+	b.ReportMetric(workload.MeanRate(b.N, time.Since(start)), "responses/sec")
+}
+
+func BenchmarkFig9_Jetty(b *testing.B)     { benchFig9(b, httpserver.Jetty, 1) }
+func BenchmarkFig9_Pyjama(b *testing.B)    { benchFig9(b, httpserver.Pyjama, 1) }
+func BenchmarkFig9_JettyOMP(b *testing.B)  { benchFig9(b, httpserver.Jetty, 4) }
+func BenchmarkFig9_PyjamaOMP(b *testing.B) { benchFig9(b, httpserver.Pyjama, 4) }
+
+// --- Ablations (DESIGN.md §7) ------------------------------------------------
+
+// BenchmarkAblation_AwaitHelpFirst measures the await logical barrier on a
+// worker that has other queued work (help-first keeps the worker busy).
+func BenchmarkAblation_AwaitHelpFirst(b *testing.B) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	rt.CreateWorker("worker", 1)
+	rt.CreateWorker("aux", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, _ := rt.Invoke("worker", core.Nowait, func() {
+			// The worker awaits aux while its own queue gets a task.
+			rt.Invoke("aux", core.Await, func() {})
+		})
+		rt.Invoke("worker", core.Nowait, func() {})
+		comp.Wait()
+	}
+}
+
+// BenchmarkAblation_BlockingWait is the same structure with a plain Wait,
+// for comparison with the help-first barrier above.
+func BenchmarkAblation_BlockingWait(b *testing.B) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	rt.CreateWorker("worker", 1)
+	rt.CreateWorker("aux", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, _ := rt.Invoke("worker", core.Nowait, func() {
+			rt.Invoke("aux", core.Wait, func() {})
+		})
+		rt.Invoke("worker", core.Nowait, func() {})
+		comp.Wait()
+	}
+}
+
+// BenchmarkAblation_GidCurrent isolates the cost of goroutine-identity
+// recovery, the substitution for Java's Thread.currentThread (DESIGN.md §4).
+func BenchmarkAblation_GidCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = gid.Current()
+	}
+}

@@ -1,0 +1,94 @@
+// Command httpbench regenerates Figure 9 of the paper: throughput
+// (responses/sec) of the HTTP encryption service versus the number of
+// concurrency worker threads, for four series — Jetty, Pyjama, and each
+// combined with per-request OpenMP parallelization.
+//
+// Example:
+//
+//	httpbench -workers 1,2,4,8,16 -users 100 -reqs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/evaluation"
+	"repro/internal/httpserver"
+)
+
+func main() {
+	var (
+		workerList = flag.String("workers", "1,2,4,8,16", "comma-separated worker thread counts (x-axis)")
+		users      = flag.Int("users", 100, "virtual users")
+		reqs       = flag.Int("reqs", 2, "requests per user")
+		kbytes     = flag.Int("kbytes", 64, "encryption payload per request (KiB)")
+		ompThreads = flag.Int("omp", 4, "team size for the +omp series")
+		noOmp      = flag.Bool("no-omp-series", false, "skip the +omp series")
+		latency    = flag.Bool("latency", false, "also print per-request p50/p99 latency")
+	)
+	flag.Parse()
+
+	workers, err := parseInts(*workerList)
+	if err != nil {
+		fail(err)
+	}
+	kernelBytes := *kbytes * 1024
+
+	type series struct {
+		mode httpserver.Mode
+		omp  int
+	}
+	sweep := []series{{httpserver.Jetty, 1}, {httpserver.Pyjama, 1}}
+	if !*noOmp {
+		sweep = append(sweep, series{httpserver.Jetty, *ompThreads}, series{httpserver.Pyjama, *ompThreads})
+	}
+
+	fmt.Printf("httpbench: Evaluation B (Figure 9) — throughput (responses/sec) vs worker threads\n")
+	fmt.Printf("users=%d  requests/user=%d  payload=%dKiB  omp=%d\n\n", *users, *reqs, *kbytes, *ompThreads)
+	fmt.Printf("%-16s", "series \\ workers")
+	for _, w := range workers {
+		fmt.Printf("%10d", w)
+	}
+	fmt.Println()
+	for _, s := range sweep {
+		results, err := evaluation.Figure9Series(s.mode, s.omp, workers, kernelBytes, *users, *reqs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-16s", results[0].Label())
+		for _, r := range results {
+			fmt.Printf("%10.2f", r.Throughput)
+		}
+		fmt.Println()
+		if *latency {
+			fmt.Printf("%-16s", "  p50/p99 (ms)")
+			for _, r := range results {
+				fmt.Printf(" %4.0f/%4.0f", msOf(r.Latency.P50), msOf(r.Latency.P99))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad worker count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "httpbench: %v\n", err)
+	os.Exit(1)
+}

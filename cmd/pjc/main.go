@@ -1,0 +1,112 @@
+// Command pjc is the source-to-source compiler of the reproduction — the
+// counterpart of the Pyjama compiler. It rewrites Go files containing
+// //#omp directive comments into calls to the runtime:
+//
+//	pjc file.go            translate one file to stdout
+//	pjc -w file.go ...     rewrite files in place
+//	pjc -o out.go file.go  translate one file to out.go
+//	pjc -check file.go ... parse and validate directives only
+//
+// Exits non-zero on the first error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		write   = flag.Bool("w", false, "write results back to the source files")
+		out     = flag.String("o", "", "write output to this file (single input only)")
+		check   = flag.Bool("check", false, "validate directives without emitting code")
+		pyjamaP = flag.String("pyjama", "", "import path of the pyjama runtime facade")
+		ompP    = flag.String("omp", "", "import path of the omp substrate")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pjc [-w | -o out.go | -check] file.go ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out != "" && len(files) != 1 {
+		fmt.Fprintln(os.Stderr, "pjc: -o requires exactly one input file")
+		os.Exit(2)
+	}
+	opts := transform.Options{PyjamaImport: *pyjamaP, OmpImport: *ompP}
+
+	files, err := expandDirs(files)
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" && len(files) != 1 {
+		fmt.Fprintln(os.Stderr, "pjc: -o requires exactly one input file")
+		os.Exit(2)
+	}
+
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fail(err)
+		}
+		dst, err := transform.File(src, name, opts)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case *check:
+			fmt.Fprintf(os.Stderr, "pjc: %s: ok\n", name)
+		case *write:
+			if err := os.WriteFile(name, dst, 0o644); err != nil {
+				fail(err)
+			}
+		case *out != "":
+			if err := os.WriteFile(*out, dst, 0o644); err != nil {
+				fail(err)
+			}
+		default:
+			os.Stdout.Write(dst)
+		}
+	}
+}
+
+// expandDirs replaces directory arguments with the .go files they contain
+// (non-recursive, like gofmt's directory handling but one level).
+func expandDirs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			out = append(out, filepath.Join(a, e.Name()))
+		}
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pjc: %v\n", err)
+	os.Exit(1)
+}

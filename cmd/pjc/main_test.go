@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExpandDirs(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.go", "b.go", "notgo.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("package x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	single := filepath.Join(dir, "a.go")
+
+	out, err := expandDirs([]string{single, dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a.go passed explicitly, plus a.go and b.go from the directory; the
+	// .txt file and the subdirectory are skipped.
+	if len(out) != 3 {
+		t.Fatalf("expanded = %v", out)
+	}
+	if out[0] != single {
+		t.Fatalf("explicit file not preserved first: %v", out)
+	}
+	for _, f := range out[1:] {
+		if filepath.Ext(f) != ".go" {
+			t.Fatalf("non-go file expanded: %v", out)
+		}
+	}
+	if _, err := expandDirs([]string{filepath.Join(dir, "missing.go")}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Command report regenerates the complete experimental report — every
+// figure of the paper plus this reproduction's extensions — as Markdown on
+// stdout. It is the one-command path from a fresh checkout to an
+// EXPERIMENTS.md-style document:
+//
+//	go run ./cmd/report > report.md            # quick (CI-scale) run
+//	go run ./cmd/report -scale full > report.md
+//
+// The quick scale completes in roughly a minute on two cores; full runs
+// the Evaluation A sweep at paper-like loads and takes several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/evaluation"
+	"repro/internal/httpserver"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+type scaleCfg struct {
+	handler   time.Duration
+	events    int
+	rates     []float64
+	workersB  []int
+	usersB    int
+	reqsB     int
+	kbytesB   int
+	clientsC  int
+	messagesC int
+}
+
+func scales(name string) (scaleCfg, error) {
+	switch name {
+	case "quick":
+		return scaleCfg{
+			handler: 8 * time.Millisecond, events: 15,
+			rates:    []float64{20, 60, 100},
+			workersB: []int{1, 2, 4}, usersB: 16, reqsB: 2, kbytesB: 32,
+			clientsC: 4, messagesC: 6,
+		}, nil
+	case "full":
+		return scaleCfg{
+			handler: 20 * time.Millisecond, events: 30,
+			rates:    workload.Loads(),
+			workersB: []int{1, 2, 4, 8, 16}, usersB: 50, reqsB: 3, kbytesB: 128,
+			clientsC: 8, messagesC: 12,
+		}, nil
+	default:
+		return scaleCfg{}, fmt.Errorf("unknown scale %q (quick|full)", name)
+	}
+}
+
+func main() {
+	scaleName := flag.String("scale", "quick", "quick or full")
+	flag.Parse()
+	sc, err := scales(*scaleName)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("# Reproduction report (%s scale)\n\ngenerated %s\n", *scaleName,
+		time.Now().Format(time.RFC3339))
+
+	figure1()
+	figures78(sc)
+	figure9(sc)
+	evalC(sc)
+}
+
+func figure1() {
+	fmt.Println("\n## Figure 1 — single- vs multi-threaded event processing")
+	for _, multi := range []bool{false, true} {
+		recs, err := evaluation.RunFigure1(evaluation.Figure1Config{
+			Events: 3, HandlerCost: 20 * time.Millisecond, Multithreaded: multi, Workers: 3,
+		})
+		if err != nil {
+			fail(err)
+		}
+		mode := "single-threaded (panel i)"
+		if multi {
+			mode = "multi-threaded (panel ii)"
+		}
+		fmt.Printf("\n%s:\n\n```\n%s```\n", mode, evaluation.RenderTimeline(recs, 56))
+	}
+}
+
+func figures78(sc scaleCfg) {
+	fmt.Println("\n## Figures 7-8 — response time (ms) vs request load")
+	for _, kern := range kernels.PaperNames() {
+		factory := kernels.Factories()[kern]
+		size := kernels.Calibrate(factory, kernels.TestSize(kern), sc.handler)
+		fmt.Printf("\n### %s (size %d)\n\n", kern, size)
+		fmt.Print("| approach \\ load |")
+		for _, r := range sc.rates {
+			fmt.Printf(" %.0f |", r)
+		}
+		fmt.Print("\n|---|")
+		for range sc.rates {
+			fmt.Print("---|")
+		}
+		fmt.Println()
+		for _, a := range evaluation.Approaches() {
+			fmt.Printf("| %s |", a)
+			for _, rate := range sc.rates {
+				res, err := evaluation.RunEvalA(evaluation.EvalAConfig{
+					Kernel: kern, KernelSize: size, Approach: a,
+					Rate: rate, Events: sc.events,
+				})
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf(" %.1f |", float64(res.Response.Mean)/float64(time.Millisecond))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func figure9(sc scaleCfg) {
+	fmt.Println("\n## Figure 9 — HTTP throughput (responses/sec) vs worker threads")
+	fmt.Print("\n| series \\ workers |")
+	for _, w := range sc.workersB {
+		fmt.Printf(" %d |", w)
+	}
+	fmt.Print("\n|---|")
+	for range sc.workersB {
+		fmt.Print("---|")
+	}
+	fmt.Println()
+	var chartLabels []string
+	var chartValues []float64
+	for _, series := range []struct {
+		mode httpserver.Mode
+		omp  int
+	}{{httpserver.Jetty, 1}, {httpserver.Pyjama, 1}, {httpserver.Jetty, 4}, {httpserver.Pyjama, 4}} {
+		results, err := evaluation.Figure9Series(series.mode, series.omp, sc.workersB,
+			sc.kbytesB*1024, sc.usersB, sc.reqsB)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("| %s |", results[0].Label())
+		for _, r := range results {
+			fmt.Printf(" %.1f |", r.Throughput)
+		}
+		fmt.Println()
+		best := results[0]
+		for _, r := range results {
+			if r.Throughput > best.Throughput {
+				best = r
+			}
+		}
+		chartLabels = append(chartLabels, best.Label())
+		chartValues = append(chartValues, best.Throughput)
+	}
+	fmt.Printf("\npeak throughput per series:\n\n```\n%s```\n",
+		metrics.BarChart(chartLabels, chartValues, " r/s", 40))
+}
+
+func evalC(sc scaleCfg) {
+	fmt.Println("\n## Extension — framework universality (netloop message server)")
+	fmt.Println("\n| handler | round-trip mean | round-trip p90 | dispatch busy mean |")
+	fmt.Println("|---|---|---|---|")
+	for _, offload := range []bool{false, true} {
+		res, err := evaluation.RunEvalC(evaluation.EvalCConfig{
+			Kernel: "crypt",
+			KernelSize: kernels.Calibrate(kernels.Factories()["crypt"],
+				kernels.TestSize("crypt"), sc.handler),
+			Offload: offload, Workers: 4,
+			Clients: sc.clientsC, MessagesPerClient: sc.messagesC,
+		})
+		if err != nil {
+			fail(err)
+		}
+		name := "inline dispatch"
+		if offload {
+			name = "pyjama offload"
+		}
+		fmt.Printf("| %s | %v | %v | %v |\n", name,
+			res.RoundTrip.Mean.Round(time.Microsecond),
+			res.RoundTrip.P90.Round(time.Microsecond),
+			res.DispatchBusy.Mean.Round(time.Microsecond))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "report: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Annotated: the OpenMP philosophy, demonstrated. This program carries
+// //#omp directives but builds and runs UNCHANGED with the ordinary Go
+// toolchain — the directives are comments, and the program executes its
+// original sequential semantics:
+//
+//	go run ./examples/annotated
+//
+// Compile it with pjc and the very same logic becomes asynchronous and
+// parallel, without a single line restructured:
+//
+//	go run ./cmd/pjc -o /tmp/annotated_pj.go examples/annotated/main.go
+//	mkdir -p examples/.annotated_pj && cp /tmp/annotated_pj.go examples/.annotated_pj/main.go
+//	go run ./examples/.annotated_pj
+//
+// (The output reports whether execution was sequential or concurrent.)
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/pyjama"
+)
+
+// checksums collects per-task results; index-addressed, so both sequential
+// and parallel runs fill it without synchronization.
+var checksums [4]int64
+
+func renderFrame(i int) {
+	r := kernels.NewRayTracer(48)
+	r.RunSeq()
+	checksums[i] = r.Checksum()
+}
+
+func main() {
+	// Table II initialization — harmless when directives are ignored (the
+	// worker target simply sits idle).
+	if _, err := pyjama.CreateWorker("worker", 4); err != nil {
+		panic(err)
+	}
+	defer pyjama.Runtime().Shutdown()
+
+	start := time.Now()
+
+	// Four independent renders, tagged into one group.
+	for i := 0; i < len(checksums); i++ {
+		i := i
+		//#omp target virtual(worker) name_as(frames) firstprivate(i)
+		{
+			renderFrame(i)
+		}
+	}
+	//#omp wait(frames)
+
+	// A parallel sum over the results.
+	total := int64(0)
+	//#omp parallel num_threads(2)
+	{
+		//#omp critical(total)
+		{
+			partial := int64(0)
+			for _, c := range checksums {
+				partial += c
+			}
+			if total == 0 {
+				total = partial
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	for i, c := range checksums {
+		fmt.Printf("frame %d checksum %d\n", i, c)
+	}
+	fmt.Printf("total %d in %v\n", total, elapsed.Round(time.Millisecond))
+	fmt.Println("(run through pjc to execute the same logic concurrently)")
+}

@@ -1,0 +1,63 @@
+// Encryptservice: the Section V.B web service — an HTTP endpoint that
+// encrypts data for web users, with the computation offloaded to a worker
+// virtual target — plus a built-in load generator that reports throughput
+// like Figure 9.
+//
+// Run with: go run ./examples/encryptservice [-workers 4] [-users 20]
+// Add -serve to leave the server running for manual curls instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+
+	"repro/internal/httpserver"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workers = flag.Int("workers", 4, "worker virtual target size")
+		omp     = flag.Int("omp", 1, "per-request parallel team size (1 = sequential kernel)")
+		kbytes  = flag.Int("kbytes", 64, "payload KiB per request")
+		users   = flag.Int("users", 20, "virtual users for the load run")
+		reqs    = flag.Int("reqs", 3, "requests per user")
+		serve   = flag.Bool("serve", false, "serve until interrupted instead of running the load test")
+	)
+	flag.Parse()
+
+	srv := httpserver.New(httpserver.Config{
+		Mode:        httpserver.Pyjama,
+		Workers:     *workers,
+		OMPThreads:  *omp,
+		KernelBytes: *kbytes * 1024,
+	})
+	base, err := srv.Start()
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Stop()
+	fmt.Printf("encryptservice: serving on %s (pyjama mode, %d workers)\n", base, *workers)
+	fmt.Printf("try: curl '%s/encrypt?size=4096'\n", base)
+
+	if *serve {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		return
+	}
+
+	client := httpserver.NewClient(base)
+	var failed atomic.Int64
+	vu := &workload.VirtualUsers{Users: *users, RequestsPerUser: *reqs}
+	wall := vu.Run(func(u, r int) {
+		if _, err := client.Encrypt(0); err != nil {
+			failed.Add(1)
+		}
+	})
+	fmt.Printf("served %d requests in %v — %.1f responses/sec (%d failed)\n",
+		srv.Served(), wall.Round(1e6), workload.MeanRate(int(srv.Served()), wall), failed.Load())
+}

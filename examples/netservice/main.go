@@ -1,0 +1,82 @@
+// Netservice: the event-driven model beyond GUIs — a libevent-style
+// message server (the paper's "further work": more event-driven
+// frameworks). One dispatch goroutine owns all connection state; message
+// handlers offload word counting to a worker virtual target and hop back
+// to the dispatch target to reply, so no locks guard the per-server
+// statistics.
+//
+// Run with: go run ./examples/netservice
+// (starts a server, drives it with a few clients, prints the tally)
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gid"
+	"repro/internal/netloop"
+)
+
+func main() {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+
+	srv := netloop.New("dispatch", reg)
+	defer srv.Stop()
+	if err := rt.RegisterEDT("dispatch", srv.Loop()); err != nil {
+		panic(err)
+	}
+	if _, err := rt.CreateWorker("worker", 4); err != nil {
+		panic(err)
+	}
+
+	// Per-server state, touched only on the dispatch loop: no mutex.
+	totalWords := 0
+
+	srv.HandleFunc(func(c *netloop.Client, line string) {
+		// //#omp target virtual(worker) nowait
+		rt.Invoke("worker", core.Nowait, func() {
+			words := len(strings.Fields(line)) // the "computation"
+			// //#omp target virtual(dispatch)
+			rt.Invoke("dispatch", core.Wait, func() {
+				totalWords += words // safe: dispatch-confined
+				c.Send(fmt.Sprintf("words=%d total=%d", words, totalWords))
+			})
+		})
+	})
+
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("netservice: listening on", addr)
+
+	// Drive it with three concurrent clients.
+	var wg sync.WaitGroup
+	for u := 1; u <= 3; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				panic(err)
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for m := 1; m <= 3; m++ {
+				fmt.Fprintf(conn, "hello from client %d message %d\n", u, m)
+				if sc.Scan() {
+					fmt.Printf("client %d <- %s\n", u, sc.Text())
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	fmt.Printf("served %d messages from %d connections; total words counted: %d\n",
+		srv.Messages(), srv.Accepted(), totalWords)
+}

@@ -1,0 +1,66 @@
+// Quickstart: the Figure 6 pattern on the public API.
+//
+// An event handler runs on the EDT, offloads its slow work to a worker
+// virtual target with nowait, and the offloaded block hops back to the EDT
+// for the GUI updates — no code restructuring, the continuation order reads
+// top to bottom exactly like the sequential version.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pyjama"
+)
+
+func main() {
+	// Initialization, as in the paper's Table II: register the EDT and
+	// create a worker target (done in a GUI constructor in real apps).
+	edt, err := pyjama.RegisterEDT("edt")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := pyjama.CreateWorker("worker", 4); err != nil {
+		panic(err)
+	}
+
+	finished := make(chan struct{})
+
+	// The button's callback, dispatched by the EDT.
+	buttonOnClick := func() {
+		fmt.Println("[edt]    Started EDT handling")
+
+		// //#omp target virtual(worker) nowait
+		pyjama.TargetBlock("worker", pyjama.Nowait, "", func() {
+			fmt.Println("[worker] downloading and computing...")
+			time.Sleep(50 * time.Millisecond) // networkDownload + formatConvert
+
+			// //#omp target virtual(edt)
+			pyjama.TargetBlock("edt", pyjama.Wait, "", func() {
+				fmt.Println("[edt]    displayImg(img)")
+			})
+			pyjama.TargetBlock("edt", pyjama.Wait, "", func() {
+				fmt.Println("[edt]    Finished!")
+				close(finished)
+			})
+		})
+
+		fmt.Println("[edt]    handler returned — EDT free for the next event")
+	}
+
+	// Fire the click; the EDT dispatches it.
+	edt.Post(buttonOnClick)
+
+	// While the worker runs, the EDT keeps handling other events.
+	for i := 1; i <= 3; i++ {
+		i := i
+		edt.Post(func() { fmt.Printf("[edt]    other event %d handled\n", i) })
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	<-finished
+	edt.Stop()
+	pyjama.Runtime().Shutdown()
+}

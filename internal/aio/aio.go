@@ -1,0 +1,156 @@
+// Package aio implements the paper's stated further work: "integrating
+// non-blocking I/O and asynchronous I/O into this model". Blocking I/O
+// operations are posted to a dedicated I/O virtual target and return typed
+// Futures; a Future can be joined two ways:
+//
+//   - Get: plain blocking wait (the classic java.util.concurrent.Future);
+//   - Await: the paper's await semantics — while the operation is in
+//     flight the calling goroutine keeps processing work from its own
+//     executor (events on the EDT, tasks on a pool worker) via the
+//     runtime's logical barrier, and continues when the result is ready.
+//
+// With Await, an event handler can read a file or fetch a URL in what reads
+// as straight-line code while the UI stays live — no completion-callback
+// restructuring.
+package aio
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executor"
+)
+
+// IO dispatches blocking I/O operations onto a dedicated virtual target.
+type IO struct {
+	rt     *core.Runtime
+	target string
+}
+
+// New creates the I/O virtual target named name with the given number of
+// threads on rt and returns its dispatcher. I/O targets are ordinary worker
+// targets; they are separate from compute workers so slow devices cannot
+// starve computations.
+func New(rt *core.Runtime, name string, threads int) (*IO, error) {
+	if _, err := rt.CreateWorker(name, threads); err != nil {
+		return nil, err
+	}
+	return &IO{rt: rt, target: name}, nil
+}
+
+// Attach wraps an existing virtual target as an I/O dispatcher.
+func Attach(rt *core.Runtime, name string) (*IO, error) {
+	if rt.Target(name) == nil {
+		return nil, fmt.Errorf("aio: %w: %q", core.ErrUnknownTarget, name)
+	}
+	return &IO{rt: rt, target: name}, nil
+}
+
+// Runtime returns the runtime the dispatcher posts through.
+func (o *IO) Runtime() *core.Runtime { return o.rt }
+
+// Future is a typed asynchronous result.
+type Future[T any] struct {
+	rt   *core.Runtime
+	comp *executor.Completion
+	val  *T
+	err  *error
+}
+
+// Done returns a channel closed when the result is available.
+func (f *Future[T]) Done() <-chan struct{} { return f.comp.Done() }
+
+// IsDone reports whether the result is available without blocking.
+func (f *Future[T]) IsDone() bool { return f.comp.Finished() }
+
+// Get blocks until the operation finishes and returns its result. A panic
+// in the operation surfaces as a *executor.PanicError.
+func (f *Future[T]) Get() (T, error) {
+	if cerr := f.comp.Wait(); cerr != nil {
+		var zero T
+		return zero, cerr
+	}
+	if *f.err != nil {
+		var zero T
+		return zero, *f.err
+	}
+	return *f.val, nil
+}
+
+// Await joins the future under the await logical barrier: the calling
+// goroutine processes other pending work from its own executor until the
+// result is ready (Algorithm 1 lines 13-16 applied to I/O).
+func (f *Future[T]) Await() (T, error) {
+	f.rt.AwaitDone(f.comp.Done())
+	return f.Get()
+}
+
+// Go runs op asynchronously on the I/O target and returns its Future. This
+// is the primitive the typed helpers below are built on.
+func Go[T any](o *IO, op func() (T, error)) *Future[T] {
+	var val T
+	var err error
+	f := &Future[T]{rt: o.rt, val: &val, err: &err}
+	comp, ierr := o.rt.Invoke(o.target, core.Nowait, func() {
+		val, err = op()
+	})
+	if ierr != nil {
+		f.comp = executor.NewCompletedCompletion(ierr)
+		err = ierr
+		return f
+	}
+	f.comp = comp
+	return f
+}
+
+// ReadAll asynchronously reads r to EOF.
+func (o *IO) ReadAll(r io.Reader) *Future[[]byte] {
+	return Go(o, func() ([]byte, error) { return io.ReadAll(r) })
+}
+
+// WriteAll asynchronously writes b to w and returns the byte count.
+func (o *IO) WriteAll(w io.Writer, b []byte) *Future[int] {
+	return Go(o, func() (int, error) { return w.Write(b) })
+}
+
+// Copy asynchronously copies src to dst.
+func (o *IO) Copy(dst io.Writer, src io.Reader) *Future[int64] {
+	return Go(o, func() (int64, error) { return io.Copy(dst, src) })
+}
+
+// Fetch asynchronously performs an HTTP GET and returns the body. Non-2xx
+// statuses are errors.
+func (o *IO) Fetch(url string) *Future[[]byte] {
+	return Go(o, func() ([]byte, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return nil, fmt.Errorf("aio: GET %s: status %d", url, resp.StatusCode)
+		}
+		return body, nil
+	})
+}
+
+// After returns a Future that completes with the fire time after d. It does
+// not occupy an I/O thread while waiting.
+func (o *IO) After(d time.Duration) *Future[time.Time] {
+	var val time.Time
+	var err error
+	comp, complete := executor.NewPendingCompletion()
+	f := &Future[time.Time]{rt: o.rt, comp: comp, val: &val, err: &err}
+	time.AfterFunc(d, func() {
+		val = time.Now()
+		complete(nil)
+	})
+	return f
+}

@@ -1,0 +1,240 @@
+package aio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+	"repro/internal/executor"
+	"repro/internal/gid"
+)
+
+type fixture struct {
+	rt  *core.Runtime
+	edt *eventloop.Loop
+	io  *IO
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	edt := eventloop.New("edt", reg)
+	edt.Start()
+	if err := rt.RegisterEDT("edt", edt); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(rt, "io", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Shutdown(); edt.Stop() })
+	return &fixture{rt: rt, edt: edt, io: o}
+}
+
+func TestReadAllGet(t *testing.T) {
+	f := newFixture(t)
+	fut := f.io.ReadAll(strings.NewReader("hello aio"))
+	got, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello aio" {
+		t.Fatalf("got %q", got)
+	}
+	if !fut.IsDone() {
+		t.Fatal("IsDone = false after Get")
+	}
+}
+
+func TestWriteAllAndCopy(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	n, err := f.io.WriteAll(&buf, []byte("abc")).Get()
+	if err != nil || n != 3 {
+		t.Fatalf("WriteAll = %d, %v", n, err)
+	}
+	var dst bytes.Buffer
+	cn, err := f.io.Copy(&dst, strings.NewReader("0123456789")).Get()
+	if err != nil || cn != 10 || dst.String() != "0123456789" {
+		t.Fatalf("Copy = %d, %v, %q", cn, err, dst.String())
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	f := newFixture(t)
+	boom := errors.New("disk on fire")
+	_, err := Go(f.io, func() (int, error) { return 0, boom }).Get()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	f := newFixture(t)
+	_, err := Go(f.io, func() (int, error) { panic("io bug") }).Get()
+	var pe *executor.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+// TestAwaitOnEDTKeepsEventsFlowing is the package's reason to exist: an
+// event handler awaits a slow read; events arriving meanwhile are handled
+// before the continuation.
+func TestAwaitOnEDTKeepsEventsFlowing(t *testing.T) {
+	f := newFixture(t)
+	pr, pw := io.Pipe()
+
+	var mu sync.Mutex
+	var log []string
+	say := func(s string) { mu.Lock(); log = append(log, s); mu.Unlock() }
+
+	handler := f.edt.Post(func() {
+		say("read-start")
+		fut := f.io.ReadAll(pr)
+		data, err := fut.Await() // EDT pumps while the pipe is open
+		if err != nil {
+			t.Errorf("Await: %v", err)
+		}
+		say("read-done:" + string(data))
+	})
+	// This event arrives while the read is pending; it must be dispatched
+	// before the continuation.
+	other := f.edt.Post(func() { say("other-event") })
+	if err := other.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Write([]byte("payload"))
+	pw.Close()
+	if err := handler.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(log) != 3 || log[0] != "read-start" || log[1] != "other-event" || log[2] != "read-done:payload" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	f := newFixture(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/data", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "remote body")
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, err := f.io.Fetch(base + "/data").Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "remote body" {
+		t.Fatalf("body = %q", body)
+	}
+	if _, err := f.io.Fetch(base + "/missing").Get(); err == nil {
+		t.Fatal("404 fetch succeeded")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	f := newFixture(t)
+	start := time.Now()
+	fired, err := f.io.After(15 * time.Millisecond).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired.Sub(start) < 15*time.Millisecond {
+		t.Fatalf("fired after %v", fired.Sub(start))
+	}
+}
+
+func TestAttach(t *testing.T) {
+	f := newFixture(t)
+	o2, err := Attach(f.rt, "io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.ReadAll(strings.NewReader("x")).Get(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(f.rt, "ghost"); err == nil {
+		t.Fatal("Attach to unknown target succeeded")
+	}
+}
+
+func TestNewDuplicateTarget(t *testing.T) {
+	f := newFixture(t)
+	if _, err := New(f.rt, "io", 1); err == nil {
+		t.Fatal("duplicate io target accepted")
+	}
+}
+
+func TestDoneChannel(t *testing.T) {
+	f := newFixture(t)
+	gate := make(chan struct{})
+	fut := Go(f.io, func() (int, error) { <-gate; return 7, nil })
+	select {
+	case <-fut.Done():
+		t.Fatal("done before completion")
+	default:
+	}
+	close(gate)
+	<-fut.Done()
+	v, err := fut.Get()
+	if err != nil || v != 7 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+}
+
+func TestGoOnShutdownRuntime(t *testing.T) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	o, err := New(rt, "io", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	fut := Go(o, func() (int, error) { return 1, nil })
+	if _, err := fut.Get(); err == nil {
+		t.Fatal("operation on shut-down runtime succeeded")
+	}
+	if !fut.IsDone() {
+		t.Fatal("rejected future not done")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteAllErrorPropagates(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.io.WriteAll(failingWriter{}, []byte("x")).Get(); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestFetchBadURL(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.io.Fetch("http://127.0.0.1:1/unreachable").Get(); err == nil {
+		t.Fatal("unreachable fetch succeeded")
+	}
+}

@@ -1,0 +1,29 @@
+package aio_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aio"
+	"repro/internal/core"
+)
+
+// Example reads a stream asynchronously on the I/O target and joins with
+// Get; inside an event handler one would use Await instead, keeping the
+// EDT live while the read is in flight.
+func Example() {
+	rt := core.NewRuntime(nil)
+	defer rt.Shutdown()
+	io, err := aio.New(rt, "io", 2)
+	if err != nil {
+		panic(err)
+	}
+
+	fut := io.ReadAll(strings.NewReader("asynchronous I/O, sequential style"))
+	data, err := fut.Get()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(data))
+	// Output: asynchronous I/O, sequential style
+}

@@ -1,0 +1,544 @@
+// Package core implements the paper's primary contribution: the Pyjama
+// runtime for the extended OpenMP `target virtual` directive. A virtual
+// target is "a syntax-level abstraction of a thread pool executor" — the
+// runtime keeps a registry of named targets, dispatches target blocks to
+// them following Algorithm 1, and implements the four asynchronous execution
+// modes of Table I:
+//
+//	default   — the encountering thread waits until the block finishes
+//	nowait    — fire-and-forget; execution continues immediately
+//	name_as   — fire, tagged; a later Wait(tag) joins all blocks so tagged
+//	await     — fire; while the block runs, the encountering thread keeps
+//	            processing other work from its own executor (the "logical
+//	            barrier"), and continues past the block once it finishes
+//
+// Thread-context awareness (Algorithm 1 line 6): if the encountering
+// goroutine is already a member of the destination target's thread group,
+// the block runs synchronously in place, so e.g. a `target virtual(edt)`
+// block inside code that is already on the EDT costs nothing and cannot
+// deadlock.
+//
+// Because virtual targets share the host memory, blocks are ordinary Go
+// closures: the "data-context sharing" property of Section III.B is the
+// native behaviour of the language.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/executor"
+	"repro/internal/gid"
+	"repro/internal/trace"
+)
+
+// Mode is the scheduling-property-clause of the extended target directive
+// (Figure 5): one of default (zero value), Nowait, NameAs, Await.
+type Mode int
+
+const (
+	// Wait is the default mode: the encountering thread blocks until the
+	// target block completes (standard OpenMP `target` behaviour).
+	Wait Mode = iota
+	// Nowait detaches the block entirely (clause `nowait`).
+	Nowait
+	// NameAs detaches the block and registers it under a name tag for a
+	// later Wait(tag) join (clause `name_as(tag)`).
+	NameAs
+	// Await detaches the block and places the encountering thread in the
+	// logical barrier: it processes other pending work from its own
+	// executor until the block finishes (clause `await`).
+	Await
+)
+
+// String returns the clause spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Wait:
+		return "wait"
+	case Nowait:
+		return "nowait"
+	case NameAs:
+		return "name_as"
+	case Await:
+		return "await"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors reported by the runtime.
+var (
+	ErrUnknownTarget  = errors.New("core: unknown virtual target")
+	ErrDuplicateName  = errors.New("core: virtual target name already registered")
+	ErrNoTag          = errors.New("core: NameAs mode requires a non-empty tag")
+	ErrNilBlock       = errors.New("core: nil target block")
+	ErrNoDefaultSet   = errors.New("core: empty target name and no default target set")
+	ErrRuntimeStopped = errors.New("core: runtime has been shut down")
+)
+
+// pendingRunner is the help-first surface an executor must provide for its
+// members to participate in the await logical barrier.
+type pendingRunner interface {
+	TryRunPending() bool
+	WaitPending(cancel <-chan struct{}) bool
+}
+
+// ICV holds the runtime's internal control variables, mirroring OpenMP's
+// ICV mechanism (the paper's extension point is default-device-var, which
+// for virtual targets becomes the default target name).
+type ICV struct {
+	// DefaultTarget is used when Invoke is called with an empty target name
+	// (the analogue of default-device-var for virtual targets).
+	DefaultTarget string
+}
+
+// Runtime is the virtual-target runtime ("PjRuntime"). The zero value is not
+// usable; create one with NewRuntime.
+type Runtime struct {
+	registry *gid.Registry
+	sink     atomic.Pointer[trace.Sink]
+
+	mu      sync.RWMutex
+	targets map[string]executor.Executor
+	owned   map[string]bool // targets whose lifecycle we manage (Shutdown)
+	groups  map[string]*nameGroup
+	icv     ICV
+	enabled bool
+	stopped bool
+}
+
+// NewRuntime returns a runtime with directives enabled, using reg for
+// goroutine affiliation (nil means gid.Default).
+func NewRuntime(reg *gid.Registry) *Runtime {
+	if reg == nil {
+		reg = &gid.Default
+	}
+	return &Runtime{
+		registry: reg,
+		targets:  make(map[string]executor.Executor),
+		owned:    make(map[string]bool),
+		groups:   make(map[string]*nameGroup),
+		enabled:  true,
+	}
+}
+
+// SetEnabled turns directive interpretation on or off. With enabled=false the
+// runtime reproduces an unsupporting compiler: every Invoke runs its block
+// synchronously on the calling goroutine ("the code still retains its
+// correctness when executed sequentially"). Registration calls still work so
+// the same program runs unmodified.
+func (r *Runtime) SetEnabled(v bool) {
+	r.mu.Lock()
+	r.enabled = v
+	r.mu.Unlock()
+}
+
+// Enabled reports whether directives are interpreted.
+func (r *Runtime) Enabled() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.enabled
+}
+
+// SetDefaultTarget sets the ICV used when Invoke receives an empty target
+// name.
+func (r *Runtime) SetDefaultTarget(name string) {
+	r.mu.Lock()
+	r.icv.DefaultTarget = name
+	r.mu.Unlock()
+}
+
+// ICV returns a snapshot of the internal control variables.
+func (r *Runtime) ICV() ICV {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.icv
+}
+
+// RegisterEDT registers loop as the virtual target named name. It is the
+// analogue of virtual_target_register_edt (Table II): in Pyjama the calling
+// thread becomes the target; here the loop's dispatch goroutine is that
+// thread. loop may be any executor with help-first support, but in practice
+// it is an *eventloop.Loop.
+func (r *Runtime) RegisterEDT(name string, loop executor.Executor) error {
+	return r.register(name, loop, false)
+}
+
+// CreateWorker creates a worker virtual target named name backed by a pool
+// of m goroutines (virtual_target_create_worker of Table II) and returns the
+// pool. The runtime owns the pool and shuts it down in Shutdown.
+func (r *Runtime) CreateWorker(name string, m int) (*executor.WorkerPool, error) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil, ErrRuntimeStopped
+	}
+	if _, dup := r.targets[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	// Reserve the name before the (lock-free) pool construction.
+	r.targets[name] = nil
+	r.mu.Unlock()
+
+	pool := executor.NewWorkerPool(name, m, r.registry)
+	r.mu.Lock()
+	r.targets[name] = pool
+	r.owned[name] = true
+	r.mu.Unlock()
+	return pool, nil
+}
+
+// RegisterTarget registers an arbitrary executor as a virtual target. The
+// runtime does not take ownership of its lifecycle.
+func (r *Runtime) RegisterTarget(name string, e executor.Executor) error {
+	return r.register(name, e, false)
+}
+
+func (r *Runtime) register(name string, e executor.Executor, owned bool) error {
+	if e == nil {
+		return fmt.Errorf("core: nil executor for target %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return ErrRuntimeStopped
+	}
+	if _, dup := r.targets[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	r.targets[name] = e
+	if owned {
+		r.owned[name] = true
+	}
+	return nil
+}
+
+// Target returns the executor registered under name, or nil.
+func (r *Runtime) Target(name string) executor.Executor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.targets[name]
+}
+
+// TargetNames returns the registered virtual target names (unordered).
+func (r *Runtime) TargetNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.targets))
+	for n := range r.targets {
+		names = append(names, n)
+	}
+	return names
+}
+
+// resolve maps a possibly-empty target name to its executor.
+func (r *Runtime) resolve(name string) (executor.Executor, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.stopped {
+		return nil, ErrRuntimeStopped
+	}
+	if name == "" {
+		name = r.icv.DefaultTarget
+		if name == "" {
+			return nil, ErrNoDefaultSet
+		}
+	}
+	e := r.targets[name]
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, name)
+	}
+	return e, nil
+}
+
+// Invoke is InvokeTargetBlock (Algorithm 1) for the Wait, Nowait and Await
+// modes. It dispatches block to the virtual target named target and applies
+// the scheduling property:
+//
+//   - thread-context awareness: if the calling goroutine already belongs to
+//     the target, block runs synchronously and the returned Completion is
+//     already finished, whatever the mode;
+//   - Wait: blocks until the target finished the block;
+//   - Nowait: returns immediately;
+//   - Await: enters the logical barrier (see AwaitCompletion) until the
+//     block finishes;
+//   - NameAs: use InvokeNamed, which carries the tag.
+//
+// The returned Completion carries a *executor.PanicError if the block
+// panicked.
+func (r *Runtime) Invoke(target string, mode Mode, block func()) (*executor.Completion, error) {
+	if mode == NameAs {
+		return nil, ErrNoTag
+	}
+	return r.invoke(target, mode, "", block)
+}
+
+// InvokeNamed dispatches block in NameAs mode under the given tag. Multiple
+// blocks may share a tag; WaitTag(tag) joins all of them.
+func (r *Runtime) InvokeNamed(target, tag string, block func()) (*executor.Completion, error) {
+	if tag == "" {
+		return nil, ErrNoTag
+	}
+	return r.invoke(target, NameAs, tag, block)
+}
+
+// InvokeIf applies the directive's if-clause: when cond is false the
+// directive is disabled for this invocation and block runs synchronously on
+// the calling goroutine, exactly as if the directive were absent.
+func (r *Runtime) InvokeIf(cond bool, target string, mode Mode, block func()) (*executor.Completion, error) {
+	if !cond {
+		if block == nil {
+			return nil, ErrNilBlock
+		}
+		return executor.NewCompletedCompletion(executor.RunCaptured(block)), nil
+	}
+	return r.Invoke(target, mode, block)
+}
+
+func (r *Runtime) invoke(target string, mode Mode, tag string, block func()) (*executor.Completion, error) {
+	if block == nil {
+		return nil, ErrNilBlock
+	}
+	if !r.Enabled() {
+		// Unsupporting compiler: the directive is a comment; run inline.
+		return executor.NewCompletedCompletion(executor.RunCaptured(block)), nil
+	}
+	e, err := r.resolve(target)
+	if err != nil {
+		return nil, err
+	}
+	r.emit(trace.OpInvoke, e.Name(), mode)
+
+	var comp *executor.Completion
+	if e.Owns() {
+		// Algorithm 1 lines 6-7: already in the target's execution context —
+		// execute synchronously by the current thread.
+		r.emit(trace.OpInline, e.Name(), mode)
+		comp = executor.NewCompletedCompletion(executor.RunCaptured(block))
+	} else {
+		// Line 8: post asynchronously.
+		r.emit(trace.OpPost, e.Name(), mode)
+		comp = e.Post(block)
+	}
+
+	switch mode {
+	case Nowait:
+		// Lines 10-11: return directly.
+	case NameAs:
+		r.group(tag).add(comp)
+	case Await:
+		// Lines 13-16: logical barrier.
+		r.AwaitCompletion(comp)
+	default: // Wait
+		// Line 17: default option — suspend until finished.
+		r.emit(trace.OpWait, e.Name(), mode)
+		comp.Wait()
+	}
+	return comp, nil
+}
+
+// AwaitCompletion implements the logical barrier of Algorithm 1 lines 14-16:
+// while comp is unfinished, the calling goroutine processes other pending
+// work from its *own* executor — another event handler if it is an EDT,
+// another queued task if it is a pool worker. A goroutine that belongs to no
+// registered executor simply blocks (there is nothing for it to help with).
+func (r *Runtime) AwaitCompletion(comp *executor.Completion) {
+	r.AwaitDone(comp.Done())
+}
+
+// AwaitDone is AwaitCompletion generalized to any completion channel; it is
+// the bridge the paper's "further work" section asks for (integrating
+// non-blocking and asynchronous I/O): any <-chan struct{} — a context's
+// Done, an I/O completion signal — can hold the encountering thread in the
+// logical barrier.
+func (r *Runtime) AwaitDone(done <-chan struct{}) {
+	owner, _ := r.registry.Owner().(pendingRunner)
+	if owner == nil {
+		<-done
+		return
+	}
+	r.emit(trace.OpAwaitEnter, ownerName(owner), Await)
+	defer r.emit(trace.OpAwaitExit, ownerName(owner), Await)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if owner.TryRunPending() {
+			r.emit(trace.OpHelped, ownerName(owner), Await)
+			continue
+		}
+		// No pending work: sleep until either new work arrives or the
+		// awaited block completes.
+		owner.WaitPending(done)
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// ownerName extracts the executor name for tracing.
+func ownerName(owner pendingRunner) string {
+	if n, ok := owner.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return ""
+}
+
+// nameGroup tracks the live completions submitted under one name tag.
+type nameGroup struct {
+	mu    sync.Mutex
+	comps []*executor.Completion
+}
+
+func (g *nameGroup) add(c *executor.Completion) {
+	g.mu.Lock()
+	// Prune already-finished entries so long-running programs that keep
+	// reusing a tag don't accumulate completions without bound.
+	live := g.comps[:0]
+	for _, old := range g.comps {
+		if !old.Finished() {
+			live = append(live, old)
+		}
+	}
+	g.comps = append(live, c)
+	g.mu.Unlock()
+}
+
+func (g *nameGroup) snapshot() []*executor.Completion {
+	g.mu.Lock()
+	out := make([]*executor.Completion, len(g.comps))
+	copy(out, g.comps)
+	g.mu.Unlock()
+	return out
+}
+
+func (r *Runtime) group(tag string) *nameGroup {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.groups[tag]
+	if g == nil {
+		g = &nameGroup{}
+		r.groups[tag] = g
+	}
+	return g
+}
+
+// WaitTag suspends the calling goroutine until every target block instance
+// submitted so far under tag has finished (the wait(name-tag) clause):
+// "when a wait clause is applied with that name-tag, the encountering
+// thread suspends until all the name-tag asynchronous target block
+// instances finish". Waiting on a tag that was never used is a no-op. It
+// returns the first error (captured panic) among the joined blocks, if any.
+func (r *Runtime) WaitTag(tag string) error {
+	r.mu.RLock()
+	g := r.groups[tag]
+	r.mu.RUnlock()
+	if g == nil {
+		return nil
+	}
+	var first error
+	for _, c := range g.snapshot() {
+		if err := c.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Wait joins multiple tags (wait(t1) wait(t2) ... on one directive).
+func (r *Runtime) Wait(tags ...string) error {
+	var first error
+	for _, t := range tags {
+		if err := r.WaitTag(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PendingInTag returns the number of unfinished blocks currently tracked
+// under tag (for tests and monitoring).
+func (r *Runtime) PendingInTag(tag string) int {
+	r.mu.RLock()
+	g := r.groups[tag]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range g.snapshot() {
+		if !c.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// Registry exposes the affiliation registry (used by substrates that create
+// their own executors, e.g. the OpenMP fork-join teams).
+func (r *Runtime) Registry() *gid.Registry { return r.registry }
+
+// SetTraceSink installs a tracing sink (nil disables tracing). When set,
+// the runtime records one event per scheduling decision: invoke, inline vs
+// post, wait, await-enter/exit, and each task helped inside a barrier.
+func (r *Runtime) SetTraceSink(s trace.Sink) {
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&s)
+}
+
+// emit records a trace event if a sink is installed.
+func (r *Runtime) emit(op trace.Op, target string, mode Mode) {
+	p := r.sink.Load()
+	if p == nil {
+		return
+	}
+	(*p).Record(trace.Event{Op: op, Target: target, Mode: mode.String(), Gid: uint64(gid.Current())})
+}
+
+// PoolStats returns per-target executor statistics for every registered
+// target whose executor exposes them (worker pools do; event loops report
+// their own counters via their own API).
+func (r *Runtime) PoolStats() map[string]executor.Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]executor.Stats)
+	for name, e := range r.targets {
+		if p, ok := e.(interface{ Stats() executor.Stats }); ok {
+			out[name] = p.Stats()
+		}
+	}
+	return out
+}
+
+// Shutdown stops every worker target the runtime created (CreateWorker) and
+// rejects further use. Externally registered targets (RegisterEDT,
+// RegisterTarget) are not stopped: their lifecycle belongs to the caller.
+func (r *Runtime) Shutdown() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	var toStop []executor.Executor
+	for name, e := range r.targets {
+		if r.owned[name] && e != nil {
+			toStop = append(toStop, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range toStop {
+		e.Shutdown()
+	}
+}

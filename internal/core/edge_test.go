@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/executor"
+)
+
+func TestAwaitFromEDTOnOwnTarget(t *testing.T) {
+	// await on a block targeted at the caller's own executor: the block is
+	// inlined by thread-context awareness, so the barrier is trivially
+	// already satisfied.
+	f := newFixture(t, 1)
+	err := f.edt.InvokeAndWait(func() {
+		comp, ierr := f.rt.Invoke("edt", Await, func() {})
+		if ierr != nil {
+			t.Error(ierr)
+			return
+		}
+		if !comp.Finished() {
+			t.Error("inlined await block not finished")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeNamedUnknownTarget(t *testing.T) {
+	f := newFixture(t, 1)
+	if _, err := f.rt.InvokeNamed("ghost", "tag", func() {}); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitTagConcurrentSubmitters(t *testing.T) {
+	f := newFixture(t, 4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				f.rt.InvokeNamed("worker", "conc", func() { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if err := f.rt.WaitTag("conc"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8*20 {
+		t.Fatalf("WaitTag returned with %d/160 done", n.Load())
+	}
+}
+
+func TestNameGroupPrunesFinished(t *testing.T) {
+	f := newFixture(t, 1)
+	for i := 0; i < 100; i++ {
+		c, _ := f.rt.InvokeNamed("worker", "prune", func() {})
+		c.Wait()
+	}
+	// The group holds only live completions plus the latest insertion;
+	// after everything finished, pending must be 0 and the internal slice
+	// must not have grown unboundedly.
+	f.rt.WaitTag("prune")
+	f.rt.mu.RLock()
+	g := f.rt.groups["prune"]
+	f.rt.mu.RUnlock()
+	g.mu.Lock()
+	held := len(g.comps)
+	g.mu.Unlock()
+	if held > 2 {
+		t.Fatalf("name group retains %d finished completions", held)
+	}
+}
+
+func TestInvokeIfNilBlock(t *testing.T) {
+	f := newFixture(t, 1)
+	if _, err := f.rt.InvokeIf(false, "worker", Wait, nil); !errors.Is(err, ErrNilBlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterTargetCustomExecutor(t *testing.T) {
+	f := newFixture(t, 1)
+	d := executor.NewDirectExecutor("direct")
+	if err := f.rt.RegisterTarget("direct", d); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	comp, err := f.rt.Invoke("direct", Nowait, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DirectExecutor owns every goroutine: inline even with nowait.
+	if !ran || !comp.Finished() {
+		t.Fatal("direct target did not inline")
+	}
+}
+
+func TestEnabledToggleDuringOperation(t *testing.T) {
+	f := newFixture(t, 2)
+	f.rt.SetEnabled(false)
+	c1, _ := f.rt.Invoke("worker", Nowait, func() {})
+	if !c1.Finished() {
+		t.Fatal("disabled invoke not inline")
+	}
+	f.rt.SetEnabled(true)
+	gate := make(chan struct{})
+	c2, _ := f.rt.Invoke("worker", Nowait, func() { <-gate })
+	if c2.Finished() {
+		t.Fatal("enabled invoke ran inline")
+	}
+	close(gate)
+	c2.Wait()
+}
+
+func TestPoolStats(t *testing.T) {
+	f := newFixture(t, 2)
+	for i := 0; i < 5; i++ {
+		c, _ := f.rt.Invoke("worker", Nowait, func() {})
+		c.Wait()
+	}
+	stats := f.rt.PoolStats()
+	ws, ok := stats["worker"]
+	if !ok {
+		t.Fatalf("no stats for worker: %v", stats)
+	}
+	if ws.Submitted != 5 || ws.Completed != 5 {
+		t.Fatalf("worker stats = %+v", ws)
+	}
+	if _, ok := stats["edt"]; ok {
+		t.Fatal("event loop unexpectedly reported pool stats")
+	}
+}

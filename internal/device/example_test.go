@@ -1,0 +1,41 @@
+package device_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/gid"
+)
+
+// Example runs a `target device(0) map(tofrom: data)` construct on the
+// simulated accelerator: map-in, kernel on the device's command stream,
+// map-out — the explicit data choreography that virtual targets make
+// unnecessary for host-side work.
+func Example() {
+	reg := &gid.Registry{}
+	dev := device.New(0, reg, device.Config{
+		TransferLatency: time.Microsecond,
+		BytesPerSecond:  1 << 40,
+	})
+	defer dev.Stop()
+
+	data := []byte{1, 2, 3, 4}
+	err := dev.Target(
+		[]device.Map{{Name: "data", Host: data, To: true, From: true}},
+		func(mem device.Mem) {
+			b, _ := mem.Bytes("data")
+			for i := range b {
+				b[i] *= 3
+			}
+		})
+	if err != nil {
+		panic(err)
+	}
+	st := dev.Stats()
+	fmt.Println("data:", data)
+	fmt.Printf("transfers: %d (%dB to, %dB from)\n", st.Transfers, st.BytesToDevice, st.BytesFromDevice)
+	// Output:
+	// data: [3 6 9 12]
+	// transfers: 2 (4B to, 4B from)
+}

@@ -1,0 +1,406 @@
+// Package directive defines and parses the OpenMP directive language of the
+// paper: the extended `target` directive of Figure 5 —
+//
+//	#pragma omp target [clause[,] clause ...] structured-block
+//	  target-property-clause:     device(device-number) | virtual(name-tag)
+//	  scheduling-property-clause: nowait | name_as(name-tag) | await
+//	  data-handling-clause:       default(shared|none) | shared(...) |
+//	                              private(...) | firstprivate(...)
+//	  if-clause:                  if(expression)
+//
+// — plus the classic directives the evaluation combines it with (parallel,
+// for, sections, single, master, critical, barrier, task, taskwait) and the
+// standalone wait(name-tag) synchronization directive.
+//
+// Since the host language (Go, like the paper's Java) has no #pragma, a
+// directive is written as a comment beginning with //#omp, which
+// non-supporting toolchains ignore — preserving sequential correctness.
+package directive
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prefix is the comment marker introducing a directive.
+const Prefix = "#omp"
+
+// Kind enumerates directive kinds.
+type Kind int
+
+const (
+	KindInvalid Kind = iota
+	KindTarget
+	// KindTargetData is the `target data` construct: a scoped device data
+	// environment (map-in at entry, map-out at exit).
+	KindTargetData
+	// KindTargetUpdate is the standalone `target update` directive: an
+	// explicit host<->device transfer inside a data region.
+	KindTargetUpdate
+	KindWait // standalone wait(tag) synchronization
+	KindParallel
+	KindParallelFor
+	KindParallelSections
+	KindFor
+	KindSections
+	KindSection
+	KindSingle
+	KindMaster
+	KindCritical
+	KindBarrier
+	KindTask
+	KindTaskwait
+)
+
+var kindNames = map[Kind]string{
+	KindTarget:           "target",
+	KindTargetData:       "target data",
+	KindTargetUpdate:     "target update",
+	KindWait:             "wait",
+	KindParallel:         "parallel",
+	KindParallelFor:      "parallel for",
+	KindParallelSections: "parallel sections",
+	KindFor:              "for",
+	KindSections:         "sections",
+	KindSection:          "section",
+	KindSingle:           "single",
+	KindMaster:           "master",
+	KindCritical:         "critical",
+	KindBarrier:          "barrier",
+	KindTask:             "task",
+	KindTaskwait:         "taskwait",
+}
+
+// String returns the directive spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ClauseKind enumerates clause kinds.
+type ClauseKind int
+
+const (
+	ClauseInvalid ClauseKind = iota
+	// target-property clauses
+	ClauseDevice
+	ClauseVirtual
+	// scheduling-property clauses
+	ClauseNowait
+	ClauseNameAs
+	ClauseAwait
+	ClauseWait // wait(tag...) on a directive
+	// if-clause
+	ClauseIf
+	// data-handling clauses
+	ClauseDefault
+	ClauseShared
+	ClausePrivate
+	ClauseFirstprivate
+	// classic clauses
+	ClauseNumThreads
+	ClauseSchedule
+	ClauseReduction
+	// ClauseMap is the accelerator-model data-mapping clause:
+	// map(to|from|tofrom|alloc: var, ...). Only meaningful on device
+	// targets; virtual targets share host memory and need no mapping.
+	ClauseMap
+)
+
+var clauseNames = map[ClauseKind]string{
+	ClauseDevice:       "device",
+	ClauseVirtual:      "virtual",
+	ClauseNowait:       "nowait",
+	ClauseNameAs:       "name_as",
+	ClauseAwait:        "await",
+	ClauseWait:         "wait",
+	ClauseIf:           "if",
+	ClauseDefault:      "default",
+	ClauseShared:       "shared",
+	ClausePrivate:      "private",
+	ClauseFirstprivate: "firstprivate",
+	ClauseNumThreads:   "num_threads",
+	ClauseSchedule:     "schedule",
+	ClauseReduction:    "reduction",
+	ClauseMap:          "map",
+}
+
+var clauseByName = func() map[string]ClauseKind {
+	m := make(map[string]ClauseKind, len(clauseNames))
+	for k, n := range clauseNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String returns the clause spelling.
+func (c ClauseKind) String() string {
+	if s, ok := clauseNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ClauseKind(%d)", int(c))
+}
+
+// takesArgs reports whether a clause kind requires parenthesized arguments.
+func (c ClauseKind) takesArgs() bool {
+	switch c {
+	case ClauseNowait, ClauseAwait:
+		return false
+	case ClauseDefault, ClauseShared, ClausePrivate, ClauseFirstprivate:
+		return true // when present these list variables / policy
+	default:
+		return true
+	}
+}
+
+// Clause is one parsed clause with its raw argument strings.
+type Clause struct {
+	Kind ClauseKind
+	Args []string
+}
+
+// Arg returns the i-th argument or "".
+func (c Clause) Arg(i int) string {
+	if i < len(c.Args) {
+		return c.Args[i]
+	}
+	return ""
+}
+
+// MapSpec is a parsed map clause: a transfer direction and the mapped
+// variables.
+type MapSpec struct {
+	// Direction is one of "to", "from", "tofrom", "alloc".
+	Direction string
+	// Vars are the mapped variable names.
+	Vars []string
+}
+
+// MapSpec parses a ClauseMap's arguments: map(to: a, b) or map(x) (the
+// direction defaults to tofrom, as in OpenMP).
+func (c Clause) MapSpec() (MapSpec, error) {
+	if c.Kind != ClauseMap {
+		return MapSpec{}, fmt.Errorf("directive: MapSpec on %q clause", c.Kind)
+	}
+	if len(c.Args) == 0 {
+		return MapSpec{}, fmt.Errorf("directive: map clause requires variables")
+	}
+	spec := MapSpec{Direction: "tofrom"}
+	first := c.Args[0]
+	rest := c.Args[1:]
+	if i := strings.IndexByte(first, ':'); i >= 0 {
+		dir := strings.TrimSpace(first[:i])
+		switch dir {
+		case "to", "from", "tofrom", "alloc":
+			spec.Direction = dir
+		default:
+			return MapSpec{}, fmt.Errorf("directive: unknown map direction %q", dir)
+		}
+		first = strings.TrimSpace(first[i+1:])
+	}
+	if first == "" {
+		return MapSpec{}, fmt.Errorf("directive: map clause requires variables")
+	}
+	spec.Vars = append(spec.Vars, first)
+	for _, v := range rest {
+		if v = strings.TrimSpace(v); v != "" {
+			spec.Vars = append(spec.Vars, v)
+		}
+	}
+	return spec, nil
+}
+
+// Directive is one parsed directive.
+type Directive struct {
+	Kind    Kind
+	Clauses []Clause
+	// Name is the optional region name of a critical directive.
+	Name string
+	// Raw preserves the original directive text (after the prefix).
+	Raw string
+}
+
+// Clause returns the first clause of kind k, or nil.
+func (d *Directive) Clause(k ClauseKind) *Clause {
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind == k {
+			return &d.Clauses[i]
+		}
+	}
+	return nil
+}
+
+// Has reports whether a clause of kind k is present.
+func (d *Directive) Has(k ClauseKind) bool { return d.Clause(k) != nil }
+
+// TargetName returns the virtual-target name of a target directive
+// ("" if this is not a virtual target).
+func (d *Directive) TargetName() string {
+	if c := d.Clause(ClauseVirtual); c != nil {
+		return c.Arg(0)
+	}
+	return ""
+}
+
+// SchedulingMode returns the scheduling-property clause present on a target
+// directive (ClauseInvalid means default/wait behaviour) plus the name tag
+// for name_as.
+func (d *Directive) SchedulingMode() (ClauseKind, string) {
+	for _, k := range []ClauseKind{ClauseNowait, ClauseAwait, ClauseNameAs} {
+		if c := d.Clause(k); c != nil {
+			return k, c.Arg(0)
+		}
+	}
+	return ClauseInvalid, ""
+}
+
+// String renders the directive canonically (parseable back by Parse).
+func (d *Directive) String() string {
+	var b strings.Builder
+	b.WriteString(Prefix)
+	b.WriteByte(' ')
+	b.WriteString(d.Kind.String())
+	if d.Kind == KindCritical && d.Name != "" {
+		b.WriteByte('(')
+		b.WriteString(d.Name)
+		b.WriteByte(')')
+	}
+	for _, c := range d.Clauses {
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+		if len(c.Args) > 0 {
+			b.WriteByte('(')
+			b.WriteString(strings.Join(c.Args, ", "))
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}
+
+// allowedClauses maps each directive kind to its legal clause kinds.
+var allowedClauses = map[Kind]map[ClauseKind]bool{
+	KindTarget: {
+		ClauseDevice: true, ClauseVirtual: true,
+		ClauseNowait: true, ClauseNameAs: true, ClauseAwait: true,
+		ClauseIf: true, ClauseDefault: true, ClauseShared: true,
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseMap: true,
+	},
+	KindTargetData:   {ClauseDevice: true, ClauseMap: true, ClauseIf: true},
+	KindTargetUpdate: {ClauseDevice: true, ClauseMap: true, ClauseIf: true},
+	KindWait:         {ClauseWait: true},
+	KindParallel:     {ClauseNumThreads: true, ClauseIf: true, ClauseDefault: true, ClauseShared: true, ClausePrivate: true, ClauseFirstprivate: true, ClauseReduction: true},
+	KindParallelFor: {ClauseNumThreads: true, ClauseIf: true, ClauseSchedule: true, ClauseDefault: true,
+		ClauseShared: true, ClausePrivate: true, ClauseFirstprivate: true, ClauseReduction: true, ClauseNowait: true},
+	KindParallelSections: {ClauseNumThreads: true, ClauseIf: true, ClauseDefault: true,
+		ClauseShared: true, ClausePrivate: true, ClauseFirstprivate: true},
+	KindFor:      {ClauseSchedule: true, ClauseNowait: true, ClauseReduction: true, ClausePrivate: true, ClauseFirstprivate: true},
+	KindSections: {ClauseNowait: true},
+	KindSection:  {},
+	KindSingle:   {ClauseNowait: true},
+	KindMaster:   {},
+	KindCritical: {},
+	KindBarrier:  {},
+	KindTask:     {ClauseIf: true, ClauseDefault: true, ClauseShared: true, ClausePrivate: true, ClauseFirstprivate: true},
+	KindTaskwait: {},
+}
+
+// Validate checks clause legality and the structural rules of Figure 5:
+// at most one target-property clause, at most one scheduling-property
+// clause, argument arity.
+func (d *Directive) Validate() error {
+	if d.Kind == KindInvalid {
+		return fmt.Errorf("directive: invalid kind")
+	}
+	allowed := allowedClauses[d.Kind]
+	seen := map[ClauseKind]int{}
+	for _, c := range d.Clauses {
+		if d.Kind == KindCritical && c.Kind == ClauseInvalid {
+			continue
+		}
+		if !allowed[c.Kind] {
+			return fmt.Errorf("directive: clause %q not allowed on %q", c.Kind, d.Kind)
+		}
+		seen[c.Kind]++
+	}
+	for k, n := range seen {
+		// wait, shared, private, firstprivate, map may repeat; others may not.
+		switch k {
+		case ClauseWait, ClauseShared, ClausePrivate, ClauseFirstprivate, ClauseMap:
+		default:
+			if n > 1 {
+				return fmt.Errorf("directive: clause %q given %d times", k, n)
+			}
+		}
+	}
+	if d.Kind == KindTarget {
+		if seen[ClauseDevice] > 0 && seen[ClauseVirtual] > 0 {
+			return fmt.Errorf("directive: target has both device and virtual clauses")
+		}
+		sched := seen[ClauseNowait] + seen[ClauseNameAs] + seen[ClauseAwait]
+		if sched > 1 {
+			return fmt.Errorf("directive: target has %d scheduling-property clauses, at most 1 allowed", sched)
+		}
+		// Data mapping is an accelerator concept; a virtual target shares
+		// host memory, so map clauses are meaningless there (Section III.B,
+		// "data-context sharing").
+		if seen[ClauseMap] > 0 && seen[ClauseVirtual] > 0 {
+			return fmt.Errorf("directive: map clause requires a device target; virtual targets share host memory")
+		}
+	}
+	if d.Kind == KindWait && seen[ClauseWait] == 0 {
+		return fmt.Errorf("directive: wait directive requires at least one wait(tag) clause")
+	}
+	if d.Kind == KindTargetUpdate {
+		if seen[ClauseMap] == 0 {
+			return fmt.Errorf("directive: target update requires at least one map clause")
+		}
+		for _, c := range d.Clauses {
+			if c.Kind != ClauseMap {
+				continue
+			}
+			spec, err := c.MapSpec()
+			if err != nil {
+				return err
+			}
+			if spec.Direction != "to" && spec.Direction != "from" {
+				return fmt.Errorf("directive: target update map direction must be to or from, got %q", spec.Direction)
+			}
+		}
+	}
+	for _, c := range d.Clauses {
+		switch c.Kind {
+		case ClauseVirtual, ClauseNameAs, ClauseDevice, ClauseIf, ClauseNumThreads:
+			if len(c.Args) != 1 || c.Args[0] == "" {
+				return fmt.Errorf("directive: clause %q requires exactly one argument", c.Kind)
+			}
+		case ClauseWait:
+			if len(c.Args) == 0 {
+				return fmt.Errorf("directive: wait clause requires at least one tag")
+			}
+		case ClauseSchedule:
+			if len(c.Args) < 1 || len(c.Args) > 2 {
+				return fmt.Errorf("directive: schedule clause takes (kind[, chunk])")
+			}
+			switch c.Args[0] {
+			case "static", "dynamic", "guided":
+			default:
+				return fmt.Errorf("directive: unknown schedule kind %q", c.Args[0])
+			}
+		case ClauseDefault:
+			if len(c.Args) != 1 || (c.Args[0] != "shared" && c.Args[0] != "none") {
+				return fmt.Errorf("directive: default clause takes (shared|none)")
+			}
+		case ClauseNowait, ClauseAwait:
+			if len(c.Args) != 0 {
+				return fmt.Errorf("directive: clause %q takes no arguments", c.Kind)
+			}
+		case ClauseMap:
+			if _, err := c.MapSpec(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

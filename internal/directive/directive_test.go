@@ -1,0 +1,340 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) *Directive {
+	t.Helper()
+	d, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return d
+}
+
+func TestParseFigure5Examples(t *testing.T) {
+	// The directives appearing in the paper's figures and listings.
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"//#omp target virtual(worker) nowait", KindTarget},
+		{"//#omp target virtual(edt)", KindTarget},
+		{"//#omp target virtual(worker) await", KindTarget},
+		{"//#omp target virtual(worker) name_as(dl)", KindTarget},
+		{"//#omp target device(0)", KindTarget},
+		{"//#omp wait(dl)", KindWait},
+		{"//#omp parallel num_threads(3)", KindParallel},
+		{"//#omp parallel for schedule(dynamic, 8)", KindParallelFor},
+		{"//#omp for schedule(static) nowait", KindFor},
+		{"//#omp barrier", KindBarrier},
+		{"//#omp critical(update)", KindCritical},
+		{"//#omp critical", KindCritical},
+		{"//#omp single", KindSingle},
+		{"//#omp master", KindMaster},
+		{"//#omp sections", KindSections},
+		{"//#omp section", KindSection},
+		{"//#omp task", KindTask},
+		{"//#omp taskwait", KindTaskwait},
+	}
+	for _, c := range cases {
+		d := mustParse(t, c.src)
+		if d.Kind != c.kind {
+			t.Errorf("Parse(%q).Kind = %v, want %v", c.src, d.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseTargetVirtualClauses(t *testing.T) {
+	d := mustParse(t, "#omp target virtual(worker) name_as(batch1) if(n > 10)")
+	if d.TargetName() != "worker" {
+		t.Fatalf("TargetName = %q", d.TargetName())
+	}
+	mode, tag := d.SchedulingMode()
+	if mode != ClauseNameAs || tag != "batch1" {
+		t.Fatalf("SchedulingMode = %v, %q", mode, tag)
+	}
+	ifc := d.Clause(ClauseIf)
+	if ifc == nil || ifc.Arg(0) != "n > 10" {
+		t.Fatalf("if clause = %+v", ifc)
+	}
+}
+
+func TestParseDefaultSchedulingIsWait(t *testing.T) {
+	d := mustParse(t, "#omp target virtual(worker)")
+	mode, _ := d.SchedulingMode()
+	if mode != ClauseInvalid {
+		t.Fatalf("mode = %v, want default", mode)
+	}
+}
+
+func TestParseNestedParensInIf(t *testing.T) {
+	d := mustParse(t, "#omp target virtual(w) if(len(items) > max(a, b)) nowait")
+	ifc := d.Clause(ClauseIf)
+	if ifc.Arg(0) != "len(items) > max(a, b)" {
+		t.Fatalf("if arg = %q", ifc.Arg(0))
+	}
+}
+
+func TestParseCommaSeparatedClauses(t *testing.T) {
+	d := mustParse(t, "#omp target virtual(worker), nowait")
+	if !d.Has(ClauseNowait) || d.TargetName() != "worker" {
+		t.Fatalf("comma-separated clauses misparsed: %+v", d)
+	}
+}
+
+func TestParseMultiTagWait(t *testing.T) {
+	d := mustParse(t, "#omp wait(a, b, c)")
+	w := d.Clause(ClauseWait)
+	if len(w.Args) != 3 || w.Args[0] != "a" || w.Args[2] != "c" {
+		t.Fatalf("wait args = %v", w.Args)
+	}
+}
+
+func TestParseDataClauses(t *testing.T) {
+	d := mustParse(t, "#omp target virtual(w) default(shared) private(x, y) firstprivate(z)")
+	if d.Clause(ClauseDefault).Arg(0) != "shared" {
+		t.Fatal("default clause")
+	}
+	if p := d.Clause(ClausePrivate); len(p.Args) != 2 {
+		t.Fatalf("private args = %v", p.Args)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"not a directive",
+		"#omp",
+		"#omp frobnicate",
+		"#omp target bogus_clause",
+		"#omp target virtual(worker) device(0)",         // both target properties
+		"#omp target virtual(worker) nowait await",      // two scheduling properties
+		"#omp target virtual(worker) name_as(a) nowait", // two scheduling properties
+		"#omp target virtual()",                         // empty name
+		"#omp target virtual",                           // missing args
+		"#omp target nowait(x)",                         // unexpected args
+		"#omp wait",                                     // missing tags
+		"#omp target virtual(worker",                    // unbalanced paren
+		"#omp parallel num_threads(2) num_threads(3)",   // repeated clause
+		"#omp critical(a, b)",                           // critical with two names
+		"#omp parallel schedule(static)",                // schedule not allowed on parallel
+		"#omp for schedule(bogus)",                      // unknown schedule kind
+		"#omp for schedule(static, 4, 9)",               // too many schedule args
+		"#omp target default(weird)",                    // bad default policy
+		"#omp task nowait",                              // clause not allowed
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestIsDirectiveComment(t *testing.T) {
+	if !IsDirectiveComment("#omp target virtual(w)") {
+		t.Fatal("plain prefix not detected")
+	}
+	if !IsDirectiveComment("  #omp barrier") {
+		t.Fatal("leading space not tolerated")
+	}
+	if IsDirectiveComment(" plain comment") {
+		t.Fatal("false positive")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"#omp target virtual(worker) nowait",
+		"#omp target virtual(worker) name_as(dl) if(x > 0)",
+		"#omp target device(2)",
+		"#omp wait(a, b)",
+		"#omp parallel for num_threads(4) schedule(dynamic, 16)",
+		"#omp critical(region1)",
+		"#omp barrier",
+		"#omp single nowait",
+	}
+	for _, src := range cases {
+		d1 := mustParse(t, src)
+		d2 := mustParse(t, d1.String())
+		if d1.String() != d2.String() {
+			t.Errorf("round trip changed %q -> %q", d1.String(), d2.String())
+		}
+		if d1.Kind != d2.Kind || len(d1.Clauses) != len(d2.Clauses) {
+			t.Errorf("round trip altered structure for %q", src)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: for any generated valid target directive, Parse(String())
+	// reproduces the same canonical string.
+	targets := []string{"worker", "edt", "io", "pool_2"}
+	tags := []string{"t1", "batch", "dl"}
+	f := func(ti, mi, gi uint8, withIf bool) bool {
+		d := &Directive{Kind: KindTarget}
+		d.Clauses = append(d.Clauses, Clause{Kind: ClauseVirtual, Args: []string{targets[int(ti)%len(targets)]}})
+		switch mi % 4 {
+		case 1:
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseNowait})
+		case 2:
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseAwait})
+		case 3:
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseNameAs, Args: []string{tags[int(gi)%len(tags)]}})
+		}
+		if withIf {
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseIf, Args: []string{"cond"}})
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		parsed, err := Parse(d.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == d.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDirectly(t *testing.T) {
+	d := &Directive{Kind: KindTarget, Clauses: []Clause{
+		{Kind: ClauseVirtual, Args: []string{"w"}},
+		{Kind: ClauseAwait},
+	}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Directive{Kind: KindInvalid}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	// Repeated shared clauses are allowed.
+	d2 := &Directive{Kind: KindParallel, Clauses: []Clause{
+		{Kind: ClauseShared, Args: []string{"a"}},
+		{Kind: ClauseShared, Args: []string{"b"}},
+	}}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndClauseStrings(t *testing.T) {
+	if KindTarget.String() != "target" || KindParallelFor.String() != "parallel for" {
+		t.Fatal("kind strings")
+	}
+	if ClauseNameAs.String() != "name_as" {
+		t.Fatal("clause strings")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+	if !strings.Contains(ClauseKind(99).String(), "99") {
+		t.Fatal("unknown clause string")
+	}
+}
+
+func TestRawPreserved(t *testing.T) {
+	d := mustParse(t, "//#omp target   virtual( worker )   await")
+	if !strings.Contains(d.Raw, "virtual( worker )") {
+		t.Fatalf("Raw = %q", d.Raw)
+	}
+	if d.TargetName() != "worker" {
+		t.Fatalf("TargetName = %q (whitespace not trimmed)", d.TargetName())
+	}
+}
+
+func BenchmarkParseTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("#omp target virtual(worker) name_as(dl) if(x > 0)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMapClause(t *testing.T) {
+	d := mustParse(t, "#omp target device(0) map(to: a, b) map(from: c) map(x)")
+	var specs []MapSpec
+	for _, c := range d.Clauses {
+		if c.Kind != ClauseMap {
+			continue
+		}
+		s, err := c.MapSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].Direction != "to" || len(specs[0].Vars) != 2 || specs[0].Vars[1] != "b" {
+		t.Fatalf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Direction != "from" || specs[1].Vars[0] != "c" {
+		t.Fatalf("spec 1 = %+v", specs[1])
+	}
+	// Default direction is tofrom.
+	if specs[2].Direction != "tofrom" || specs[2].Vars[0] != "x" {
+		t.Fatalf("spec 2 = %+v", specs[2])
+	}
+}
+
+func TestMapClauseErrors(t *testing.T) {
+	for _, src := range []string{
+		"#omp target virtual(w) map(to: x)", // map needs a device target
+		"#omp target device(0) map(sideways: x)",
+		"#omp target device(0) map()",
+		"#omp target device(0) map(to:)",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	// MapSpec on a non-map clause errs.
+	if _, err := (Clause{Kind: ClauseIf, Args: []string{"x"}}).MapSpec(); err == nil {
+		t.Error("MapSpec on if clause succeeded")
+	}
+}
+
+func TestTargetDataAndUpdate(t *testing.T) {
+	d := mustParse(t, "#omp target data device(0) map(to: a) map(from: b)")
+	if d.Kind != KindTargetData {
+		t.Fatalf("Kind = %v", d.Kind)
+	}
+	if d.String() != "#omp target data device(0) map(to: a) map(from: b)" {
+		t.Fatalf("canonical = %q", d.String())
+	}
+	u := mustParse(t, "#omp target update map(from: result)")
+	if u.Kind != KindTargetUpdate {
+		t.Fatalf("Kind = %v", u.Kind)
+	}
+	for _, bad := range []string{
+		"#omp target update",                 // no map
+		"#omp target update map(x)",          // tofrom not allowed on update
+		"#omp target update map(alloc: x)",   // alloc not allowed on update
+		"#omp target data nowait map(to: x)", // scheduling clause not allowed
+		"#omp target update num_threads(2)",  // wrong clause
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParallelSectionsParse(t *testing.T) {
+	d := mustParse(t, "#omp parallel sections num_threads(3)")
+	if d.Kind != KindParallelSections {
+		t.Fatalf("Kind = %v", d.Kind)
+	}
+	if d.String() != "#omp parallel sections num_threads(3)" {
+		t.Fatalf("canonical = %q", d.String())
+	}
+	if _, err := Parse("#omp parallel sections schedule(static)"); err == nil {
+		t.Fatal("schedule on parallel sections accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package directive_test
+
+import (
+	"fmt"
+
+	"repro/internal/directive"
+)
+
+// ExampleParse parses the paper's headline directive form.
+func ExampleParse() {
+	d, err := directive.Parse("//#omp target virtual(worker) name_as(download) if(size > 1024)")
+	if err != nil {
+		panic(err)
+	}
+	mode, tag := d.SchedulingMode()
+	fmt.Println("kind:", d.Kind)
+	fmt.Println("target:", d.TargetName())
+	fmt.Println("mode:", mode, "tag:", tag)
+	fmt.Println("if:", d.Clause(directive.ClauseIf).Arg(0))
+	fmt.Println("canonical:", d.String())
+	// Output:
+	// kind: target
+	// target: worker
+	// mode: name_as tag: download
+	// if: size > 1024
+	// canonical: #omp target virtual(worker) name_as(download) if(size > 1024)
+}

@@ -1,0 +1,214 @@
+package directive
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// IsDirectiveComment reports whether a comment's text (without the //
+// marker) is an OpenMP directive, i.e. begins with #omp.
+func IsDirectiveComment(text string) bool {
+	return strings.HasPrefix(strings.TrimSpace(text), Prefix)
+}
+
+// Parse parses a directive from comment text (with or without a leading //
+// and with or without the #omp prefix present). The returned directive has
+// been validated.
+func Parse(text string) (*Directive, error) {
+	s := strings.TrimSpace(text)
+	s = strings.TrimPrefix(s, "//")
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, Prefix) {
+		return nil, fmt.Errorf("directive: missing %q prefix in %q", Prefix, text)
+	}
+	s = strings.TrimSpace(strings.TrimPrefix(s, Prefix))
+	p := &parser{src: s}
+	d, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	d.Raw = s
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parser is a hand-written scanner/parser over one directive line.
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("directive: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+// ident scans an identifier (letters, digits, underscores; must start with
+// a letter or underscore). Returns "" if none present.
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		isWord := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			(p.pos > start && c >= '0' && c <= '9')
+		if !isWord {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// args scans a parenthesized, comma-separated argument list with balanced
+// nested parentheses (so if(f(x, y) > 0) parses as one argument). Returns
+// nil, nil when no '(' follows.
+func (p *parser) args() ([]string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, nil
+	}
+	p.pos++ // consume '('
+	var out []string
+	depth := 0
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			if depth == 0 {
+				arg := strings.TrimSpace(p.src[start:p.pos])
+				if arg != "" || len(out) > 0 {
+					out = append(out, arg)
+				}
+				p.pos++
+				return out, nil
+			}
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(p.src[start:p.pos]))
+				start = p.pos + 1
+			}
+		}
+		p.pos++
+	}
+	return nil, p.errf("unbalanced parenthesis")
+}
+
+func (p *parser) parse() (*Directive, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("missing directive name")
+	}
+	d := &Directive{}
+	switch name {
+	case "target":
+		d.Kind = KindTarget
+		// Two-word constructs: target data, target update.
+		save := p.pos
+		switch p.ident() {
+		case "data":
+			d.Kind = KindTargetData
+		case "update":
+			d.Kind = KindTargetUpdate
+		default:
+			p.pos = save
+		}
+	case "wait":
+		// Standalone wait(tag, ...) — sugar for a wait clause list.
+		d.Kind = KindWait
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) > 0 {
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseWait, Args: args})
+		}
+	case "parallel":
+		d.Kind = KindParallel
+		// Two-word combined constructs?
+		save := p.pos
+		switch p.ident() {
+		case "for":
+			d.Kind = KindParallelFor
+		case "sections":
+			d.Kind = KindParallelSections
+		default:
+			p.pos = save
+		}
+	case "for":
+		d.Kind = KindFor
+	case "sections":
+		d.Kind = KindSections
+	case "section":
+		d.Kind = KindSection
+	case "single":
+		d.Kind = KindSingle
+	case "master":
+		d.Kind = KindMaster
+	case "critical":
+		d.Kind = KindCritical
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) > 1 {
+			return nil, p.errf("critical takes at most one name")
+		}
+		if len(args) == 1 {
+			d.Name = args[0]
+		}
+	case "barrier":
+		d.Kind = KindBarrier
+	case "task":
+		d.Kind = KindTask
+	case "taskwait":
+		d.Kind = KindTaskwait
+	default:
+		return nil, p.errf("unknown directive %q", name)
+	}
+
+	for !p.eof() {
+		// Optional comma separators between clauses (Figure 5 allows both).
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		cname := p.ident()
+		if cname == "" {
+			return nil, p.errf("expected clause name")
+		}
+		ck, ok := clauseByName[cname]
+		if !ok {
+			return nil, p.errf("unknown clause %q", cname)
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		if args == nil && ck.takesArgs() {
+			return nil, p.errf("clause %q requires arguments", cname)
+		}
+		if args != nil && !ck.takesArgs() {
+			return nil, p.errf("clause %q takes no arguments", cname)
+		}
+		d.Clauses = append(d.Clauses, Clause{Kind: ck, Args: args})
+	}
+	return d, nil
+}

@@ -1,0 +1,126 @@
+package evaluation
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpserver"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// EvalBConfig parameterizes one Evaluation B run (one point of Figure 9:
+// one server organization, one worker-thread count, ± per-request
+// parallelization).
+type EvalBConfig struct {
+	// Mode is the server organization (Jetty or Pyjama).
+	Mode httpserver.Mode
+	// Workers is the concurrency worker thread count (Figure 9 x-axis).
+	Workers int
+	// OMPThreads > 1 parallelizes each request's kernel ("//omp parallel"
+	// per event).
+	OMPThreads int
+	// KernelBytes is the encryption payload per request.
+	KernelBytes int
+	// Users and RequestsPerUser shape the closed-loop load (paper: 100
+	// virtual users, constant requests each).
+	Users           int
+	RequestsPerUser int
+}
+
+func (c *EvalBConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.KernelBytes <= 0 {
+		c.KernelBytes = 64 * 1024
+	}
+	if c.Users <= 0 {
+		c.Users = 100
+	}
+	if c.RequestsPerUser <= 0 {
+		c.RequestsPerUser = 2
+	}
+}
+
+// EvalBResult is one throughput measurement.
+type EvalBResult struct {
+	Config     EvalBConfig
+	Throughput float64 // responses per second
+	Served     int64
+	Failed     int64
+	Wall       time.Duration
+	// Latency summarizes per-request response times as seen by the virtual
+	// users (an extension beyond the paper's throughput-only Figure 9).
+	Latency metrics.Summary
+}
+
+// Label renders the series name the paper uses ("jetty", "pyjama",
+// "jetty+omp", "pyjama+omp").
+func (r EvalBResult) Label() string {
+	l := r.Config.Mode.String()
+	if r.Config.OMPThreads > 1 {
+		l += "+omp"
+	}
+	return l
+}
+
+// RunEvalB starts a server with the given configuration, drives it with the
+// virtual-user pool, and reports achieved throughput.
+func RunEvalB(cfg EvalBConfig) (*EvalBResult, error) {
+	cfg.fill()
+	srv := httpserver.New(httpserver.Config{
+		Mode:        cfg.Mode,
+		Workers:     cfg.Workers,
+		OMPThreads:  cfg.OMPThreads,
+		KernelBytes: cfg.KernelBytes,
+	})
+	base, err := srv.Start()
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Stop()
+	client := httpserver.NewClient(base)
+
+	var failed atomic.Int64
+	latency := metrics.NewHistogram()
+	users := &workload.VirtualUsers{Users: cfg.Users, RequestsPerUser: cfg.RequestsPerUser}
+	wall := users.Run(func(u, r int) {
+		t0 := time.Now()
+		if _, err := client.Encrypt(0); err != nil {
+			failed.Add(1)
+			return
+		}
+		latency.Observe(time.Since(t0))
+	})
+	served := srv.Served()
+	if served == 0 {
+		return nil, fmt.Errorf("evaluation: no requests served")
+	}
+	return &EvalBResult{
+		Config:     cfg,
+		Throughput: workload.MeanRate(int(served), wall),
+		Served:     served,
+		Failed:     failed.Load(),
+		Wall:       wall,
+		Latency:    latency.Summarize(),
+	}, nil
+}
+
+// Figure9Series runs the worker-thread sweep for one series configuration
+// and returns results in sweep order.
+func Figure9Series(mode httpserver.Mode, ompThreads int, workers []int, kernelBytes, users, reqsPerUser int) ([]*EvalBResult, error) {
+	var out []*EvalBResult
+	for _, w := range workers {
+		res, err := RunEvalB(EvalBConfig{
+			Mode: mode, Workers: w, OMPThreads: ompThreads,
+			KernelBytes: kernelBytes, Users: users, RequestsPerUser: reqsPerUser,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package evaluation
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gid"
+	"repro/internal/gui"
+	"repro/internal/metrics"
+)
+
+// Figure1Config parameterizes the Figure 1 illustration: a burst of events
+// with fixed-cost handlers, processed single-threaded (panel i) or with
+// offloading to background threads (panel ii).
+type Figure1Config struct {
+	// Events is the number of requests fired back to back.
+	Events int
+	// HandlerCost is the busy time each event's handling needs.
+	HandlerCost time.Duration
+	// Multithreaded selects panel (ii): handlers offload to a worker pool.
+	Multithreaded bool
+	// Workers sizes the pool for panel (ii).
+	Workers int
+}
+
+func (c *Figure1Config) fill() {
+	if c.Events <= 0 {
+		c.Events = 3
+	}
+	if c.HandlerCost <= 0 {
+		c.HandlerCost = 20 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Events
+	}
+}
+
+// busyFor spins for d (sleep would under-represent EDT occupancy: a
+// sleeping EDT still cannot dispatch).
+func busyFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// RunFigure1 fires the burst and returns per-event records. In
+// single-threaded mode the k-th event waits behind k-1 full handler
+// executions (the unresponsiveness of Figure 1(i)); in multithreaded mode
+// queue delays stay near zero because the EDT only posts work.
+func RunFigure1(cfg Figure1Config) ([]metrics.ResponseRecord, error) {
+	cfg.fill()
+	reg := &gid.Registry{}
+	tk := gui.NewToolkit(reg)
+	defer tk.Dispose()
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	if err := rt.RegisterEDT("edt", tk.EDT()); err != nil {
+		return nil, err
+	}
+	if _, err := rt.CreateWorker("worker", cfg.Workers); err != nil {
+		return nil, err
+	}
+
+	collector := metrics.NewCollector()
+	done := make(chan struct{}, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		i := i
+		fired := time.Now()
+		tk.EDT().Post(func() {
+			rec := &metrics.ResponseRecord{Seq: i, Fired: fired, DispatchStart: time.Now()}
+			// Two-phase join: publish only after both the handler returned
+			// and the (possibly offloaded) work completed.
+			var parts atomic.Int32
+			maybeRecord := func() {
+				if parts.Add(1) == 2 {
+					collector.Record(*rec)
+					done <- struct{}{}
+				}
+			}
+			finish := func() {
+				rec.Completed = time.Now()
+				maybeRecord()
+			}
+			if cfg.Multithreaded {
+				rt.Invoke("worker", core.Nowait, func() {
+					busyFor(cfg.HandlerCost)
+					finish()
+				})
+			} else {
+				busyFor(cfg.HandlerCost)
+				finish()
+			}
+			rec.HandlerDone = time.Now()
+			maybeRecord()
+		})
+	}
+	for n := 0; n < cfg.Events; n++ {
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+			return nil, fmt.Errorf("evaluation: figure 1 run stalled")
+		}
+	}
+	return collector.Records(), nil
+}
+
+// RenderTimeline draws the records as the paper's Figure 1 timeline: one
+// row per event, '.' while queued, '#' while handling.
+func RenderTimeline(records []metrics.ResponseRecord, cols int) string {
+	if len(records) == 0 {
+		return ""
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	start := records[0].Fired
+	end := records[0].Completed
+	for _, r := range records {
+		if r.Fired.Before(start) {
+			start = r.Fired
+		}
+		if r.Completed.After(end) {
+			end = r.Completed
+		}
+	}
+	span := end.Sub(start)
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	at := func(ts time.Time) int {
+		c := int(float64(ts.Sub(start)) / float64(span) * float64(cols-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for _, r := range records {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for c := at(r.Fired); c < at(r.DispatchStart); c++ {
+			row[c] = '.'
+		}
+		for c := at(r.DispatchStart); c <= at(r.Completed); c++ {
+			row[c] = '#'
+		}
+		fmt.Fprintf(&b, "request%-2d |%s|\n", r.Seq+1, row)
+	}
+	fmt.Fprintf(&b, "%10s 0%*s\n", "", cols, span.Round(time.Millisecond).String())
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package evaluation
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestFigure1SingleThreadedQueuesEvents(t *testing.T) {
+	recs, err := RunFigure1(Figure1Config{Events: 3, HandlerCost: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Figure 1(i): the k-th request waits behind k-1 handler executions.
+	for k, r := range recs {
+		wantMin := time.Duration(k) * 8 * time.Millisecond // tolerate timer slack
+		if r.QueueDelay() < wantMin {
+			t.Fatalf("request %d queue delay %v, want >= %v (no queuing observed)",
+				k+1, r.QueueDelay(), wantMin)
+		}
+	}
+}
+
+func TestFigure1MultithreadedStaysResponsive(t *testing.T) {
+	recs, err := RunFigure1(Figure1Config{
+		Events: 3, HandlerCost: 10 * time.Millisecond, Multithreaded: true, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1(ii): queue delays stay below one handler cost — the EDT only
+	// posts work, it never executes a handler before dispatching the next
+	// event. (The single-threaded run above shows delays of k-1 handler
+	// costs; the span itself is not asserted because wall-clock overlap is
+	// at the mercy of CI machine load.)
+	for k, r := range recs {
+		if r.QueueDelay() > 10*time.Millisecond {
+			t.Fatalf("request %d queue delay %v in multithreaded mode", k+1, r.QueueDelay())
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	base := time.Unix(0, 0)
+	recs := []metrics.ResponseRecord{
+		{Seq: 0, Fired: base, DispatchStart: base, HandlerDone: base.Add(10 * time.Millisecond), Completed: base.Add(10 * time.Millisecond)},
+		{Seq: 1, Fired: base, DispatchStart: base.Add(10 * time.Millisecond), HandlerDone: base.Add(20 * time.Millisecond), Completed: base.Add(20 * time.Millisecond)},
+	}
+	out := RenderTimeline(recs, 40)
+	if !strings.Contains(out, "request1") || !strings.Contains(out, "request2") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no queued period rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no handling period rendered:\n%s", out)
+	}
+	if RenderTimeline(nil, 40) != "" {
+		t.Fatal("empty records should render empty")
+	}
+}

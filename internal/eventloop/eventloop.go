@@ -1,0 +1,337 @@
+// Package eventloop implements the event-dispatch thread (EDT) of an
+// event-driven application: a single goroutine draining a FIFO event queue,
+// exactly the structure Section II of the paper describes ("execution of an
+// event-driven application is achieved by an infinite loop with associated
+// event listeners").
+//
+// The Loop doubles as a virtual-target executor for the core runtime: it is
+// the realization of virtual_target_register_edt (Table II). Its distinctive
+// capability is *re-entrant pumping* — from inside a handler the EDT can keep
+// dispatching further events (PumpUntil), which is how the paper implements
+// the await logical barrier on the EDT ("the current experimental version of
+// Pyjama achieves this by slightly modifying the event queue dispatching
+// mechanism in the Java AWT runtime library").
+package eventloop
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/gid"
+)
+
+// ErrNotOnEDT is returned by operations that are confined to the loop's own
+// goroutine when invoked from elsewhere.
+var ErrNotOnEDT = errors.New("eventloop: not on the event-dispatch goroutine")
+
+// ErrOnEDT is returned by InvokeAndWait when called from the EDT itself
+// (mirroring Swing, where invokeAndWait from the EDT is an error because it
+// would deadlock the queue).
+var ErrOnEDT = errors.New("eventloop: InvokeAndWait called on the event-dispatch goroutine")
+
+// DispatchInfo describes one dispatched event, for instrumentation.
+type DispatchInfo struct {
+	// Label is the label given at Post time ("" for unlabeled events).
+	Label string
+	// Enqueued is when the event entered the queue (fired).
+	Enqueued time.Time
+	// Start is when the EDT began running the handler.
+	Start time.Time
+	// End is when the handler returned.
+	End time.Time
+	// Err is the handler's captured panic, if any.
+	Err error
+}
+
+// QueueDelay returns how long the event waited in the queue.
+func (d DispatchInfo) QueueDelay() time.Duration { return d.Start.Sub(d.Enqueued) }
+
+// Duration returns how long the handler occupied the EDT.
+func (d DispatchInfo) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+type item struct {
+	fn       func()
+	complete func(error)
+	enqueued time.Time
+	label    string
+}
+
+// Loop is a single-goroutine event dispatcher. Create with New, then Start.
+type Loop struct {
+	name     string
+	registry *gid.Registry
+
+	mu     sync.Mutex
+	queue  []*item
+	closed bool
+
+	notify chan struct{} // cap-1 wakeup
+	stopCh chan struct{}
+	ready  chan struct{}
+	wg     sync.WaitGroup
+
+	observer   atomic.Pointer[func(DispatchInfo)]
+	onPanic    atomic.Pointer[func(any)]
+	dispatched atomic.Int64
+	peak       atomic.Int64
+	depth      atomic.Int32 // dispatch nesting depth (1 = top level, >1 = pumping)
+}
+
+// New creates a Loop named name whose dispatch goroutine registers itself in
+// reg (nil means gid.Default). The loop is not running until Start.
+func New(name string, reg *gid.Registry) *Loop {
+	if reg == nil {
+		reg = &gid.Default
+	}
+	return &Loop{
+		name:     name,
+		registry: reg,
+		notify:   make(chan struct{}, 1),
+		stopCh:   make(chan struct{}),
+		ready:    make(chan struct{}),
+	}
+}
+
+// Start launches the event-dispatch goroutine and returns once it is
+// registered (so Owns answers correctly immediately after Start).
+func (l *Loop) Start() {
+	l.wg.Add(1)
+	go l.run()
+	<-l.ready
+}
+
+func (l *Loop) run() {
+	defer l.wg.Done()
+	l.registry.Register(l)
+	defer l.registry.Deregister()
+	close(l.ready)
+	for {
+		it, ok := l.next()
+		if !ok {
+			// Stop requested: drain whatever is already queued, then exit.
+			for l.runOne() {
+			}
+			return
+		}
+		l.dispatch(it)
+	}
+}
+
+// next blocks until an event is available (returning it) or stop is
+// requested with an empty queue (returning false).
+func (l *Loop) next() (*item, bool) {
+	for {
+		l.mu.Lock()
+		if len(l.queue) > 0 {
+			it := l.queue[0]
+			l.queue = l.queue[1:]
+			l.mu.Unlock()
+			return it, true
+		}
+		l.mu.Unlock()
+		select {
+		case <-l.notify:
+		case <-l.stopCh:
+			return nil, false
+		}
+	}
+}
+
+func (l *Loop) dispatch(it *item) {
+	start := time.Now()
+	l.depth.Add(1)
+	err := executor.RunCaptured(it.fn)
+	l.depth.Add(-1)
+	end := time.Now()
+	if err != nil {
+		var pe *executor.PanicError
+		if errors.As(err, &pe) {
+			if h := l.onPanic.Load(); h != nil {
+				(*h)(pe.Value)
+			}
+		}
+	}
+	it.complete(err)
+	l.dispatched.Add(1)
+	if obs := l.observer.Load(); obs != nil {
+		(*obs)(DispatchInfo{Label: it.label, Enqueued: it.enqueued, Start: start, End: end, Err: err})
+	}
+}
+
+// runOne pops and dispatches a single queued event, reporting whether one
+// was found. Must run on the dispatch goroutine.
+func (l *Loop) runOne() bool {
+	l.mu.Lock()
+	if len(l.queue) == 0 {
+		l.mu.Unlock()
+		return false
+	}
+	it := l.queue[0]
+	l.queue = l.queue[1:]
+	l.mu.Unlock()
+	l.dispatch(it)
+	return true
+}
+
+// Name returns the loop's virtual-target name.
+func (l *Loop) Name() string { return l.name }
+
+// Post enqueues fn as an event. Safe from any goroutine.
+func (l *Loop) Post(fn func()) *executor.Completion { return l.PostLabeled("", fn) }
+
+// PostLabeled enqueues fn with a label used in DispatchInfo instrumentation.
+func (l *Loop) PostLabeled(label string, fn func()) *executor.Completion {
+	comp, complete := executor.NewPendingCompletion()
+	it := &item{fn: fn, complete: complete, enqueued: time.Now(), label: label}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		complete(executor.ErrShutdown)
+		return comp
+	}
+	l.queue = append(l.queue, it)
+	if n := int64(len(l.queue)); n > l.peak.Load() {
+		l.peak.Store(n)
+	}
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	return comp
+}
+
+// PostDelayed enqueues fn after delay d (like javax.swing.Timer one-shots).
+// The returned Completion finishes when the handler has run.
+func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
+	comp, complete := executor.NewPendingCompletion()
+	time.AfterFunc(d, func() {
+		inner := l.Post(fn)
+		go func() { complete(inner.Wait()) }()
+	})
+	return comp
+}
+
+// InvokeAndWait posts fn and blocks until it has been dispatched, returning
+// the handler's error. Calling it from the EDT returns ErrOnEDT (Swing
+// semantics: it would deadlock the queue).
+func (l *Loop) InvokeAndWait(fn func()) error {
+	if l.Owns() {
+		return ErrOnEDT
+	}
+	return l.Post(fn).Wait()
+}
+
+// Owns reports whether the calling goroutine is the dispatch goroutine.
+func (l *Loop) Owns() bool { return l.registry.IsOwnedBy(l) }
+
+// TryRunPending dispatches one queued event on the calling goroutine if one
+// is pending. It refuses to run events off the dispatch goroutine — thread
+// confinement is the whole point of an EDT — so from any other goroutine it
+// reports false without touching the queue.
+func (l *Loop) TryRunPending() bool {
+	if !l.Owns() {
+		return false
+	}
+	return l.runOne()
+}
+
+// WaitPending blocks until an event is queued or cancel fires, reporting
+// whether pending work may be available (see executor.WorkerPool.WaitPending
+// for the contract).
+func (l *Loop) WaitPending(cancel <-chan struct{}) bool {
+	l.mu.Lock()
+	n := len(l.queue)
+	l.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	select {
+	case <-l.notify:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// PumpUntil keeps dispatching queued events until done fires. It must be
+// called from within a handler on the dispatch goroutine (this is the
+// re-entrant "modified event queue dispatching" of Section IV.B); from any
+// other goroutine it returns ErrNotOnEDT immediately.
+func (l *Loop) PumpUntil(done <-chan struct{}) error {
+	if !l.Owns() {
+		return ErrNotOnEDT
+	}
+	for {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if l.runOne() {
+			continue
+		}
+		select {
+		case <-done:
+			return nil
+		case <-l.notify:
+		case <-l.stopCh:
+			return executor.ErrShutdown
+		}
+	}
+}
+
+// Depth returns the current dispatch nesting depth on the EDT: 0 when idle,
+// 1 inside a normal handler, >1 while pumping inside an awaited block.
+func (l *Loop) Depth() int { return int(l.depth.Load()) }
+
+// Len returns the number of queued (not yet dispatched) events.
+func (l *Loop) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Dispatched returns the total number of events dispatched so far.
+func (l *Loop) Dispatched() int64 { return l.dispatched.Load() }
+
+// QueuePeak returns the high watermark of the queue length.
+func (l *Loop) QueuePeak() int64 { return l.peak.Load() }
+
+// SetObserver installs fn to be called after every dispatched event.
+func (l *Loop) SetObserver(fn func(DispatchInfo)) {
+	if fn == nil {
+		l.observer.Store(nil)
+		return
+	}
+	l.observer.Store(&fn)
+}
+
+// SetPanicHandler installs fn to be called with recovered handler panics.
+func (l *Loop) SetPanicHandler(fn func(any)) {
+	if fn == nil {
+		l.onPanic.Store(nil)
+		return
+	}
+	l.onPanic.Store(&fn)
+}
+
+// Stop rejects further posts, lets the loop drain already-queued events, and
+// joins the dispatch goroutine. Safe to call more than once.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.stopCh)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// Shutdown implements executor.Executor; it is Stop.
+func (l *Loop) Shutdown() { l.Stop() }
+
+var _ executor.Executor = (*Loop)(nil)

@@ -1,0 +1,302 @@
+package eventloop
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/gid"
+)
+
+func newLoop(t *testing.T) *Loop {
+	t.Helper()
+	var reg gid.Registry
+	l := New("edt", &reg)
+	l.Start()
+	t.Cleanup(l.Stop)
+	return l
+}
+
+func TestDispatchOrderFIFO(t *testing.T) {
+	l := newLoop(t)
+	var mu sync.Mutex
+	var order []int
+	var comps []*executor.Completion
+	for i := 0; i < 100; i++ {
+		i := i
+		comps = append(comps, l.Post(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}))
+	}
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events dispatched out of order: order[%d]=%d", i, v)
+		}
+	}
+	if got := l.Dispatched(); got != 100 {
+		t.Fatalf("Dispatched = %d", got)
+	}
+}
+
+func TestOwnsAndConfinement(t *testing.T) {
+	l := newLoop(t)
+	if l.Owns() {
+		t.Fatal("external goroutine must not own the loop")
+	}
+	c := l.Post(func() {
+		if !l.Owns() {
+			t.Error("handler must run on the dispatch goroutine")
+		}
+		if l.Depth() != 1 {
+			t.Errorf("Depth = %d inside handler, want 1", l.Depth())
+		}
+	})
+	c.Wait()
+	if l.Depth() != 0 {
+		t.Fatalf("Depth = %d when idle", l.Depth())
+	}
+}
+
+func TestTryRunPendingRefusedOffEDT(t *testing.T) {
+	l := newLoop(t)
+	// Block the EDT so an event stays queued.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	l.Post(func() { close(started); <-block })
+	<-started
+	l.Post(func() {})
+	if l.TryRunPending() {
+		t.Fatal("TryRunPending ran an event off the EDT — confinement broken")
+	}
+	close(block)
+}
+
+func TestPumpUntilDispatchesNestedEvents(t *testing.T) {
+	// The crux of the await mode: while a handler waits, the EDT keeps
+	// dispatching other events (Figure 1(ii) behaviour).
+	l := newLoop(t)
+	var got []string
+	var mu sync.Mutex
+	log := func(s string) { mu.Lock(); got = append(got, s); mu.Unlock() }
+
+	done := make(chan struct{})
+	outer := l.Post(func() {
+		log("outer-start")
+		if err := l.PumpUntil(done); err != nil {
+			t.Errorf("PumpUntil: %v", err)
+		}
+		log("outer-end")
+	})
+	// These events arrive while the outer handler is "awaiting"; they must
+	// be dispatched before outer-end.
+	c1 := l.Post(func() { log("inner-1") })
+	c2 := l.Post(func() { log("inner-2") })
+	c1.Wait()
+	c2.Wait()
+	close(done)
+	outer.Wait()
+
+	want := []string{"outer-start", "inner-1", "inner-2", "outer-end"}
+	if len(got) != len(want) {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("log = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPumpUntilOffEDT(t *testing.T) {
+	l := newLoop(t)
+	done := make(chan struct{})
+	close(done)
+	if err := l.PumpUntil(done); !errors.Is(err, ErrNotOnEDT) {
+		t.Fatalf("PumpUntil off EDT = %v, want ErrNotOnEDT", err)
+	}
+}
+
+func TestPumpDepth(t *testing.T) {
+	l := newLoop(t)
+	depths := make(chan int, 2)
+	done := make(chan struct{})
+	outer := l.Post(func() {
+		l.PumpUntil(done)
+	})
+	inner := l.Post(func() {
+		depths <- l.Depth()
+		close(done)
+	})
+	inner.Wait()
+	outer.Wait()
+	if d := <-depths; d != 2 {
+		t.Fatalf("nested dispatch depth = %d, want 2", d)
+	}
+}
+
+func TestInvokeAndWait(t *testing.T) {
+	l := newLoop(t)
+	ran := false
+	if err := l.InvokeAndWait(func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("InvokeAndWait did not run the function")
+	}
+	// From the EDT it must refuse (Swing semantics).
+	var inner error
+	l.InvokeAndWait(func() { inner = l.InvokeAndWait(func() {}) })
+	if !errors.Is(inner, ErrOnEDT) {
+		t.Fatalf("InvokeAndWait on EDT = %v, want ErrOnEDT", inner)
+	}
+}
+
+func TestPanicIsolatedAndReported(t *testing.T) {
+	l := newLoop(t)
+	var recovered atomic.Value
+	l.SetPanicHandler(func(v any) { recovered.Store(v) })
+	c := l.Post(func() { panic("handler bug") })
+	err := c.Wait()
+	var pe *executor.PanicError
+	if !errors.As(err, &pe) || pe.Value != "handler bug" {
+		t.Fatalf("err = %v", err)
+	}
+	if recovered.Load() != "handler bug" {
+		t.Fatalf("panic handler saw %v", recovered.Load())
+	}
+	// Loop must still be alive.
+	if err := l.Post(func() {}).Wait(); err != nil {
+		t.Fatalf("loop dead after handler panic: %v", err)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	l := newLoop(t)
+	infos := make(chan DispatchInfo, 1)
+	l.SetObserver(func(d DispatchInfo) {
+		select {
+		case infos <- d:
+		default:
+		}
+	})
+	l.PostLabeled("click", func() { time.Sleep(2 * time.Millisecond) }).Wait()
+	d := <-infos
+	if d.Label != "click" {
+		t.Fatalf("label = %q", d.Label)
+	}
+	if d.Duration() < 2*time.Millisecond {
+		t.Fatalf("Duration = %v, want >= 2ms", d.Duration())
+	}
+	if d.QueueDelay() < 0 {
+		t.Fatalf("QueueDelay = %v", d.QueueDelay())
+	}
+}
+
+func TestStopDrainsQueuedEvents(t *testing.T) {
+	var reg gid.Registry
+	l := New("edt", &reg)
+	l.Start()
+	var n atomic.Int64
+	var comps []*executor.Completion
+	for i := 0; i < 50; i++ {
+		comps = append(comps, l.Post(func() { n.Add(1) }))
+	}
+	l.Stop()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("Stop drained %d/50 events", got)
+	}
+	for _, c := range comps {
+		if !c.Finished() {
+			t.Fatal("event not finished after Stop")
+		}
+	}
+	if err := l.Post(func() {}).Wait(); !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("post after Stop: %v, want ErrShutdown", err)
+	}
+	l.Stop() // idempotent
+}
+
+func TestPostDelayed(t *testing.T) {
+	l := newLoop(t)
+	start := time.Now()
+	c := l.PostDelayed(10*time.Millisecond, func() {})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delayed post ran after %v, want >= 10ms", d)
+	}
+}
+
+func TestWaitPending(t *testing.T) {
+	l := newLoop(t)
+	// Pending already: returns true immediately.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	l.Post(func() { close(started); <-block })
+	<-started
+	l.Post(func() {})
+	cancel := make(chan struct{})
+	if !l.WaitPending(cancel) {
+		t.Fatal("WaitPending = false with a queued event")
+	}
+	close(block)
+	// Empty queue + cancel: returns false.
+	l.Post(func() {}).Wait()
+	// drain any stale notify token first
+	done := make(chan bool, 1)
+	c2 := make(chan struct{})
+	go func() { done <- l.WaitPending(c2) }()
+	time.Sleep(5 * time.Millisecond)
+	close(c2)
+	select {
+	case v := <-done:
+		_ = v // may be true from a stale token; both are acceptable hints
+	case <-time.After(time.Second):
+		t.Fatal("WaitPending did not return after cancel")
+	}
+}
+
+func TestQueuePeak(t *testing.T) {
+	l := newLoop(t)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	l.Post(func() { close(started); <-block })
+	<-started
+	var comps []*executor.Completion
+	for i := 0; i < 10; i++ {
+		comps = append(comps, l.Post(func() {}))
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	close(block)
+	for _, c := range comps {
+		c.Wait()
+	}
+	if l.QueuePeak() < 10 {
+		t.Fatalf("QueuePeak = %d, want >= 10", l.QueuePeak())
+	}
+}
+
+func BenchmarkPostDispatch(b *testing.B) {
+	var reg gid.Registry
+	l := New("edt", &reg)
+	l.Start()
+	defer l.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Post(func() {}).Wait()
+	}
+}

@@ -1,0 +1,46 @@
+package executor
+
+import "repro/internal/gid"
+
+// DirectExecutor runs every posted task synchronously on the calling
+// goroutine. It is the executor behind "directives ignored" mode: the
+// OpenMP philosophy requires that a program whose directives are disabled
+// retains its sequential correctness, and wiring every virtual target to a
+// DirectExecutor reproduces exactly that sequential execution.
+type DirectExecutor struct {
+	name string
+}
+
+// NewDirectExecutor returns a DirectExecutor with the given target name.
+func NewDirectExecutor(name string) *DirectExecutor { return &DirectExecutor{name: name} }
+
+// Name returns the target name.
+func (d *DirectExecutor) Name() string { return d.name }
+
+// Post runs fn immediately on the calling goroutine and returns a finished
+// Completion (capturing a panic, if any, like the asynchronous executors).
+func (d *DirectExecutor) Post(fn func()) *Completion {
+	c := newCompletion()
+	runTask(&task{fn: fn, comp: c}, nil)
+	return c
+}
+
+// Owns always reports true: with direct execution the calling goroutine is
+// by definition "inside" the target, so nested blocks are inlined too.
+func (d *DirectExecutor) Owns() bool { return true }
+
+// TryRunPending always reports false; a DirectExecutor has no queue.
+func (d *DirectExecutor) TryRunPending() bool { return false }
+
+// Shutdown is a no-op.
+func (d *DirectExecutor) Shutdown() {}
+
+var _ Executor = (*DirectExecutor)(nil)
+
+// NewSerialExecutor returns a single-worker pool: a virtual target whose
+// thread group is exactly one thread, guaranteeing FIFO execution of posted
+// tasks. This is the general-purpose form of thread confinement; the GUI
+// event-dispatch thread in package eventloop is a richer special case.
+func NewSerialExecutor(name string, reg *gid.Registry) *WorkerPool {
+	return NewWorkerPool(name, 1, reg)
+}

@@ -1,0 +1,505 @@
+// Package executor provides the thread-pool machinery underneath the
+// virtual-target runtime: task submission with completion tracking, a
+// fixed-size worker pool (the paper's "worker virtual target"), a serial
+// executor, and the help-first scheduling hook (TryRunPending) that
+// implements Algorithm 1's logical barrier — "process another runnable task
+// in Pyjama's task queue" while an awaited target block is in flight.
+//
+// All executors in this package register their worker goroutines in a
+// gid.Registry so the core runtime can answer the thread-context-awareness
+// question "is the encountering thread already a member of this virtual
+// target's thread group?" (Algorithm 1, line 6).
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gid"
+)
+
+// ErrShutdown is returned (via Completion.Err) for tasks submitted to an
+// executor that has been shut down.
+var ErrShutdown = errors.New("executor: shut down")
+
+// PanicError wraps a panic value recovered from a task body. Handler panics
+// must never kill an executor's workers (a crashed EDT would freeze the
+// whole application), so they are captured here instead.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("executor: task panicked: %v", e.Value) }
+
+// Completion tracks the lifecycle of one submitted task. It is created by
+// Post and completed exactly once, either when the task body returns or when
+// the executor rejects it.
+type Completion struct {
+	done chan struct{}
+	err  atomic.Pointer[error]
+}
+
+func newCompletion() *Completion {
+	return &Completion{done: make(chan struct{})}
+}
+
+// NewCompletedCompletion returns an already-finished Completion with the
+// given error (nil for success). Used for synchronously executed blocks.
+func NewCompletedCompletion(err error) *Completion {
+	c := newCompletion()
+	c.complete(err)
+	return c
+}
+
+// NewPendingCompletion returns an unfinished Completion together with the
+// function that completes it (callable exactly once). Other executor
+// implementations — the event loop in package eventloop — use this to
+// participate in the same completion protocol as WorkerPool.
+func NewPendingCompletion() (*Completion, func(error)) {
+	c := newCompletion()
+	return c, c.complete
+}
+
+// RunCaptured invokes fn, converting a panic into a *PanicError. It is the
+// panic-isolation wrapper shared by every executor: a handler crash must
+// never take down the dispatching goroutine.
+func RunCaptured(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (c *Completion) complete(err error) {
+	if err != nil {
+		c.err.Store(&err)
+	}
+	close(c.done)
+}
+
+// Done returns a channel closed when the task has finished (or was rejected).
+func (c *Completion) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the task has finished and returns its error, if any.
+func (c *Completion) Wait() error {
+	<-c.done
+	return c.Err()
+}
+
+// Finished reports whether the task has completed without blocking.
+func (c *Completion) Finished() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the task's terminal error: nil on success, a *PanicError if the
+// body panicked, or ErrShutdown if it was rejected. Err returns nil while the
+// task is still running.
+func (c *Completion) Err() error {
+	p := c.err.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// Executor is the common surface of the virtual-target execution engines.
+type Executor interface {
+	// Name returns the virtual target name this executor is registered as.
+	Name() string
+	// Post submits fn for asynchronous execution and returns its Completion.
+	// Post never blocks on the task itself (it may briefly contend on the
+	// queue lock).
+	Post(fn func()) *Completion
+	// Owns reports whether the calling goroutine is a member of this
+	// executor's thread group (Algorithm 1 line 6).
+	Owns() bool
+	// TryRunPending pops one pending task from this executor's queue and
+	// runs it on the calling goroutine, returning true if a task was run.
+	// This is the help-first primitive behind the await logical barrier.
+	TryRunPending() bool
+	// Shutdown stops the executor. Pending tasks are completed; tasks
+	// submitted after Shutdown are rejected with ErrShutdown.
+	Shutdown()
+}
+
+// Stats is a point-in-time snapshot of an executor's counters.
+type Stats struct {
+	Submitted  int64 // tasks accepted by Post
+	Completed  int64 // task bodies that finished (including panics)
+	Rejected   int64 // tasks rejected (shutdown / full bounded queue)
+	Helped     int64 // tasks run via TryRunPending rather than a worker
+	QueuePeak  int64 // high watermark of queue length
+	QueueDepth int64 // current queue length
+}
+
+// task lifecycle states (see task.state).
+const (
+	taskQueued int32 = iota
+	taskRunning
+	taskCancelled
+)
+
+type task struct {
+	fn    func()
+	comp  *Completion
+	state atomic.Int32 // taskQueued -> taskRunning | taskCancelled
+}
+
+// runTask executes t.fn with panic capture and completes t.comp, reporting
+// whether the body ran. A task whose cancellation won the race is skipped
+// (its completion was already finished by the canceller).
+func runTask(t *task, onPanic func(any)) bool {
+	if !t.state.CompareAndSwap(taskQueued, taskRunning) {
+		return false // cancelled while queued
+	}
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r}
+				if onPanic != nil {
+					onPanic(r)
+				}
+			}
+		}()
+		t.fn()
+	}()
+	t.comp.complete(err)
+	return true
+}
+
+// WorkerPool is a fixed-size thread-pool executor: the realization of the
+// paper's worker virtual target created by virtual_target_create_worker
+// (Table II). Worker goroutines live for the pool's lifetime, mirroring
+// "a virtual target is essentially a thread pool executor, and its lifecycle
+// lasts throughout the program".
+type WorkerPool struct {
+	name     string
+	registry *gid.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*task
+	capacity int // 0 = unbounded
+	shutdown bool
+	notify   chan struct{} // cap-1 wakeup for WaitPending
+
+	wg      sync.WaitGroup
+	onPanic func(any)
+
+	nworkers int // guarded by mu (Grow/Shrink mutate it)
+	shrink   int // pending worker-exit credits, guarded by mu
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	helped    atomic.Int64
+	peak      atomic.Int64
+}
+
+// NewWorkerPool creates and starts a pool named name with n worker
+// goroutines registered in reg (nil means gid.Default). n < 1 is clamped
+// to 1, matching Pyjama's requirement that a worker target has at least one
+// thread.
+func NewWorkerPool(name string, n int, reg *gid.Registry) *WorkerPool {
+	return NewBoundedWorkerPool(name, n, 0, reg)
+}
+
+// NewBoundedWorkerPool is NewWorkerPool with a queue capacity; Post on a full
+// queue rejects the task (capacity 0 = unbounded). Bounded pools are an
+// extension beyond the paper used by the saturation/failure-injection tests.
+func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	if reg == nil {
+		reg = &gid.Default
+	}
+	p := &WorkerPool{name: name, registry: reg, capacity: capacity, nworkers: n,
+		notify: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	started := make(chan struct{})
+	var startOnce sync.Once
+	var startedCount atomic.Int64
+	total := int64(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			p.registry.Register(p)
+			defer p.registry.Deregister()
+			if startedCount.Add(1) == total {
+				startOnce.Do(func() { close(started) })
+			}
+			p.workerLoop()
+		}()
+	}
+	<-started // all workers registered before the pool is visible
+	return p
+}
+
+// Name returns the pool's virtual-target name.
+func (p *WorkerPool) Name() string { return p.name }
+
+// SetPanicHandler installs fn to be called with the recovered value whenever
+// a task body panics (in addition to the panic being captured in the task's
+// Completion). Must be called before tasks that may panic are submitted.
+func (p *WorkerPool) SetPanicHandler(fn func(any)) {
+	p.mu.Lock()
+	p.onPanic = fn
+	p.mu.Unlock()
+}
+
+func (p *WorkerPool) workerLoop() {
+	for {
+		p.mu.Lock()
+		for {
+			if p.shrink > 0 {
+				// A Shrink credit retires this worker.
+				p.shrink--
+				p.nworkers--
+				p.mu.Unlock()
+				return
+			}
+			if len(p.queue) > 0 || p.shutdown {
+				break
+			}
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.shutdown {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		onPanic := p.onPanic
+		p.mu.Unlock()
+		if runTask(t, onPanic) {
+			p.completed.Add(1)
+		}
+	}
+}
+
+// Post submits fn for execution by the pool.
+func (p *WorkerPool) Post(fn func()) *Completion {
+	c := newCompletion()
+	t := &task{fn: fn, comp: c}
+	p.mu.Lock()
+	if p.shutdown || (p.capacity > 0 && len(p.queue) >= p.capacity) {
+		full := !p.shutdown
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		if full {
+			c.complete(ErrQueueFull)
+		} else {
+			c.complete(ErrShutdown)
+		}
+		return c
+	}
+	p.queue = append(p.queue, t)
+	if n := int64(len(p.queue)); n > p.peak.Load() {
+		p.peak.Store(n)
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	p.submitted.Add(1)
+	return c
+}
+
+// WaitPending blocks until the pool has at least one queued task or cancel
+// fires, reporting whether pending work may be available. A true return is a
+// hint, not a reservation — the caller should follow with TryRunPending and
+// be prepared for it to find nothing (a worker may have taken the task).
+// The await logical barrier alternates TryRunPending / WaitPending so a
+// blocked encountering thread sleeps instead of spinning.
+func (p *WorkerPool) WaitPending(cancel <-chan struct{}) bool {
+	p.mu.Lock()
+	n := len(p.queue)
+	p.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	select {
+	case <-p.notify:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// ErrQueueFull is returned for tasks rejected by a bounded pool whose queue
+// is at capacity.
+var ErrQueueFull = errors.New("executor: queue full")
+
+// Owns reports whether the calling goroutine is one of the pool's workers
+// (or is currently inlined inside one of its tasks).
+func (p *WorkerPool) Owns() bool { return p.registry.IsOwnedBy(p) }
+
+// TryRunPending pops one queued task and runs it on the calling goroutine.
+// The paper's await barrier uses this so a worker waiting on a nested target
+// block keeps draining the pool's queue instead of idling.
+func (p *WorkerPool) TryRunPending() bool {
+	p.mu.Lock()
+	if len(p.queue) == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	t := p.queue[0]
+	p.queue = p.queue[1:]
+	onPanic := p.onPanic
+	p.mu.Unlock()
+	if runTask(t, onPanic) {
+		p.completed.Add(1)
+		p.helped.Add(1)
+		return true
+	}
+	return false
+}
+
+// Shutdown stops accepting tasks, drains the queue, and joins all workers.
+func (p *WorkerPool) Shutdown() {
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.shutdown = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Workers returns the current number of worker goroutines (Grow and Shrink
+// change it at runtime; retiring workers are counted until they actually
+// exit).
+func (p *WorkerPool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nworkers
+}
+
+// Grow adds n worker goroutines to the pool — virtual targets "define
+// their scale", and an application may widen a worker target when load
+// demands it. No-op for n <= 0 or after Shutdown.
+func (p *WorkerPool) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		return
+	}
+	p.nworkers += n
+	p.mu.Unlock()
+	p.wg.Add(n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			p.registry.Register(p)
+			defer p.registry.Deregister()
+			started <- struct{}{}
+			p.workerLoop()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+}
+
+// Shrink retires up to n workers once they become idle (a busy worker
+// finishes its current task first). The pool never drops below one worker.
+// It returns the number of retirements actually scheduled.
+func (p *WorkerPool) Shrink(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.shutdown {
+		return 0
+	}
+	avail := p.nworkers - p.shrink - 1
+	if n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		return 0
+	}
+	p.shrink += n
+	p.cond.Broadcast()
+	return n
+}
+
+// ErrCanceled is the terminal error of a task cancelled before it started.
+var ErrCanceled = errors.New("executor: task canceled")
+
+// PostCancellable submits fn like Post and additionally returns a cancel
+// function. Cancel returns true if it won the race — the task had not
+// started and will never run (its Completion finishes with ErrCanceled) —
+// and false if the task already started or finished.
+func (p *WorkerPool) PostCancellable(fn func()) (*Completion, func() bool) {
+	c := newCompletion()
+	t := &task{fn: fn, comp: c}
+	p.mu.Lock()
+	if p.shutdown || (p.capacity > 0 && len(p.queue) >= p.capacity) {
+		full := !p.shutdown
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		if full {
+			c.complete(ErrQueueFull)
+		} else {
+			c.complete(ErrShutdown)
+		}
+		return c, func() bool { return false }
+	}
+	p.queue = append(p.queue, t)
+	p.cond.Signal()
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	p.submitted.Add(1)
+	cancel := func() bool {
+		if !t.state.CompareAndSwap(taskQueued, taskCancelled) {
+			return false
+		}
+		c.complete(ErrCanceled)
+		return true
+	}
+	return c, cancel
+}
+
+var _ Executor = (*WorkerPool)(nil)
+
+// Stats returns a snapshot of the pool's counters.
+func (p *WorkerPool) Stats() Stats {
+	p.mu.Lock()
+	depth := int64(len(p.queue))
+	p.mu.Unlock()
+	return Stats{
+		Submitted:  p.submitted.Load(),
+		Completed:  p.completed.Load(),
+		Rejected:   p.rejected.Load(),
+		Helped:     p.helped.Load(),
+		QueuePeak:  p.peak.Load(),
+		QueueDepth: depth,
+	}
+}

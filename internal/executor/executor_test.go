@@ -1,0 +1,329 @@
+package executor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gid"
+)
+
+func TestWorkerPoolRunsTasks(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 4, &reg)
+	defer p.Shutdown()
+	var n atomic.Int64
+	var comps []*Completion
+	for i := 0; i < 100; i++ {
+		comps = append(comps, p.Post(func() { n.Add(1) }))
+	}
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("task error: %v", err)
+		}
+	}
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+}
+
+func TestWorkerPoolSingleWorkerFIFO(t *testing.T) {
+	// A 1-worker pool (a serial executor) must run tasks in submission
+	// order — the thread-confinement guarantee GUI toolkits rely on.
+	var reg gid.Registry
+	p := NewSerialExecutor("edt", &reg)
+	defer p.Shutdown()
+	var mu sync.Mutex
+	var order []int
+	var comps []*Completion
+	for i := 0; i < 200; i++ {
+		i := i
+		comps = append(comps, p.Post(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}))
+	}
+	for _, c := range comps {
+		c.Wait()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; serial pool broke FIFO", i, v)
+		}
+	}
+}
+
+func TestOwnsInsideAndOutside(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 2, &reg)
+	defer p.Shutdown()
+	if p.Owns() {
+		t.Fatal("external goroutine should not be owned by the pool")
+	}
+	c := p.Post(func() {
+		if !p.Owns() {
+			t.Error("worker goroutine should report Owns()=true")
+		}
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnsDistinguishesPools(t *testing.T) {
+	var reg gid.Registry
+	a := NewWorkerPool("a", 1, &reg)
+	b := NewWorkerPool("b", 1, &reg)
+	defer a.Shutdown()
+	defer b.Shutdown()
+	c := a.Post(func() {
+		if b.Owns() {
+			t.Error("goroutine of pool a reported as member of pool b")
+		}
+		if !a.Owns() {
+			t.Error("goroutine of pool a not a member of pool a")
+		}
+	})
+	c.Wait()
+}
+
+func TestPanicCaptured(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 1, &reg)
+	defer p.Shutdown()
+	var recovered atomic.Value
+	p.SetPanicHandler(func(v any) { recovered.Store(v) })
+	c := p.Post(func() { panic("boom") })
+	err := c.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("Wait() = %v, want PanicError(boom)", err)
+	}
+	if recovered.Load() != "boom" {
+		t.Fatalf("panic handler got %v", recovered.Load())
+	}
+	// The pool must survive the panic and keep executing tasks.
+	c2 := p.Post(func() {})
+	if err := c2.Wait(); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}
+
+func TestShutdownDrainsQueueAndRejectsNew(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 1, &reg)
+	var n atomic.Int64
+	var comps []*Completion
+	for i := 0; i < 50; i++ {
+		comps = append(comps, p.Post(func() {
+			time.Sleep(100 * time.Microsecond)
+			n.Add(1)
+		}))
+	}
+	p.Shutdown()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("Shutdown drained only %d/50 tasks", got)
+	}
+	for _, c := range comps {
+		if !c.Finished() {
+			t.Fatal("task not finished after Shutdown")
+		}
+	}
+	c := p.Post(func() { n.Add(1) })
+	if err := c.Wait(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post after shutdown: err = %v, want ErrShutdown", err)
+	}
+	if n.Load() != 50 {
+		t.Fatal("task ran after shutdown")
+	}
+	// Second Shutdown is a no-op.
+	p.Shutdown()
+}
+
+func TestBoundedPoolRejectsWhenFull(t *testing.T) {
+	var reg gid.Registry
+	p := NewBoundedWorkerPool("bounded", 1, 2, &reg)
+	defer p.Shutdown()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-block }) // occupies the worker
+	<-started
+	c1 := p.Post(func() {}) // queue slot 1
+	c2 := p.Post(func() {}) // queue slot 2
+	c3 := p.Post(func() {}) // must be rejected
+	if err := c3.Err(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow task err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	if err := c1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestTryRunPending(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 1, &reg)
+	defer p.Shutdown()
+	// Occupy the only worker so queued tasks stay pending.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-block })
+	<-started
+	var n atomic.Int64
+	c := p.Post(func() { n.Add(1) })
+	// Help-run the pending task from this (external) goroutine.
+	if !p.TryRunPending() {
+		t.Fatal("TryRunPending found no task")
+	}
+	if !c.Finished() || n.Load() != 1 {
+		t.Fatal("helped task did not complete")
+	}
+	if p.TryRunPending() {
+		t.Fatal("TryRunPending ran a task from an empty queue")
+	}
+	close(block)
+	if st := p.Stats(); st.Helped != 1 {
+		t.Fatalf("Helped = %d, want 1", st.Helped)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("worker", 2, &reg)
+	var comps []*Completion
+	for i := 0; i < 20; i++ {
+		comps = append(comps, p.Post(func() {}))
+	}
+	for _, c := range comps {
+		c.Wait()
+	}
+	st := p.Stats()
+	if st.Submitted != 20 || st.Completed != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after drain", st.QueueDepth)
+	}
+	p.Shutdown()
+}
+
+func TestCompletionStates(t *testing.T) {
+	c := NewCompletedCompletion(nil)
+	if !c.Finished() || c.Err() != nil {
+		t.Fatal("completed completion wrong state")
+	}
+	e := errors.New("x")
+	c2 := NewCompletedCompletion(e)
+	if c2.Err() != e {
+		t.Fatal("error not preserved")
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("Done channel not closed")
+	}
+}
+
+func TestDirectExecutor(t *testing.T) {
+	d := NewDirectExecutor("seq")
+	if d.Name() != "seq" {
+		t.Fatal("name")
+	}
+	ran := false
+	c := d.Post(func() { ran = true })
+	if !ran || !c.Finished() {
+		t.Fatal("DirectExecutor did not run inline")
+	}
+	if !d.Owns() {
+		t.Fatal("DirectExecutor must own every goroutine")
+	}
+	if d.TryRunPending() {
+		t.Fatal("DirectExecutor has no pending tasks")
+	}
+	c2 := d.Post(func() { panic(42) })
+	var pe *PanicError
+	if err := c2.Err(); !errors.As(err, &pe) {
+		t.Fatalf("direct panic not captured: %v", err)
+	}
+	d.Shutdown() // no-op
+}
+
+func TestPoolCompletenessProperty(t *testing.T) {
+	// Property: for any task count and worker count, every submitted task
+	// runs exactly once.
+	f := func(nTasks uint8, nWorkers uint8) bool {
+		var reg gid.Registry
+		p := NewWorkerPool("prop", int(nWorkers%8), &reg)
+		defer p.Shutdown()
+		var n atomic.Int64
+		var comps []*Completion
+		for i := 0; i < int(nTasks); i++ {
+			comps = append(comps, p.Post(func() { n.Add(1) }))
+		}
+		for _, c := range comps {
+			if c.Wait() != nil {
+				return false
+			}
+		}
+		return n.Load() == int64(nTasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWorkerClamped(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("clamp", 0, &reg)
+	defer p.Shutdown()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want clamped 1", p.Workers())
+	}
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPostWait(b *testing.B) {
+	var reg gid.Registry
+	p := NewWorkerPool("bench", 4, &reg)
+	defer p.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Post(func() {}).Wait()
+	}
+}
+
+func BenchmarkPostNowait(b *testing.B) {
+	var reg gid.Registry
+	p := NewWorkerPool("bench", 4, &reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Post(func() {})
+	}
+	b.StopTimer()
+	p.Shutdown()
+}
+
+func BenchmarkOwns(b *testing.B) {
+	var reg gid.Registry
+	p := NewWorkerPool("bench", 2, &reg)
+	defer p.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Owns()
+	}
+}

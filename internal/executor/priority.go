@@ -1,0 +1,194 @@
+package executor
+
+import (
+	"sync"
+
+	"repro/internal/gid"
+)
+
+// Priority orders tasks in a PriorityPool. Higher values run first.
+type Priority int
+
+// Priority levels, low to high.
+const (
+	Low Priority = iota
+	Normal
+	High
+	numPriorities
+)
+
+// String names the level.
+func (p Priority) String() string {
+	switch p {
+	case Low:
+		return "low"
+	case Normal:
+		return "normal"
+	case High:
+		return "high"
+	default:
+		return "invalid"
+	}
+}
+
+// PriorityPool is a worker pool whose queue is drained highest-priority
+// first (FIFO within a level). It is an extension beyond the paper
+// (DESIGN.md §7): interactive applications want GUI-triggered work to
+// overtake batch work on the same worker target. PriorityPool implements
+// Executor; plain Post submits at Normal.
+type PriorityPool struct {
+	name     string
+	registry *gid.Registry
+	nworkers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [numPriorities][]*task
+	shutdown bool
+	notify   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewPriorityPool creates and starts a priority pool with n workers
+// registered in reg (nil means gid.Default).
+func NewPriorityPool(name string, n int, reg *gid.Registry) *PriorityPool {
+	if n < 1 {
+		n = 1
+	}
+	if reg == nil {
+		reg = &gid.Default
+	}
+	p := &PriorityPool{name: name, registry: reg, nworkers: n, notify: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	ready := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			p.registry.Register(p)
+			defer p.registry.Deregister()
+			ready <- struct{}{}
+			p.workerLoop()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	return p
+}
+
+// Name returns the pool's virtual-target name.
+func (p *PriorityPool) Name() string { return p.name }
+
+// Workers returns the pool size.
+func (p *PriorityPool) Workers() int { return p.nworkers }
+
+// popLocked removes the highest-priority pending task. Caller holds mu.
+func (p *PriorityPool) popLocked() *task {
+	for lvl := numPriorities - 1; lvl >= 0; lvl-- {
+		if q := p.queues[lvl]; len(q) > 0 {
+			t := q[0]
+			p.queues[lvl] = q[1:]
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *PriorityPool) pendingLocked() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+func (p *PriorityPool) workerLoop() {
+	for {
+		p.mu.Lock()
+		for p.pendingLocked() == 0 && !p.shutdown {
+			p.cond.Wait()
+		}
+		t := p.popLocked()
+		if t == nil {
+			p.mu.Unlock()
+			return // shutdown with empty queues
+		}
+		p.mu.Unlock()
+		runTask(t, nil)
+	}
+}
+
+// Post submits fn at Normal priority.
+func (p *PriorityPool) Post(fn func()) *Completion { return p.PostPriority(fn, Normal) }
+
+// PostPriority submits fn at the given priority.
+func (p *PriorityPool) PostPriority(fn func(), prio Priority) *Completion {
+	if prio < Low {
+		prio = Low
+	}
+	if prio >= numPriorities {
+		prio = High
+	}
+	c := newCompletion()
+	t := &task{fn: fn, comp: c}
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		c.complete(ErrShutdown)
+		return c
+	}
+	p.queues[prio] = append(p.queues[prio], t)
+	p.cond.Signal()
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return c
+}
+
+// Owns reports worker-goroutine membership.
+func (p *PriorityPool) Owns() bool { return p.registry.IsOwnedBy(p) }
+
+// TryRunPending runs the highest-priority pending task on the caller.
+func (p *PriorityPool) TryRunPending() bool {
+	p.mu.Lock()
+	t := p.popLocked()
+	p.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	runTask(t, nil)
+	return true
+}
+
+// WaitPending blocks until work may be pending or cancel fires (see
+// WorkerPool.WaitPending for the contract).
+func (p *PriorityPool) WaitPending(cancel <-chan struct{}) bool {
+	p.mu.Lock()
+	n := p.pendingLocked()
+	p.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	select {
+	case <-p.notify:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// Shutdown drains the queues and joins the workers.
+func (p *PriorityPool) Shutdown() {
+	p.mu.Lock()
+	if !p.shutdown {
+		p.shutdown = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+var _ Executor = (*PriorityPool)(nil)

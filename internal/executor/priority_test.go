@@ -1,0 +1,160 @@
+package executor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gid"
+)
+
+func TestPriorityOrdering(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 1, &reg)
+	defer p.Shutdown()
+	// Block the single worker so the queue builds up, then release and
+	// observe drain order.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+
+	var mu sync.Mutex
+	var order []string
+	log := func(s string) func() {
+		return func() { mu.Lock(); order = append(order, s); mu.Unlock() }
+	}
+	var comps []*Completion
+	comps = append(comps, p.PostPriority(log("low-1"), Low))
+	comps = append(comps, p.PostPriority(log("norm-1"), Normal))
+	comps = append(comps, p.PostPriority(log("high-1"), High))
+	comps = append(comps, p.PostPriority(log("high-2"), High))
+	comps = append(comps, p.PostPriority(log("low-2"), Low))
+	comps = append(comps, p.PostPriority(log("norm-2"), Normal))
+	close(gate)
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"high-1", "high-2", "norm-1", "norm-2", "low-1", "low-2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityClamping(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 1, &reg)
+	defer p.Shutdown()
+	if err := p.PostPriority(func() {}, Priority(-5)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PostPriority(func() {}, Priority(99)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityPoolExecutorSurface(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 2, &reg)
+	defer p.Shutdown()
+	if p.Name() != "prio" || p.Workers() != 2 {
+		t.Fatal("identity")
+	}
+	if p.Owns() {
+		t.Fatal("external goroutine owned")
+	}
+	c := p.Post(func() {
+		if !p.Owns() {
+			t.Error("worker not owned")
+		}
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityTryRunPendingTakesHighestFirst(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 1, &reg)
+	defer p.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	var ran atomic.Value
+	p.PostPriority(func() { ran.Store("low") }, Low)
+	p.PostPriority(func() { ran.Store("high") }, High)
+	if !p.TryRunPending() {
+		t.Fatal("no pending task found")
+	}
+	if ran.Load() != "high" {
+		t.Fatalf("helped task = %v, want high", ran.Load())
+	}
+	close(gate)
+}
+
+func TestPriorityShutdown(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 2, &reg)
+	var n atomic.Int64
+	var comps []*Completion
+	for i := 0; i < 30; i++ {
+		comps = append(comps, p.PostPriority(func() { n.Add(1) }, Priority(i%3)))
+	}
+	p.Shutdown()
+	if n.Load() != 30 {
+		t.Fatalf("drained %d/30", n.Load())
+	}
+	for _, c := range comps {
+		if !c.Finished() {
+			t.Fatal("unfinished completion after shutdown")
+		}
+	}
+	if err := p.Post(func() {}).Wait(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post after shutdown: %v", err)
+	}
+}
+
+func TestPriorityWaitPending(t *testing.T) {
+	var reg gid.Registry
+	p := NewPriorityPool("prio", 1, &reg)
+	defer p.Shutdown()
+	cancel := make(chan struct{})
+	close(cancel)
+	// Nothing pending, cancel closed: returns promptly. A stale notify
+	// token may make it return true; both outcomes are legal hints.
+	_ = p.WaitPending(cancel)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	p.Post(func() {})
+	if !p.WaitPending(make(chan struct{})) {
+		t.Fatal("WaitPending = false with queued work")
+	}
+	close(gate)
+}
+
+func TestPriorityString(t *testing.T) {
+	if Low.String() != "low" || Normal.String() != "normal" || High.String() != "high" {
+		t.Fatal("names")
+	}
+	if Priority(42).String() != "invalid" {
+		t.Fatal("invalid name")
+	}
+}
+
+func BenchmarkPriorityPostWait(b *testing.B) {
+	var reg gid.Registry
+	p := NewPriorityPool("bench", 4, &reg)
+	defer p.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PostPriority(func() {}, Priority(i%3)).Wait()
+	}
+}

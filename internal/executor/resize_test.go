@@ -1,0 +1,202 @@
+package executor
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gid"
+)
+
+func TestGrowAddsCapacity(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("grow", 1, &reg)
+	defer p.Shutdown()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	// Occupy the single worker.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	// A second long task would queue... until we grow.
+	var ran atomic.Bool
+	c := p.Post(func() { ran.Store(true) })
+	p.Grow(2)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers = %d after Grow(2)", p.Workers())
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("grown worker did not pick up queued task")
+	}
+	close(gate)
+}
+
+func TestShrinkRetiresIdleWorkers(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("shrink", 4, &reg)
+	defer p.Shutdown()
+	if got := p.Shrink(2); got != 2 {
+		t.Fatalf("Shrink(2) = %d", got)
+	}
+	// Idle workers retire promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Workers() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Workers = %d, want 2", p.Workers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The pool still works.
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Never below one worker.
+	if got := p.Shrink(99); got != 1 {
+		t.Fatalf("Shrink(99) = %d, want clamped 1", got)
+	}
+	for p.Workers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Workers = %d, want 1", p.Workers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Shrink(1); got != 0 {
+		t.Fatalf("Shrink below 1 = %d, want 0", got)
+	}
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowShrinkNoopCases(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("noop", 2, &reg)
+	p.Grow(0)
+	p.Grow(-3)
+	if p.Shrink(0) != 0 || p.Shrink(-1) != 0 {
+		t.Fatal("negative shrink")
+	}
+	if p.Workers() != 2 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	p.Shutdown()
+	p.Grow(5) // no-op after shutdown
+	if p.Shrink(1) != 0 {
+		t.Fatal("shrink after shutdown")
+	}
+}
+
+func TestPostCancellableBeforeStart(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("cancel", 1, &reg)
+	defer p.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	var ran atomic.Bool
+	c, cancel := p.PostCancellable(func() { ran.Store(true) })
+	if !cancel() {
+		t.Fatal("cancel of queued task returned false")
+	}
+	if err := c.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if cancel() {
+		t.Fatal("second cancel returned true")
+	}
+	close(gate)
+	// Give the worker a chance to pop the cancelled task.
+	p.Post(func() {}).Wait()
+	if ran.Load() {
+		t.Fatal("cancelled task ran")
+	}
+	if st := p.Stats(); st.Helped != 0 && st.Completed > 2 {
+		t.Fatalf("cancelled task counted as completed: %+v", st)
+	}
+}
+
+func TestPostCancellableAfterStart(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("cancel2", 1, &reg)
+	defer p.Shutdown()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	c, cancel := p.PostCancellable(func() { close(started); <-gate })
+	<-started
+	if cancel() {
+		t.Fatal("cancel of running task returned true")
+	}
+	close(gate)
+	if err := c.Wait(); err != nil {
+		t.Fatalf("running task completed with %v", err)
+	}
+}
+
+func TestPostCancellableOnShutdownPool(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("cancel3", 1, &reg)
+	p.Shutdown()
+	c, cancel := p.PostCancellable(func() {})
+	if err := c.Err(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v", err)
+	}
+	if cancel() {
+		t.Fatal("cancel of rejected task returned true")
+	}
+}
+
+func TestCancelledTaskSkippedByHelper(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("cancel4", 1, &reg)
+	defer p.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	_, cancel := p.PostCancellable(func() {})
+	cancel()
+	// The helper pops the cancelled task but reports no work done.
+	if p.TryRunPending() {
+		t.Fatal("TryRunPending reported running a cancelled task")
+	}
+	close(gate)
+}
+
+func TestGrowShrinkStormProperty(t *testing.T) {
+	// Property: under any interleaving of Grow/Shrink/Post, every accepted
+	// task runs exactly once and the pool never reports fewer than one
+	// worker.
+	var reg gid.Registry
+	p := NewWorkerPool("storm", 2, &reg)
+	defer p.Shutdown()
+	var ran atomic.Int64
+	var comps []*Completion
+	for i := 0; i < 200; i++ {
+		switch i % 5 {
+		case 1:
+			p.Grow(1)
+		case 3:
+			p.Shrink(1)
+		default:
+			comps = append(comps, p.Post(func() { ran.Add(1) }))
+		}
+		if w := p.Workers(); w < 1 {
+			t.Fatalf("Workers = %d", w)
+		}
+	}
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int(ran.Load()) != len(comps) {
+		t.Fatalf("ran %d/%d tasks", ran.Load(), len(comps))
+	}
+}

@@ -1,0 +1,119 @@
+package gid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCurrentStable(t *testing.T) {
+	a := Current()
+	b := Current()
+	if a == 0 {
+		t.Fatal("Current returned 0")
+	}
+	if a != b {
+		t.Fatalf("Current not stable on same goroutine: %d != %d", a, b)
+	}
+}
+
+func TestCurrentDistinctAcrossGoroutines(t *testing.T) {
+	const n = 64
+	ids := make(chan ID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- Current()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[ID]bool)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate goroutine id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("expected %d distinct ids, got %d", n, len(seen))
+	}
+}
+
+func TestRegistryRegisterDeregister(t *testing.T) {
+	var r Registry
+	owner := "executor-A"
+	id := r.Register(owner)
+	if got := r.Owner(); got != owner {
+		t.Fatalf("Owner() = %v, want %v", got, owner)
+	}
+	if got := r.OwnerOf(id); got != owner {
+		t.Fatalf("OwnerOf(%d) = %v, want %v", id, got, owner)
+	}
+	if !r.IsOwnedBy(owner) {
+		t.Fatal("IsOwnedBy(owner) = false, want true")
+	}
+	if r.IsOwnedBy("someone-else") {
+		t.Fatal("IsOwnedBy(other) = true, want false")
+	}
+	r.Deregister()
+	if got := r.Owner(); got != nil {
+		t.Fatalf("after Deregister Owner() = %v, want nil", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", r.Len())
+	}
+}
+
+func TestRegistryOtherGoroutineNotOwned(t *testing.T) {
+	var r Registry
+	r.Register("me")
+	defer r.Deregister()
+	done := make(chan bool)
+	go func() {
+		done <- r.IsOwnedBy("me")
+	}()
+	if <-done {
+		t.Fatal("different goroutine reported as owned")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Register(i)
+			if !r.IsOwnedBy(i) {
+				t.Errorf("goroutine %d not owned by itself", i)
+			}
+			r.Deregister()
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d after all deregistered", r.Len())
+	}
+}
+
+func BenchmarkCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Current()
+	}
+}
+
+func BenchmarkRegistryOwner(b *testing.B) {
+	var r Registry
+	r.Register("bench")
+	defer r.Deregister()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner()
+	}
+}

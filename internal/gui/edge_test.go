@@ -1,0 +1,124 @@
+package gui
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gid"
+)
+
+func TestSwingWorkerWithoutOptionalCallbacks(t *testing.T) {
+	tk := newToolkit(t)
+	w := NewSwingWorker[int, int](tk)
+	w.DoInBackground = func(publish func(...int)) int {
+		publish(1, 2, 3) // Process is nil: published values are dropped
+		return 9
+	}
+	w.Execute()
+	v, err := w.Get()
+	if err != nil || v != 9 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+}
+
+func TestSwingWorkerCompletionChannel(t *testing.T) {
+	tk := newToolkit(t)
+	w := NewSwingWorker[int, int](tk)
+	gate := make(chan struct{})
+	w.DoInBackground = func(func(...int)) int { <-gate; return 1 }
+	w.Execute()
+	if w.Completion().Finished() {
+		t.Fatal("finished early")
+	}
+	close(gate)
+	if _, err := w.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completion().Finished() {
+		t.Fatal("completion not finished after Get")
+	}
+}
+
+func TestProgressBarMaxClamped(t *testing.T) {
+	tk := newToolkit(t)
+	pb := tk.NewProgressBar("p", 0)
+	if pb.Max() != 1 {
+		t.Fatalf("Max = %d, want clamped 1", pb.Max())
+	}
+}
+
+func TestFutureWithPanic(t *testing.T) {
+	var reg gid.Registry
+	es := NewFixedThreadPool(1, &reg)
+	defer es.Shutdown()
+	f := Submit(es, func() int { panic("future bug") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("panic swallowed by Future.Get")
+	}
+}
+
+func TestToolkitPolicySwitchMidRun(t *testing.T) {
+	tk := newToolkit(t)
+	tk.SetPolicy(CountViolations)
+	lbl := tk.NewLabel("l")
+	lbl.SetText("off-edt") // counted, not panicking
+	if tk.Violations() != 1 {
+		t.Fatalf("violations = %d", tk.Violations())
+	}
+	tk.SetPolicy(PanicOnViolation)
+	var panicked atomic.Bool
+	func() {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		lbl.SetText("boom")
+	}()
+	if !panicked.Load() {
+		t.Fatal("strict policy did not panic")
+	}
+}
+
+func TestInvokeAndWaitPropagatesShutdown(t *testing.T) {
+	var reg gid.Registry
+	tk := NewToolkit(&reg)
+	tk.Dispose()
+	if err := tk.InvokeAndWait(func() {}); err == nil {
+		t.Fatal("InvokeAndWait on disposed toolkit succeeded")
+	}
+	// A second Dispose is harmless even with the lazy worker pool absent.
+	tk.Dispose()
+}
+
+func TestSwingPoolLazyCreation(t *testing.T) {
+	var reg gid.Registry
+	tk := NewToolkit(&reg)
+	defer tk.Dispose()
+	if tk.workerPool != nil {
+		t.Fatal("worker pool created eagerly")
+	}
+	w := NewSwingWorker[int, int](tk)
+	w.DoInBackground = func(func(...int)) int { return 0 }
+	w.Execute()
+	w.Get()
+	if tk.workerPool == nil {
+		t.Fatal("worker pool not created by Execute")
+	}
+	if tk.workerPool.Workers() != swingWorkerPoolSize {
+		t.Fatalf("pool size = %d, want %d", tk.workerPool.Workers(), swingWorkerPoolSize)
+	}
+}
+
+func TestErrorsAreTyped(t *testing.T) {
+	var reg gid.Registry
+	tk := NewToolkit(&reg)
+	tk.Dispose()
+	err := tk.InvokeLater(func() {}).Wait()
+	if err == nil || errors.Is(err, errNever) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errNever = errors.New("never")

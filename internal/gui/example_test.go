@@ -1,0 +1,44 @@
+package gui_test
+
+import (
+	"fmt"
+
+	"repro/internal/gid"
+	"repro/internal/gui"
+)
+
+// Example wires a button to a SwingWorker — the classic Java offloading
+// idiom the evaluation uses as a baseline: background computation, progress
+// chunks on the EDT, completion on the EDT.
+func Example() {
+	reg := &gid.Registry{}
+	tk := gui.NewToolkit(reg)
+	defer tk.Dispose()
+
+	progress := tk.NewProgressBar("load", 100)
+	status := tk.NewLabel("status")
+	done := make(chan struct{})
+
+	btn := tk.NewButton("run", func() {
+		w := gui.NewSwingWorker[int, int](tk)
+		w.DoInBackground = func(publish func(...int)) int {
+			sum := 0
+			for i := 1; i <= 100; i++ {
+				sum += i
+			}
+			publish(100)
+			return sum
+		}
+		w.Process = func(chunks []int) { progress.SetValue(chunks[len(chunks)-1]) }
+		w.Done = func(sum int) {
+			status.SetText(fmt.Sprintf("sum=%d", sum))
+			close(done)
+		}
+		w.Execute()
+	})
+
+	btn.Click()
+	<-done
+	fmt.Println(status.Text(), "progress:", progress.Value())
+	// Output: sum=5050 progress: 100
+}

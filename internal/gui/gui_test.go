@@ -1,0 +1,295 @@
+package gui
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gid"
+)
+
+func newToolkit(t *testing.T) *Toolkit {
+	t.Helper()
+	var reg gid.Registry
+	tk := NewToolkit(&reg)
+	t.Cleanup(tk.Dispose)
+	return tk
+}
+
+func TestLabelOnEDT(t *testing.T) {
+	tk := newToolkit(t)
+	lbl := tk.NewLabel("status")
+	if err := tk.InvokeAndWait(func() { lbl.SetText("hello") }); err != nil {
+		t.Fatal(err)
+	}
+	if lbl.Text() != "hello" {
+		t.Fatalf("Text = %q", lbl.Text())
+	}
+	if tk.Updates() != 1 {
+		t.Fatalf("Updates = %d", tk.Updates())
+	}
+	if tk.Violations() != 0 {
+		t.Fatalf("Violations = %d", tk.Violations())
+	}
+}
+
+func TestOffEDTMutationPanics(t *testing.T) {
+	tk := newToolkit(t)
+	lbl := tk.NewLabel("status")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("off-EDT SetText did not panic under PanicOnViolation")
+		}
+		if !strings.Contains(r.(string), "event-dispatch") {
+			t.Fatalf("panic message: %v", r)
+		}
+	}()
+	lbl.SetText("boom") // calling goroutine is not the EDT
+}
+
+func TestOffEDTMutationCounted(t *testing.T) {
+	tk := newToolkit(t)
+	tk.SetPolicy(CountViolations)
+	lbl := tk.NewLabel("status")
+	lbl.SetText("tolerated")
+	if tk.Violations() != 1 {
+		t.Fatalf("Violations = %d, want 1", tk.Violations())
+	}
+	if lbl.Text() != "tolerated" {
+		t.Fatal("mutation lost")
+	}
+}
+
+func TestIsDispatchThread(t *testing.T) {
+	tk := newToolkit(t)
+	if tk.IsDispatchThread() {
+		t.Fatal("test goroutine claimed to be the EDT")
+	}
+	var onEDT bool
+	tk.InvokeAndWait(func() { onEDT = tk.IsDispatchThread() })
+	if !onEDT {
+		t.Fatal("EDT not recognized")
+	}
+}
+
+func TestProgressBarClampAndHistory(t *testing.T) {
+	tk := newToolkit(t)
+	pb := tk.NewProgressBar("load", 100)
+	tk.InvokeAndWait(func() {
+		pb.SetValue(-5)
+		pb.SetValue(42)
+		pb.SetValue(1000)
+	})
+	if pb.Value() != 100 {
+		t.Fatalf("Value = %d", pb.Value())
+	}
+	h := pb.History()
+	if len(h) != 3 || h[0] != 0 || h[1] != 42 || h[2] != 100 {
+		t.Fatalf("History = %v", h)
+	}
+	if pb.Max() != 100 {
+		t.Fatalf("Max = %d", pb.Max())
+	}
+}
+
+func TestButtonClickDispatchesOnEDT(t *testing.T) {
+	tk := newToolkit(t)
+	ran := make(chan bool, 1)
+	btn := tk.NewButton("go", func() { ran <- tk.IsDispatchThread() })
+	if err := btn.Click().Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !<-ran {
+		t.Fatal("handler ran off the EDT")
+	}
+	if btn.Clicks() != 1 {
+		t.Fatalf("Clicks = %d", btn.Clicks())
+	}
+}
+
+func TestButtonNilHandler(t *testing.T) {
+	tk := newToolkit(t)
+	btn := tk.NewButton("noop", nil)
+	if err := btn.Click().Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestButtonSetHandler(t *testing.T) {
+	tk := newToolkit(t)
+	var which atomic.Int64
+	btn := tk.NewButton("b", func() { which.Store(1) })
+	tk.InvokeAndWait(func() { btn.SetHandler(func() { which.Store(2) }) })
+	btn.Click().Wait()
+	if which.Load() != 2 {
+		t.Fatalf("handler = %d, want replaced handler 2", which.Load())
+	}
+}
+
+func TestSwingWorkerLifecycle(t *testing.T) {
+	// Reproduces the Figure 2/3 flow: background S1, publish -> process S2
+	// on EDT, background S3, done S4 on EDT.
+	tk := newToolkit(t)
+	var mu sync.Mutex
+	var log []string
+	say := func(s string) { mu.Lock(); log = append(log, s); mu.Unlock() }
+
+	w := NewSwingWorker[string, int](tk)
+	w.DoInBackground = func(publish func(...int)) string {
+		if tk.IsDispatchThread() {
+			t.Error("DoInBackground on EDT")
+		}
+		say("S1")
+		publish(50)
+		time.Sleep(5 * time.Millisecond) // let the chunk get processed
+		say("S3")
+		return "result"
+	}
+	w.Process = func(vals []int) {
+		if !tk.IsDispatchThread() {
+			t.Error("Process off EDT")
+		}
+		if len(vals) == 0 {
+			t.Error("empty chunk")
+		}
+		say("S2")
+	}
+	w.Done = func(res string) {
+		if !tk.IsDispatchThread() {
+			t.Error("Done off EDT")
+		}
+		say("S4:" + res)
+	}
+	w.Execute()
+	res, err := w.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "result" {
+		t.Fatalf("Get = %q", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(log) != 4 || log[0] != "S1" || log[3] != "S4:result" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestSwingWorkerPublishCoalesces(t *testing.T) {
+	tk := newToolkit(t)
+	var chunks atomic.Int64
+	var values atomic.Int64
+	w := NewSwingWorker[struct{}, int](tk)
+	block := make(chan struct{})
+	w.DoInBackground = func(publish func(...int)) struct{} {
+		<-block // hold the EDT-free window: all publishes coalesce
+		for i := 0; i < 100; i++ {
+			publish(i)
+		}
+		return struct{}{}
+	}
+	w.Process = func(vals []int) {
+		chunks.Add(1)
+		values.Add(int64(len(vals)))
+	}
+	w.Execute()
+	close(block)
+	if _, err := w.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if values.Load() != 100 {
+		t.Fatalf("processed %d values, want 100", values.Load())
+	}
+	if chunks.Load() > 100 {
+		t.Fatalf("chunks = %d, coalescing broken", chunks.Load())
+	}
+}
+
+func TestSwingWorkerExecuteIdempotent(t *testing.T) {
+	tk := newToolkit(t)
+	var runs atomic.Int64
+	w := NewSwingWorker[int, int](tk)
+	w.DoInBackground = func(func(...int)) int { runs.Add(1); return 7 }
+	w.Execute()
+	w.Execute()
+	w.Execute()
+	v, err := w.Get()
+	if err != nil || v != 7 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if runs.Load() != 1 {
+		t.Fatalf("DoInBackground ran %d times", runs.Load())
+	}
+}
+
+func TestSwingWorkerPanicSurfacesInGet(t *testing.T) {
+	tk := newToolkit(t)
+	w := NewSwingWorker[int, int](tk)
+	w.DoInBackground = func(func(...int)) int { panic("bg failure") }
+	var doneRan atomic.Bool
+	w.Done = func(int) { doneRan.Store(true) }
+	w.Execute()
+	if _, err := w.Get(); err == nil {
+		t.Fatal("Get swallowed background panic")
+	}
+	if doneRan.Load() {
+		t.Fatal("Done ran despite background panic")
+	}
+}
+
+func TestExecutorServiceSubmitFuture(t *testing.T) {
+	var reg gid.Registry
+	es := NewFixedThreadPool(3, &reg)
+	defer es.Shutdown()
+	f := Submit(es, func() int { return 41 + 1 })
+	v, err := f.Get()
+	if err != nil || v != 42 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if !f.IsDone() {
+		t.Fatal("IsDone = false after Get")
+	}
+}
+
+func TestExecutorServiceWithInvokeLater(t *testing.T) {
+	// The full ExecutorService baseline pattern: compute off-EDT, update
+	// GUI via InvokeLater.
+	tk := newToolkit(t)
+	var reg2 gid.Registry
+	es := NewFixedThreadPool(2, &reg2)
+	defer es.Shutdown()
+	lbl := tk.NewLabel("out")
+	done := make(chan struct{})
+	es.Execute(func() {
+		sum := 0
+		for i := 1; i <= 100; i++ {
+			sum += i
+		}
+		tk.InvokeLater(func() {
+			lbl.SetText("sum=5050")
+			close(done)
+		})
+	})
+	<-done
+	if lbl.Text() != "sum=5050" {
+		t.Fatalf("label = %q", lbl.Text())
+	}
+	if tk.Violations() != 0 {
+		t.Fatalf("violations = %d", tk.Violations())
+	}
+}
+
+func BenchmarkInvokeLaterRoundTrip(b *testing.B) {
+	var reg gid.Registry
+	tk := NewToolkit(&reg)
+	defer tk.Dispose()
+	lbl := tk.NewLabel("l")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.InvokeLater(func() { lbl.SetText("x") }).Wait()
+	}
+}

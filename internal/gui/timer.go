@@ -1,0 +1,132 @@
+package gui
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timer ports javax.swing.Timer: it fires an action on the EDT at a fixed
+// delay, optionally repeating. Like Swing's, it coalesces: if a fire is
+// still queued (the EDT is busy) when the next tick arrives, the tick is
+// dropped instead of piling up events — precisely the behaviour periodic
+// GUI animations rely on when handlers are slow.
+type Timer struct {
+	tk     *Toolkit
+	action func()
+
+	mu      sync.Mutex
+	delay   time.Duration
+	repeats bool
+	ticker  *time.Ticker
+	stop    chan struct{}
+	running bool
+
+	pending   atomic.Bool
+	fired     atomic.Int64
+	coalesced atomic.Int64
+}
+
+// NewTimer creates a repeating timer with the given delay and EDT action.
+// The timer does not run until Start.
+func (tk *Toolkit) NewTimer(delay time.Duration, action func()) *Timer {
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	return &Timer{tk: tk, delay: delay, repeats: true, action: action}
+}
+
+// SetRepeats selects between repeating (default) and one-shot behaviour.
+// Must be called before Start.
+func (t *Timer) SetRepeats(v bool) {
+	t.mu.Lock()
+	t.repeats = v
+	t.mu.Unlock()
+}
+
+// Delay returns the configured delay.
+func (t *Timer) Delay() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delay
+}
+
+// IsRunning reports whether the timer is started.
+func (t *Timer) IsRunning() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.running
+}
+
+// Fired returns how many times the action has been dispatched.
+func (t *Timer) Fired() int64 { return t.fired.Load() }
+
+// Coalesced returns how many ticks were dropped because a fire was still
+// queued on the EDT.
+func (t *Timer) Coalesced() int64 { return t.coalesced.Load() }
+
+// Start begins ticking. Starting a running timer is a no-op.
+func (t *Timer) Start() {
+	t.mu.Lock()
+	if t.running {
+		t.mu.Unlock()
+		return
+	}
+	t.running = true
+	t.stop = make(chan struct{})
+	stop := t.stop
+	repeats := t.repeats
+	delay := t.delay
+	t.mu.Unlock()
+
+	go func() {
+		if !repeats {
+			select {
+			case <-time.After(delay):
+				t.fire()
+			case <-stop:
+			}
+			t.mu.Lock()
+			t.running = false
+			t.mu.Unlock()
+			return
+		}
+		tick := time.NewTicker(delay)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.fire()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// fire posts one action to the EDT unless one is already queued.
+func (t *Timer) fire() {
+	if !t.pending.CompareAndSwap(false, true) {
+		t.coalesced.Add(1)
+		return
+	}
+	t.tk.InvokeLater(func() {
+		t.pending.Store(false)
+		t.fired.Add(1)
+		if t.action != nil {
+			t.action()
+		}
+	})
+}
+
+// Stop halts the timer. A queued-but-undispatched action may still run.
+// Stopping a stopped timer is a no-op.
+func (t *Timer) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.running {
+		return
+	}
+	t.running = false
+	close(t.stop)
+}

@@ -1,0 +1,113 @@
+package gui
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TextArea is a multi-line text component (javax.swing.JTextArea) used as
+// an application log view. Mutations are EDT-confined like every widget.
+type TextArea struct {
+	widget
+	lines []string
+	max   int
+}
+
+// NewTextArea creates a text area retaining at most max lines (0 =
+// unlimited).
+func (tk *Toolkit) NewTextArea(name string, max int) *TextArea {
+	return &TextArea{widget: widget{tk: tk, name: name}, max: max}
+}
+
+// Append adds one line; EDT only. When the retention limit is exceeded the
+// oldest lines are dropped (a scrolling log).
+func (a *TextArea) Append(line string) {
+	a.mutate(func() {
+		a.lines = append(a.lines, line)
+		if a.max > 0 && len(a.lines) > a.max {
+			a.lines = a.lines[len(a.lines)-a.max:]
+		}
+	})
+}
+
+// Clear removes all lines; EDT only.
+func (a *TextArea) Clear() { a.mutate(func() { a.lines = a.lines[:0] }) }
+
+// LineCount returns the number of retained lines.
+func (a *TextArea) LineCount() int {
+	var n int
+	a.read(func() { n = len(a.lines) })
+	return n
+}
+
+// Text returns the full contents joined by newlines.
+func (a *TextArea) Text() string {
+	var s string
+	a.read(func() { s = strings.Join(a.lines, "\n") })
+	return s
+}
+
+// Lines returns a copy of the retained lines.
+func (a *TextArea) Lines() []string {
+	var out []string
+	a.read(func() { out = append(out, a.lines...) })
+	return out
+}
+
+// Frame is a top-level window (javax.swing.JFrame): a titled container
+// tracking child components and visibility. It exists so applications have
+// a root to enumerate their widgets from; there is no real display.
+type Frame struct {
+	widget
+	title    string
+	visible  bool
+	children []string
+}
+
+// NewFrame creates a frame with the given title.
+func (tk *Toolkit) NewFrame(title string) *Frame {
+	return &Frame{widget: widget{tk: tk, name: "frame:" + title}, title: title}
+}
+
+// Title returns the frame title.
+func (f *Frame) Title() string {
+	var s string
+	f.read(func() { s = f.title })
+	return s
+}
+
+// SetTitle updates the title; EDT only.
+func (f *Frame) SetTitle(t string) { f.mutate(func() { f.title = t }) }
+
+// SetVisible shows or hides the frame; EDT only.
+func (f *Frame) SetVisible(v bool) { f.mutate(func() { f.visible = v }) }
+
+// Visible reports whether the frame is shown.
+func (f *Frame) Visible() bool {
+	var v bool
+	f.read(func() { v = f.visible })
+	return v
+}
+
+// Add registers a child component name; EDT only. Duplicate names are
+// rejected, mirroring a container's unique-component constraint.
+func (f *Frame) Add(componentName string) error {
+	var err error
+	f.mutate(func() {
+		for _, c := range f.children {
+			if c == componentName {
+				err = fmt.Errorf("gui: component %q already added to %s", componentName, f.name)
+				return
+			}
+		}
+		f.children = append(f.children, componentName)
+	})
+	return err
+}
+
+// Children returns the registered component names in add order.
+func (f *Frame) Children() []string {
+	var out []string
+	f.read(func() { out = append(out, f.children...) })
+	return out
+}

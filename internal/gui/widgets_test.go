@@ -1,0 +1,85 @@
+package gui
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTextAreaAppendAndRetention(t *testing.T) {
+	tk := newToolkit(t)
+	ta := tk.NewTextArea("log", 3)
+	tk.InvokeAndWait(func() {
+		for i := 1; i <= 5; i++ {
+			ta.Append(fmt.Sprintf("line %d", i))
+		}
+	})
+	if ta.LineCount() != 3 {
+		t.Fatalf("LineCount = %d, want 3 (retention)", ta.LineCount())
+	}
+	lines := ta.Lines()
+	if lines[0] != "line 3" || lines[2] != "line 5" {
+		t.Fatalf("Lines = %v", lines)
+	}
+	if ta.Text() != "line 3\nline 4\nline 5" {
+		t.Fatalf("Text = %q", ta.Text())
+	}
+	tk.InvokeAndWait(ta.Clear)
+	if ta.LineCount() != 0 {
+		t.Fatal("Clear did not empty the area")
+	}
+}
+
+func TestTextAreaUnlimited(t *testing.T) {
+	tk := newToolkit(t)
+	ta := tk.NewTextArea("log", 0)
+	tk.InvokeAndWait(func() {
+		for i := 0; i < 100; i++ {
+			ta.Append("x")
+		}
+	})
+	if ta.LineCount() != 100 {
+		t.Fatalf("LineCount = %d", ta.LineCount())
+	}
+}
+
+func TestTextAreaConfinement(t *testing.T) {
+	tk := newToolkit(t)
+	ta := tk.NewTextArea("log", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("off-EDT Append did not panic")
+		}
+	}()
+	ta.Append("boom")
+}
+
+func TestFrame(t *testing.T) {
+	tk := newToolkit(t)
+	f := tk.NewFrame("Main Window")
+	if f.Title() != "Main Window" || f.Visible() {
+		t.Fatal("initial state")
+	}
+	err := tk.InvokeAndWait(func() {
+		f.SetTitle("Renamed")
+		f.SetVisible(true)
+		if err := f.Add("status"); err != nil {
+			t.Error(err)
+		}
+		if err := f.Add("progress"); err != nil {
+			t.Error(err)
+		}
+		if err := f.Add("status"); err == nil {
+			t.Error("duplicate child accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Title() != "Renamed" || !f.Visible() {
+		t.Fatal("mutations lost")
+	}
+	kids := f.Children()
+	if len(kids) != 2 || kids[0] != "status" || kids[1] != "progress" {
+		t.Fatalf("Children = %v", kids)
+	}
+}

@@ -1,0 +1,167 @@
+package gui
+
+import (
+	"sync"
+
+	"repro/internal/executor"
+	"repro/internal/gid"
+)
+
+// swingWorkerPoolSize mirrors javax.swing.SwingWorker's internal executor:
+// "the underlying implementation of SwingWorker maintains a default
+// 10-thread-max thread pool" (Section V.A).
+const swingWorkerPoolSize = 10
+
+// swingPool lazily creates the toolkit's shared SwingWorker pool.
+func (tk *Toolkit) swingPool() *executor.WorkerPool {
+	tk.workerOnce.Do(func() {
+		tk.workerPool = executor.NewWorkerPool("swingworker", swingWorkerPoolSize, tk.registry)
+	})
+	return tk.workerPool
+}
+
+// SwingWorker ports javax.swing.SwingWorker<T, V>: DoInBackground runs on
+// the shared 10-thread pool, values passed to its publish callback are
+// coalesced into chunks delivered to Process on the EDT, and Done runs on
+// the EDT after the background work finishes. This is the first baseline of
+// Evaluation A — the restructuring the paper's Figure 3 illustrates.
+type SwingWorker[T, V any] struct {
+	// DoInBackground is the background computation. It receives the publish
+	// function for interim results. Required.
+	DoInBackground func(publish func(...V)) T
+	// Process receives coalesced chunks of published values on the EDT.
+	// Optional.
+	Process func([]V)
+	// Done runs on the EDT after DoInBackground returns. Optional.
+	Done func(T)
+
+	tk *Toolkit
+
+	mu        sync.Mutex
+	chunks    []V
+	scheduled bool
+	executed  bool
+
+	result T
+	comp   *executor.Completion
+	fin    func(error)
+}
+
+// NewSwingWorker binds a worker to a toolkit.
+func NewSwingWorker[T, V any](tk *Toolkit) *SwingWorker[T, V] {
+	w := &SwingWorker[T, V]{tk: tk}
+	w.comp, w.fin = executor.NewPendingCompletion()
+	return w
+}
+
+// Execute schedules DoInBackground on the worker pool. Calling Execute more
+// than once is a no-op, as in Swing.
+func (w *SwingWorker[T, V]) Execute() {
+	w.mu.Lock()
+	if w.executed {
+		w.mu.Unlock()
+		return
+	}
+	w.executed = true
+	w.mu.Unlock()
+
+	w.tk.swingPool().Post(func() {
+		err := executor.RunCaptured(func() {
+			w.result = w.DoInBackground(w.publish)
+		})
+		// done() is dispatched on the EDT after the background part, and
+		// the worker is complete only after done() has run there.
+		w.tk.InvokeLater(func() {
+			if w.Done != nil && err == nil {
+				w.Done(w.result)
+			}
+			w.fin(err)
+		})
+	})
+}
+
+// publish coalesces interim values and schedules at most one pending
+// Process dispatch, mirroring SwingWorker's chunk coalescing.
+func (w *SwingWorker[T, V]) publish(vals ...V) {
+	if w.Process == nil {
+		return
+	}
+	w.mu.Lock()
+	w.chunks = append(w.chunks, vals...)
+	if w.scheduled {
+		w.mu.Unlock()
+		return
+	}
+	w.scheduled = true
+	w.mu.Unlock()
+	w.tk.InvokeLater(func() {
+		w.mu.Lock()
+		chunk := w.chunks
+		w.chunks = nil
+		w.scheduled = false
+		w.mu.Unlock()
+		if len(chunk) > 0 {
+			w.Process(chunk)
+		}
+	})
+}
+
+// Get blocks until the worker (including its Done callback) has completed
+// and returns the background result; a background panic surfaces as the
+// error.
+func (w *SwingWorker[T, V]) Get() (T, error) {
+	err := w.comp.Wait()
+	return w.result, err
+}
+
+// Completion exposes the worker's completion (done-on-EDT included).
+func (w *SwingWorker[T, V]) Completion() *executor.Completion { return w.comp }
+
+// ExecutorService ports java.util.concurrent.Executors.newFixedThreadPool —
+// the second baseline of Evaluation A ("ExecutorService, using
+// SwingUtilities when necessary"): the handler submits work to a fixed pool
+// and posts GUI updates back with InvokeLater.
+type ExecutorService struct {
+	pool *executor.WorkerPool
+}
+
+// NewFixedThreadPool creates an ExecutorService with n threads registered
+// in reg (nil means gid.Default).
+func NewFixedThreadPool(n int, reg *gid.Registry) *ExecutorService {
+	if reg == nil {
+		reg = &gid.Default
+	}
+	return &ExecutorService{pool: executor.NewWorkerPool("executorservice", n, reg)}
+}
+
+// Execute submits fn for asynchronous execution.
+func (s *ExecutorService) Execute(fn func()) *executor.Completion { return s.pool.Post(fn) }
+
+// Pool exposes the backing worker pool.
+func (s *ExecutorService) Pool() *executor.WorkerPool { return s.pool }
+
+// Shutdown stops the service.
+func (s *ExecutorService) Shutdown() { s.pool.Shutdown() }
+
+// Future is a typed result handle produced by Submit.
+type Future[T any] struct {
+	comp   *executor.Completion
+	result *T
+}
+
+// Submit runs fn on the service and returns a Future for its value.
+func Submit[T any](s *ExecutorService, fn func() T) *Future[T] {
+	var slot T
+	f := &Future[T]{result: &slot}
+	f.comp = s.pool.Post(func() { *f.result = fn() })
+	return f
+}
+
+// Get blocks for the value (returns the captured panic as error, if any).
+func (f *Future[T]) Get() (T, error) {
+	err := f.comp.Wait()
+	return *f.result, err
+}
+
+// IsDone reports whether the computation has finished.
+func (f *Future[T]) IsDone() bool { return f.comp.Finished() }

@@ -1,0 +1,233 @@
+// Package httpserver implements the HTTP service of Evaluation B: "an HTTP
+// service that provides data encryption to web users. Every time a user
+// sends input data with an HTTP request, the server performs a calculation
+// and returns the result via the HTTP response."
+//
+// Two server organizations are compared, as in the paper:
+//
+//   - Jetty style: thread-per-request from a bounded pool — each request is
+//     admitted by a counting semaphore of Workers slots and computes on its
+//     own connection goroutine (Jetty's fixed thread pool).
+//   - Pyjama style: the accepting goroutine offloads the computation as a
+//     target block to a worker virtual target of Workers threads and waits
+//     for its completion.
+//
+// Either organization may additionally parallelize each request's kernel
+// with an OpenMP team (the paper's "//omp parallel" per event), which is
+// what produces the oversubscription plateau of Figure 9.
+package httpserver
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gid"
+	"repro/internal/kernels"
+)
+
+// Mode selects the server organization.
+type Mode int
+
+const (
+	// Jetty is the bounded thread-per-request organization.
+	Jetty Mode = iota
+	// Pyjama offloads computations to a worker virtual target.
+	Pyjama
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Jetty:
+		return "jetty"
+	case Pyjama:
+		return "pyjama"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a server.
+type Config struct {
+	// Mode selects the organization (Jetty or Pyjama).
+	Mode Mode
+	// Workers bounds concurrent computations (the x-axis of Figure 9).
+	Workers int
+	// OMPThreads, when > 1, runs each request's kernel on an OpenMP team
+	// of that size ("parallelization of each event").
+	OMPThreads int
+	// KernelBytes is the encryption payload size per request.
+	KernelBytes int
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.KernelBytes < 1 {
+		c.KernelBytes = 64 * 1024
+	}
+}
+
+// Server is a runnable encryption service.
+type Server struct {
+	cfg Config
+
+	ln   net.Listener
+	srv  *http.Server
+	rt   *core.Runtime // Pyjama mode
+	sem  chan struct{} // Jetty mode
+	reg  gid.Registry
+	done chan struct{}
+
+	served atomic.Int64
+	errors atomic.Int64
+}
+
+// New builds a server from cfg. Call Start to begin serving.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{cfg: cfg, done: make(chan struct{})}
+	switch cfg.Mode {
+	case Pyjama:
+		s.rt = core.NewRuntime(&s.reg)
+	default:
+		s.sem = make(chan struct{}, cfg.Workers)
+	}
+	return s
+}
+
+// Start binds to a loopback port and begins serving. It returns the base
+// URL ("http://127.0.0.1:PORT").
+func (s *Server) Start() (string, error) {
+	if s.rt != nil {
+		if _, err := s.rt.CreateWorker("worker", s.cfg.Workers); err != nil {
+			return "", err
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/encrypt", s.handleEncrypt)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		_ = s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// compute runs the encryption kernel for one request and returns the
+// ciphertext checksum.
+func (s *Server) compute(size int) int64 {
+	k := kernels.NewCrypt(size)
+	if s.cfg.OMPThreads > 1 {
+		k.RunPar(s.cfg.OMPThreads)
+	} else {
+		k.RunSeq()
+	}
+	return k.Checksum()
+}
+
+func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
+	size := s.cfg.KernelBytes
+	if q := r.URL.Query().Get("size"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.errors.Add(1)
+			http.Error(w, "bad size", http.StatusBadRequest)
+			return
+		}
+		size = v
+	}
+	var sum int64
+	switch s.cfg.Mode {
+	case Pyjama:
+		comp, err := s.rt.Invoke("worker", core.Wait, func() { sum = s.compute(size) })
+		if err != nil || comp.Err() != nil {
+			s.errors.Add(1)
+			http.Error(w, "compute failed", http.StatusInternalServerError)
+			return
+		}
+	default: // Jetty: admission into the fixed thread pool
+		s.sem <- struct{}{}
+		sum = s.compute(size)
+		<-s.sem
+	}
+	s.served.Add(1)
+	fmt.Fprintf(w, "%d\n", sum)
+}
+
+// Served returns the number of successful responses.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Errors returns the number of failed requests.
+func (s *Server) Errors() int64 { return s.errors.Load() }
+
+// Stop shuts the server down and releases its worker pool.
+func (s *Server) Stop() {
+	if s.srv != nil {
+		_ = s.srv.Close()
+		<-s.done
+	}
+	if s.rt != nil {
+		s.rt.Shutdown()
+	}
+}
+
+// Client is a minimal HTTP client for driving the service under load.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at base (as returned by Start).
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		http: &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+	}
+}
+
+// Encrypt issues one request and returns the response checksum.
+func (c *Client) Encrypt(size int) (int64, error) {
+	url := c.base + "/encrypt"
+	if size > 0 {
+		url += "?size=" + strconv.Itoa(size)
+	}
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpserver: status %d: %s", resp.StatusCode, body)
+	}
+	var sum int64
+	if _, err := fmt.Sscanf(string(body), "%d", &sum); err != nil {
+		return 0, fmt.Errorf("httpserver: bad response %q", body)
+	}
+	return sum, nil
+}

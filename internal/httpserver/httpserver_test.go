@@ -1,0 +1,188 @@
+package httpserver
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	base, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s, NewClient(base)
+}
+
+func TestJettyServesRequests(t *testing.T) {
+	s, c := startServer(t, Config{Mode: Jetty, Workers: 2, KernelBytes: 4096})
+	sum, err := c.Encrypt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum <= 0 {
+		t.Fatalf("checksum = %d", sum)
+	}
+	if s.Served() != 1 {
+		t.Fatalf("Served = %d", s.Served())
+	}
+}
+
+func TestPyjamaServesRequests(t *testing.T) {
+	s, c := startServer(t, Config{Mode: Pyjama, Workers: 2, KernelBytes: 4096})
+	sum, err := c.Encrypt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum <= 0 {
+		t.Fatalf("checksum = %d", sum)
+	}
+	if s.Served() != 1 {
+		t.Fatalf("Served = %d", s.Served())
+	}
+}
+
+func TestBothModesAgreeOnResult(t *testing.T) {
+	// The kernel is deterministic, so Jetty and Pyjama must return the
+	// same checksum for the same payload size.
+	_, cj := startServer(t, Config{Mode: Jetty, Workers: 1, KernelBytes: 2048})
+	_, cp := startServer(t, Config{Mode: Pyjama, Workers: 1, KernelBytes: 2048})
+	a, err := cj.Encrypt(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Encrypt(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("jetty %d != pyjama %d", a, b)
+	}
+}
+
+func TestParallelKernelSameResult(t *testing.T) {
+	_, seq := startServer(t, Config{Mode: Jetty, Workers: 1, OMPThreads: 1, KernelBytes: 8192})
+	_, par := startServer(t, Config{Mode: Jetty, Workers: 1, OMPThreads: 4, KernelBytes: 8192})
+	a, err := seq.Encrypt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Encrypt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("sequential kernel %d != parallel kernel %d", a, b)
+	}
+}
+
+func TestSizeParamValidation(t *testing.T) {
+	s, c := startServer(t, Config{Mode: Jetty, Workers: 1, KernelBytes: 1024})
+	respNeg, err := http.Get(c.base + "/encrypt?size=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respNeg.Body.Close()
+	if respNeg.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative size: status = %d", respNeg.StatusCode)
+	}
+	resp, err := http.Get(c.base + "/encrypt?size=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if s.Errors() != 2 {
+		t.Fatalf("Errors = %d", s.Errors())
+	}
+}
+
+func TestConcurrentLoadBothModes(t *testing.T) {
+	for _, mode := range []Mode{Jetty, Pyjama} {
+		s, c := startServer(t, Config{Mode: mode, Workers: 4, KernelBytes: 2048})
+		users := &workload.VirtualUsers{Users: 16, RequestsPerUser: 5}
+		var mu sync.Mutex
+		var firstErr error
+		users.Run(func(u, r int) {
+			if _, err := c.Encrypt(0); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		})
+		if firstErr != nil {
+			t.Fatalf("%v: %v", mode, firstErr)
+		}
+		if got := s.Served(); got != int64(users.Total()) {
+			t.Fatalf("%v: Served = %d, want %d", mode, got, users.Total())
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := startServer(t, Config{Mode: Jetty, Workers: 1})
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Jetty.String() != "jetty" || Pyjama.String() != "pyjama" || Mode(9).String() != "unknown" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Workers != 1 || cfg.KernelBytes != 64*1024 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestClientBadBase(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	if _, err := c.Encrypt(0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestStopIdempotentAndBeforeStart(t *testing.T) {
+	s := New(Config{Mode: Jetty, Workers: 1})
+	s.Stop() // never started: must not hang or panic
+	s2, c := startServer(t, Config{Mode: Pyjama, Workers: 1, KernelBytes: 1024})
+	if _, err := c.Encrypt(0); err != nil {
+		t.Fatal(err)
+	}
+	s2.Stop()
+	s2.Stop() // double stop
+	if _, err := c.Encrypt(0); err == nil {
+		t.Fatal("request to stopped server succeeded")
+	}
+}
+
+func TestPyjamaStartFailsOnSecondWorkerRegistration(t *testing.T) {
+	s := New(Config{Mode: Pyjama, Workers: 1})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// Reusing the same server's Start would re-register "worker".
+	if _, err := s.Start(); err == nil {
+		t.Fatal("second Start on pyjama server succeeded")
+	}
+}

@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+// Crypt is the Java Grande Crypt kernel: IDEA encryption and decryption of a
+// byte array, validated by round-trip equality. The block cipher is IDEA
+// (64-bit blocks, 128-bit key, 8.5 rounds); parallelization distributes
+// block ranges across the team, as the Java Grande multithreaded version
+// does.
+type Crypt struct {
+	n      int // payload size in bytes (rounded up to a block multiple)
+	encKey [52]uint16
+	decKey [52]uint16
+	plain  []byte
+	cipher []byte
+	out    []byte
+	ran    bool
+}
+
+const ideaBlock = 8
+
+// NewCrypt builds a Crypt instance over size bytes of deterministic
+// pseudo-random plaintext and a fixed random 128-bit key.
+func NewCrypt(size int) *Crypt {
+	if size < ideaBlock {
+		size = ideaBlock
+	}
+	size = (size + ideaBlock - 1) / ideaBlock * ideaBlock
+	c := &Crypt{n: size}
+	rng := rand.New(rand.NewSource(136506717))
+	var userKey [8]uint16
+	for i := range userKey {
+		userKey[i] = uint16(rng.Intn(1 << 16))
+	}
+	c.encKey = ideaEncryptKey(userKey)
+	c.decKey = ideaDecryptKey(c.encKey)
+	c.plain = make([]byte, size)
+	for i := range c.plain {
+		c.plain[i] = byte(rng.Intn(256))
+	}
+	c.cipher = make([]byte, size)
+	c.out = make([]byte, size)
+	return c
+}
+
+// Name implements Kernel.
+func (c *Crypt) Name() string { return "crypt" }
+
+// RunSeq encrypts then decrypts the whole payload on one goroutine.
+func (c *Crypt) RunSeq() {
+	ideaCipher(c.plain, c.cipher, &c.encKey, 0, c.n/ideaBlock)
+	ideaCipher(c.cipher, c.out, &c.decKey, 0, c.n/ideaBlock)
+	c.ran = true
+}
+
+// RunPar encrypts then decrypts with block ranges statically distributed
+// over an n-thread team (two parallel-for regions, one per direction).
+func (c *Crypt) RunPar(n int) {
+	blocks := c.n / ideaBlock
+	omp.Parallel(n, func(tc *omp.Team) {
+		tc.ForNowait(0, tc.NumThreads(), omp.Static, 0, func(t int) {
+			lo, hi := blockRange(blocks, tc.NumThreads(), t)
+			ideaCipher(c.plain, c.cipher, &c.encKey, lo, hi)
+		})
+	})
+	omp.Parallel(n, func(tc *omp.Team) {
+		tc.ForNowait(0, tc.NumThreads(), omp.Static, 0, func(t int) {
+			lo, hi := blockRange(blocks, tc.NumThreads(), t)
+			ideaCipher(c.cipher, c.out, &c.decKey, lo, hi)
+		})
+	})
+	c.ran = true
+}
+
+func blockRange(total, parts, idx int) (lo, hi int) {
+	per := total / parts
+	rem := total % parts
+	lo = idx*per + min(idx, rem)
+	size := per
+	if idx < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// Checksum returns the byte sum of the ciphertext of the last run (used by
+// the HTTP encryption service as its response payload).
+func (c *Crypt) Checksum() int64 {
+	var sum int64
+	for _, b := range c.cipher {
+		sum += int64(b)
+	}
+	return sum
+}
+
+// Validate checks the decrypt(encrypt(plain)) round trip.
+func (c *Crypt) Validate() error {
+	if !c.ran {
+		return fmt.Errorf("crypt: not run")
+	}
+	if !bytes.Equal(c.plain, c.out) {
+		for i := range c.plain {
+			if c.plain[i] != c.out[i] {
+				return fmt.Errorf("crypt: round trip mismatch at byte %d: %#x != %#x", i, c.plain[i], c.out[i])
+			}
+		}
+	}
+	if bytes.Equal(c.plain, c.cipher) {
+		return fmt.Errorf("crypt: ciphertext equals plaintext")
+	}
+	return nil
+}
+
+// ideaCipher runs the IDEA cipher over blocks [lo, hi) of src into dst using
+// the 52-subkey schedule key. The same function serves encryption and
+// decryption; only the key schedule differs.
+func ideaCipher(src, dst []byte, key *[52]uint16, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		o := b * ideaBlock
+		x1 := uint32(src[o])<<8 | uint32(src[o+1])
+		x2 := uint32(src[o+2])<<8 | uint32(src[o+3])
+		x3 := uint32(src[o+4])<<8 | uint32(src[o+5])
+		x4 := uint32(src[o+6])<<8 | uint32(src[o+7])
+		ik := 0
+		for r := 0; r < 8; r++ {
+			x1 = ideaMul(x1, uint32(key[ik]))
+			x2 = (x2 + uint32(key[ik+1])) & 0xffff
+			x3 = (x3 + uint32(key[ik+2])) & 0xffff
+			x4 = ideaMul(x4, uint32(key[ik+3]))
+			t2 := ideaMul(x1^x3, uint32(key[ik+4]))
+			t1 := ideaMul((t2+(x2^x4))&0xffff, uint32(key[ik+5]))
+			t2 = (t1 + t2) & 0xffff
+			x1 ^= t1
+			x4 ^= t2
+			t2 ^= x2
+			x2 = x3 ^ t1
+			x3 = t2
+			ik += 6
+		}
+		y1 := ideaMul(x1, uint32(key[48]))
+		y2 := (x3 + uint32(key[49])) & 0xffff
+		y3 := (x2 + uint32(key[50])) & 0xffff
+		y4 := ideaMul(x4, uint32(key[51]))
+		dst[o] = byte(y1 >> 8)
+		dst[o+1] = byte(y1)
+		dst[o+2] = byte(y2 >> 8)
+		dst[o+3] = byte(y2)
+		dst[o+4] = byte(y3 >> 8)
+		dst[o+5] = byte(y3)
+		dst[o+6] = byte(y4 >> 8)
+		dst[o+7] = byte(y4)
+	}
+}
+
+// ideaMul is multiplication modulo 2^16+1 with 0 standing for 2^16.
+func ideaMul(a, b uint32) uint32 {
+	if a == 0 {
+		return (0x10001 - b) & 0xffff
+	}
+	if b == 0 {
+		return (0x10001 - a) & 0xffff
+	}
+	p := a * b
+	lo := p & 0xffff
+	hi := p >> 16
+	r := lo - hi
+	if lo < hi {
+		r++
+	}
+	return r & 0xffff
+}
+
+// ideaMulInv returns the multiplicative inverse modulo 2^16+1 under the same
+// zero-encoding (inv(0) = 0, since 2^16 is self-inverse mod 2^16+1).
+func ideaMulInv(x uint16) uint16 {
+	if x <= 1 {
+		return x
+	}
+	// Extended Euclid for x^-1 mod 0x10001.
+	t1 := uint32(0x10001 / uint32(x))
+	y := uint32(0x10001) % uint32(x)
+	if y == 1 {
+		return uint16((1 - t1) & 0xffff)
+	}
+	t0 := uint32(1)
+	q := uint32(x)
+	for y != 1 {
+		qq := q / y
+		q %= y
+		t0 += qq * t1
+		if q == 1 {
+			return uint16(t0)
+		}
+		qq = y / q
+		y %= q
+		t1 += qq * t0
+	}
+	return uint16((1 - t1) & 0xffff)
+}
+
+// ideaAddInv returns the additive inverse modulo 2^16.
+func ideaAddInv(x uint16) uint16 { return uint16((0x10000 - uint32(x)) & 0xffff) }
+
+// ideaEncryptKey expands the 128-bit user key into the 52 encryption
+// subkeys by the standard 25-bit rotation schedule.
+func ideaEncryptKey(user [8]uint16) [52]uint16 {
+	var z [52]uint16
+	copy(z[:8], user[:])
+	for i := 8; i < 52; i++ {
+		switch i % 8 {
+		case 0, 1, 2, 3, 4, 5:
+			z[i] = z[i-7]<<9 | z[i-6]>>7
+		case 6:
+			z[i] = z[i-7]<<9 | z[i-14]>>7
+		default: // 7
+			z[i] = z[i-15]<<9 | z[i-14]>>7
+		}
+	}
+	return z
+}
+
+// ideaDecryptKey derives the decryption schedule from the encryption one:
+// multiplicative keys inverted, additive keys negated, with the inner-round
+// additive pair swapped for rounds 2-8 (mirroring the x2/x3 swap inside the
+// round function).
+func ideaDecryptKey(z [52]uint16) [52]uint16 {
+	var dk [52]uint16
+	// Decryption round 1 <- encryption output transform + round 8 MA keys.
+	dk[0] = ideaMulInv(z[48])
+	dk[1] = ideaAddInv(z[49])
+	dk[2] = ideaAddInv(z[50])
+	dk[3] = ideaMulInv(z[51])
+	dk[4] = z[46]
+	dk[5] = z[47]
+	// Decryption rounds 2..8 <- encryption rounds 8..2 (swapped additive
+	// pair) + the preceding round's MA keys.
+	for r := 1; r < 8; r++ {
+		zi := (8 - r) * 6
+		di := r * 6
+		dk[di] = ideaMulInv(z[zi])
+		dk[di+1] = ideaAddInv(z[zi+2])
+		dk[di+2] = ideaAddInv(z[zi+1])
+		dk[di+3] = ideaMulInv(z[zi+3])
+		dk[di+4] = z[zi-2]
+		dk[di+5] = z[zi-1]
+	}
+	// Decryption output transform <- encryption round 1 keys (no swap).
+	dk[48] = ideaMulInv(z[0])
+	dk[49] = ideaAddInv(z[1])
+	dk[50] = ideaAddInv(z[2])
+	dk[51] = ideaMulInv(z[3])
+	return dk
+}

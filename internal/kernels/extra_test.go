@@ -1,0 +1,279 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSORSequential(t *testing.T) {
+	s := NewSOR(TestSize("sor"))
+	s.RunSeq()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() == 0 || math.IsNaN(s.Total()) {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+func TestSORParallelBitIdentical(t *testing.T) {
+	seq := NewSOR(48)
+	seq.RunSeq()
+	for _, n := range []int{2, 3, 4} {
+		par := NewSOR(48)
+		par.RunPar(n)
+		if par.Total() != seq.Total() {
+			t.Fatalf("n=%d: total %v != sequential %v (red-black ordering broken)",
+				n, par.Total(), seq.Total())
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSORRelaxesTowardSmoothness(t *testing.T) {
+	// One relaxation pass must reduce the grid's roughness (sum of squared
+	// neighbor differences) relative to the initial random field.
+	rough := func(g []float64, n int) float64 {
+		r := 0.0
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				d := g[i*n+j] - g[i*n+j+1]
+				r += d * d
+			}
+		}
+		return r
+	}
+	a := NewSOR(32)
+	before := rough(a.g, a.n)
+	a.RunSeq()
+	after := rough(a.g, a.n)
+	if after >= before {
+		t.Fatalf("roughness did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestSORMinimumSizeClamped(t *testing.T) {
+	s := NewSOR(1)
+	if s.n != 4 {
+		t.Fatalf("n = %d, want clamped 4", s.n)
+	}
+	s.RunSeq()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseSequential(t *testing.T) {
+	s := NewSparse(TestSize("sparse"))
+	s.RunSeq()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseParallelBitIdentical(t *testing.T) {
+	seq := NewSparse(2048)
+	seq.RunSeq()
+	for _, n := range []int{2, 4, 7} {
+		par := NewSparse(2048)
+		par.RunPar(n)
+		if par.Total() != seq.Total() {
+			t.Fatalf("n=%d: total %v != sequential %v", n, par.Total(), seq.Total())
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSparseCSRWellFormed(t *testing.T) {
+	s := NewSparse(512)
+	if s.rowPtr[0] != 0 || s.rowPtr[s.n] != s.nnz {
+		t.Fatalf("rowPtr bounds: %d..%d, nnz %d", s.rowPtr[0], s.rowPtr[s.n], s.nnz)
+	}
+	for r := 0; r < s.n; r++ {
+		if s.rowPtr[r] > s.rowPtr[r+1] {
+			t.Fatalf("rowPtr not monotonic at %d", r)
+		}
+		for k := s.rowPtr[r]; k < s.rowPtr[r+1]; k++ {
+			if s.colIdx[k] < 0 || s.colIdx[k] >= s.n {
+				t.Fatalf("col index out of range: %d", s.colIdx[k])
+			}
+		}
+	}
+}
+
+func TestSparseNotRun(t *testing.T) {
+	if err := NewSparse(64).Validate(); err == nil {
+		t.Fatal("Validate passed without running")
+	}
+}
+
+func TestExtensionKernelsViaFactories(t *testing.T) {
+	for _, name := range []string{"sor", "sparse"} {
+		f := Factories()[name]
+		if f == nil {
+			t.Fatalf("%s not registered", name)
+		}
+		k := f(TestSize(name))
+		k.RunPar(3)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPaperNamesSubsetOfNames(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range PaperNames() {
+		if !all[n] {
+			t.Fatalf("paper kernel %q missing from Names", n)
+		}
+	}
+	if len(PaperNames()) != 4 {
+		t.Fatalf("paper selects 4 kernels, got %d", len(PaperNames()))
+	}
+}
+
+func BenchmarkSORSeq(b *testing.B)    { benchKernel(b, func() Kernel { return NewSOR(96) }, 0) }
+func BenchmarkSORPar4(b *testing.B)   { benchKernel(b, func() Kernel { return NewSOR(96) }, 4) }
+func BenchmarkSparseSeq(b *testing.B) { benchKernel(b, func() Kernel { return NewSparse(1 << 14) }, 0) }
+func BenchmarkSparsePar4(b *testing.B) {
+	benchKernel(b, func() Kernel { return NewSparse(1 << 14) }, 4)
+}
+
+func TestMolDynSequential(t *testing.T) {
+	md := NewMolDyn(2)
+	md.RunSeq()
+	if err := md.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ke, pe := md.Energy()
+	if ke <= 0 {
+		t.Fatalf("kinetic = %v", ke)
+	}
+	if pe >= 0 {
+		t.Fatalf("potential = %v, want negative (bound LJ system)", pe)
+	}
+}
+
+func TestMolDynParallelBitIdentical(t *testing.T) {
+	seq := NewMolDyn(2)
+	seq.RunSeq()
+	for _, n := range []int{2, 3, 4} {
+		par := NewMolDyn(2)
+		par.RunPar(n)
+		ke1, pe1 := seq.Energy()
+		ke2, pe2 := par.Energy()
+		if ke1 != ke2 || pe1 != pe2 {
+			t.Fatalf("n=%d: energies (%v,%v) != sequential (%v,%v)", n, ke2, pe2, ke1, pe1)
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMolDynMomentumConserved(t *testing.T) {
+	md := NewMolDyn(2)
+	md.RunSeq()
+	var px, py, pz float64
+	for i := 0; i < md.n; i++ {
+		px += md.vel[3*i]
+		py += md.vel[3*i+1]
+		pz += md.vel[3*i+2]
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-8*float64(md.n) {
+		t.Fatalf("net momentum (%v, %v, %v) not conserved", px, py, pz)
+	}
+}
+
+func TestLUFactSequentialResidual(t *testing.T) {
+	lu := NewLUFact(128)
+	lu.RunSeq()
+	if err := lu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUFactParallelBitIdentical(t *testing.T) {
+	seq := NewLUFact(96)
+	seq.RunSeq()
+	want := seq.Solution()
+	for _, n := range []int{2, 3, 4} {
+		par := NewLUFact(96)
+		par.RunPar(n)
+		if err := par.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := par.Solution()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d: x[%d] = %v != sequential %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUFactSolvesKnownSystem(t *testing.T) {
+	// Overwrite with the identity: solution must equal b.
+	lu := NewLUFact(8)
+	for i := 0; i < lu.n; i++ {
+		for j := 0; j < lu.n; j++ {
+			v := 0.0
+			if i == j {
+				v = 1.0
+			}
+			lu.a[i*lu.n+j] = v
+			lu.a0[i*lu.n+j] = v
+		}
+	}
+	lu.RunSeq()
+	for i, v := range lu.Solution() {
+		if math.Abs(v-lu.b[i]) > 1e-15 {
+			t.Fatalf("x[%d] = %v, want %v", i, v, lu.b[i])
+		}
+	}
+}
+
+func BenchmarkMolDynSeq(b *testing.B)  { benchKernel(b, func() Kernel { return NewMolDyn(3) }, 0) }
+func BenchmarkMolDynPar4(b *testing.B) { benchKernel(b, func() Kernel { return NewMolDyn(3) }, 4) }
+func BenchmarkLUFactSeq(b *testing.B)  { benchKernel(b, func() Kernel { return NewLUFact(256) }, 0) }
+func BenchmarkLUFactPar4(b *testing.B) { benchKernel(b, func() Kernel { return NewLUFact(256) }, 4) }
+
+func TestSizeAKnownForAllFamilies(t *testing.T) {
+	for _, n := range Names() {
+		if SizeA(n) <= TestSize(n) && n != "moldyn" {
+			t.Errorf("%s: SizeA (%d) not larger than TestSize (%d)", n, SizeA(n), TestSize(n))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SizeA on unknown family did not panic")
+		}
+	}()
+	SizeA("bogus")
+}
+
+func TestRunParOneEqualsRunSeqAllFamilies(t *testing.T) {
+	// Property: a one-thread team is the sequential execution for every
+	// kernel family (the master runs everything).
+	for _, name := range Names() {
+		f := Factories()[name]
+		a := f(TestSize(name))
+		a.RunSeq()
+		b := f(TestSize(name))
+		b.RunPar(1)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s seq: %v", name, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%s par(1): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+// LUFact is the Java Grande LUFact kernel: Linpack-style LU factorization
+// with partial pivoting followed by triangular solves, validated by the
+// residual of A x = b. The elimination's rank-1 update is row-parallel
+// (each row's update depends only on the pivot row), so parallel results
+// are bit-identical to sequential ones.
+type LUFact struct {
+	n   int
+	a   []float64 // n x n row-major working matrix (factorized in place)
+	a0  []float64 // pristine copy for the residual check
+	b   []float64
+	x   []float64
+	piv []int
+	ran bool
+}
+
+// NewLUFact builds an instance over a deterministic random size x size
+// system.
+func NewLUFact(size int) *LUFact {
+	if size < 4 {
+		size = 4
+	}
+	lu := &LUFact{
+		n:   size,
+		a:   make([]float64, size*size),
+		b:   make([]float64, size),
+		x:   make([]float64, size),
+		piv: make([]int, size),
+	}
+	rng := rand.New(rand.NewSource(1325))
+	for i := range lu.a {
+		lu.a[i] = rng.Float64() - 0.5
+	}
+	for i := range lu.b {
+		lu.b[i] = rng.Float64() - 0.5
+	}
+	lu.a0 = append([]float64(nil), lu.a...)
+	return lu
+}
+
+// Name implements Kernel.
+func (lu *LUFact) Name() string { return "lufact" }
+
+// pivotAndScale performs the pivot search, row swap and multiplier scaling
+// of elimination step k (the serial part of dgefa's outer loop).
+func (lu *LUFact) pivotAndScale(k int) {
+	n := lu.n
+	// Partial pivoting: largest |a[i][k]|, i >= k.
+	p := k
+	maxAbs := math.Abs(lu.a[k*n+k])
+	for i := k + 1; i < n; i++ {
+		if v := math.Abs(lu.a[i*n+k]); v > maxAbs {
+			maxAbs = v
+			p = i
+		}
+	}
+	lu.piv[k] = p
+	if p != k {
+		for j := k; j < n; j++ {
+			lu.a[k*n+j], lu.a[p*n+j] = lu.a[p*n+j], lu.a[k*n+j]
+		}
+	}
+	pivot := lu.a[k*n+k]
+	if pivot == 0 {
+		return // singular; the residual check will fail loudly
+	}
+	for i := k + 1; i < n; i++ {
+		lu.a[i*n+k] /= pivot
+	}
+}
+
+// updateRow applies the rank-1 update of step k to row i (> k).
+func (lu *LUFact) updateRow(i, k int) {
+	n := lu.n
+	m := lu.a[i*n+k]
+	if m == 0 {
+		return
+	}
+	pivotRow := lu.a[k*n : k*n+n]
+	row := lu.a[i*n : i*n+n]
+	for j := k + 1; j < n; j++ {
+		row[j] -= m * pivotRow[j]
+	}
+}
+
+// solve applies the recorded pivots to b and performs the forward and back
+// substitutions (dgesl), leaving the solution in x.
+func (lu *LUFact) solve() {
+	n := lu.n
+	copy(lu.x, lu.b)
+	// Forward: apply pivots and L.
+	for k := 0; k < n-1; k++ {
+		p := lu.piv[k]
+		if p != k {
+			lu.x[k], lu.x[p] = lu.x[p], lu.x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			lu.x[i] -= lu.a[i*n+k] * lu.x[k]
+		}
+	}
+	// Back: U.
+	for k := n - 1; k >= 0; k-- {
+		lu.x[k] /= lu.a[k*n+k]
+		for i := 0; i < k; i++ {
+			lu.x[i] -= lu.a[i*n+k] * lu.x[k]
+		}
+	}
+}
+
+// RunSeq factorizes and solves on the calling goroutine.
+func (lu *LUFact) RunSeq() {
+	n := lu.n
+	for k := 0; k < n-1; k++ {
+		lu.pivotAndScale(k)
+		for i := k + 1; i < n; i++ {
+			lu.updateRow(i, k)
+		}
+	}
+	lu.piv[n-1] = n - 1
+	lu.solve()
+	lu.ran = true
+}
+
+// RunPar factorizes with the rank-1 update distributed over an nt-thread
+// team: one member pivots (Single, with its implicit barrier), then all
+// update disjoint row ranges, with the loop's implicit barrier sequencing
+// the elimination steps.
+func (lu *LUFact) RunPar(nt int) {
+	n := lu.n
+	omp.Parallel(nt, func(tc *omp.Team) {
+		for k := 0; k < n-1; k++ {
+			k := k
+			tc.Single(func() { lu.pivotAndScale(k) })
+			tc.For(k+1, n, omp.Static, 0, func(i int) { lu.updateRow(i, k) })
+		}
+	})
+	lu.piv[n-1] = n - 1
+	lu.solve()
+	lu.ran = true
+}
+
+// Residual returns the normalized Linpack residual
+// ||Ax - b||_inf / (n * ||A||_inf * ||x||_inf * eps).
+func (lu *LUFact) Residual() float64 {
+	n := lu.n
+	var rMax, aMax, xMax float64
+	for i := 0; i < n; i++ {
+		var dot, rowSum float64
+		for j := 0; j < n; j++ {
+			dot += lu.a0[i*n+j] * lu.x[j]
+			rowSum += math.Abs(lu.a0[i*n+j])
+		}
+		if r := math.Abs(dot - lu.b[i]); r > rMax {
+			rMax = r
+		}
+		if rowSum > aMax {
+			aMax = rowSum
+		}
+	}
+	for _, v := range lu.x {
+		if a := math.Abs(v); a > xMax {
+			xMax = a
+		}
+	}
+	denom := float64(n) * aMax * xMax * 2.220446049250313e-16
+	if denom == 0 {
+		return math.Inf(1)
+	}
+	return rMax / denom
+}
+
+// Solution returns a copy of the computed solution vector.
+func (lu *LUFact) Solution() []float64 {
+	out := make([]float64, len(lu.x))
+	copy(out, lu.x)
+	return out
+}
+
+// Validate checks the Linpack residual criterion (< 16, the standard
+// threshold) — which simultaneously catches factorization and solve bugs.
+func (lu *LUFact) Validate() error {
+	if !lu.ran {
+		return fmt.Errorf("lufact: not run")
+	}
+	r := lu.Residual()
+	if math.IsNaN(r) || r >= 16 {
+		return fmt.Errorf("lufact: normalized residual %v (want < 16)", r)
+	}
+	return nil
+}

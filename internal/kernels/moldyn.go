@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+// MolDyn is the Java Grande MolDyn kernel: an N-body molecular dynamics
+// simulation of argon-like particles on an FCC lattice with Lennard-Jones
+// interactions, periodic boundaries and velocity-Verlet integration.
+//
+// Parallelization note: instead of Newton's-third-law pair halving (whose
+// force accumulation order depends on the thread decomposition), every
+// particle computes its own incoming forces over all others. That doubles
+// the arithmetic but makes force rows independent, so the parallel run is
+// bit-identical to the sequential one for every thread count — the same
+// determinism contract as the other kernels here.
+type MolDyn struct {
+	m     int // lattice cells per dimension; N = 4m^3
+	n     int
+	steps int
+
+	boxLen  float64
+	cutoff2 float64
+	dt      float64
+
+	pos, vel, force []float64 // 3N, interleaved xyz
+	peParts         []float64 // per-particle potential (deterministic sum)
+
+	kinetic, potential float64
+	ran                bool
+}
+
+// NewMolDyn builds an instance with size lattice cells per dimension
+// (size < 2 clamps to 2 → 32 particles) and 8 velocity-Verlet steps.
+func NewMolDyn(size int) *MolDyn {
+	if size < 2 {
+		size = 2
+	}
+	md := &MolDyn{m: size, n: 4 * size * size * size, steps: 8}
+	md.init()
+	return md
+}
+
+func (md *MolDyn) init() {
+	n := md.n
+	// Reduced-unit density 0.8442 (the Java Grande configuration).
+	const density = 0.8442
+	md.boxLen = math.Cbrt(float64(n) / density)
+	cut := 2.5
+	if half := md.boxLen / 2; cut > half {
+		cut = half
+	}
+	md.cutoff2 = cut * cut
+	md.dt = 0.004
+
+	md.pos = make([]float64, 3*n)
+	md.vel = make([]float64, 3*n)
+	md.force = make([]float64, 3*n)
+	md.peParts = make([]float64, n)
+
+	// FCC lattice.
+	cell := md.boxLen / float64(md.m)
+	offsets := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	i := 0
+	for x := 0; x < md.m; x++ {
+		for y := 0; y < md.m; y++ {
+			for z := 0; z < md.m; z++ {
+				for _, o := range offsets {
+					md.pos[3*i] = (float64(x) + o[0]) * cell
+					md.pos[3*i+1] = (float64(y) + o[1]) * cell
+					md.pos[3*i+2] = (float64(z) + o[2]) * cell
+					i++
+				}
+			}
+		}
+	}
+	// Maxwell-ish velocities from a fixed seed, zero net momentum.
+	rng := rand.New(rand.NewSource(20120111))
+	var px, py, pz float64
+	for i := 0; i < n; i++ {
+		md.vel[3*i] = rng.NormFloat64()
+		md.vel[3*i+1] = rng.NormFloat64()
+		md.vel[3*i+2] = rng.NormFloat64()
+		px += md.vel[3*i]
+		py += md.vel[3*i+1]
+		pz += md.vel[3*i+2]
+	}
+	for i := 0; i < n; i++ {
+		md.vel[3*i] -= px / float64(n)
+		md.vel[3*i+1] -= py / float64(n)
+		md.vel[3*i+2] -= pz / float64(n)
+	}
+}
+
+// Name implements Kernel.
+func (md *MolDyn) Name() string { return "moldyn" }
+
+// forceOn computes the LJ force on particle i from all others and its
+// potential-energy share (half of each pair's potential).
+func (md *MolDyn) forceOn(i int) {
+	n := md.n
+	xi, yi, zi := md.pos[3*i], md.pos[3*i+1], md.pos[3*i+2]
+	var fx, fy, fz, pe float64
+	box := md.boxLen
+	half := box / 2
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		dx := xi - md.pos[3*j]
+		dy := yi - md.pos[3*j+1]
+		dz := zi - md.pos[3*j+2]
+		// Minimum-image periodic boundaries.
+		if dx > half {
+			dx -= box
+		} else if dx < -half {
+			dx += box
+		}
+		if dy > half {
+			dy -= box
+		} else if dy < -half {
+			dy += box
+		}
+		if dz > half {
+			dz -= box
+		} else if dz < -half {
+			dz += box
+		}
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 >= md.cutoff2 || r2 == 0 {
+			continue
+		}
+		inv2 := 1 / r2
+		inv6 := inv2 * inv2 * inv2
+		// LJ: V = 4(r^-12 - r^-6); F = 24(2 r^-12 - r^-6)/r^2 * r_vec
+		ff := 24 * inv2 * inv6 * (2*inv6 - 1)
+		fx += ff * dx
+		fy += ff * dy
+		fz += ff * dz
+		pe += 2 * inv6 * (inv6 - 1) // half of 4(...) — pair shared with j
+	}
+	md.force[3*i] = fx
+	md.force[3*i+1] = fy
+	md.force[3*i+2] = fz
+	md.peParts[i] = pe
+}
+
+// step advances one velocity-Verlet timestep; computeForces runs the force
+// loop (sequentially or across a team).
+func (md *MolDyn) step(computeForces func()) {
+	n := md.n
+	dt := md.dt
+	// Half-kick + drift.
+	for i := 0; i < 3*n; i++ {
+		md.vel[i] += 0.5 * dt * md.force[i]
+		md.pos[i] += dt * md.vel[i]
+	}
+	// Wrap into the box.
+	box := md.boxLen
+	for i := 0; i < 3*n; i++ {
+		if md.pos[i] >= box {
+			md.pos[i] -= box
+		} else if md.pos[i] < 0 {
+			md.pos[i] += box
+		}
+	}
+	computeForces()
+	// Second half-kick.
+	for i := 0; i < 3*n; i++ {
+		md.vel[i] += 0.5 * dt * md.force[i]
+	}
+}
+
+func (md *MolDyn) finish() {
+	ke := 0.0
+	for i := 0; i < 3*md.n; i++ {
+		ke += 0.5 * md.vel[i] * md.vel[i]
+	}
+	pe := 0.0
+	for _, p := range md.peParts {
+		pe += p
+	}
+	md.kinetic = ke
+	md.potential = pe
+	md.ran = true
+}
+
+// RunSeq runs the simulation on the calling goroutine.
+func (md *MolDyn) RunSeq() {
+	seq := func() {
+		for i := 0; i < md.n; i++ {
+			md.forceOn(i)
+		}
+	}
+	seq() // initial forces
+	for s := 0; s < md.steps; s++ {
+		md.step(seq)
+	}
+	md.finish()
+}
+
+// RunPar runs with the force loop distributed over an n-thread team.
+func (md *MolDyn) RunPar(n int) {
+	par := func() {
+		omp.ParallelForSchedule(n, 0, md.n, omp.Static, 0, md.forceOn)
+	}
+	par()
+	for s := 0; s < md.steps; s++ {
+		md.step(par)
+	}
+	md.finish()
+}
+
+// Energy returns (kinetic, potential) after the last run.
+func (md *MolDyn) Energy() (float64, float64) { return md.kinetic, md.potential }
+
+// refMolDyn caches sequential reference energies per size.
+var refMolDyn = map[int][2]float64{}
+
+// Validate checks energies are finite and bit-identical to a sequential
+// reference run of the same size.
+func (md *MolDyn) Validate() error {
+	if !md.ran {
+		return fmt.Errorf("moldyn: not run")
+	}
+	if math.IsNaN(md.kinetic+md.potential) || math.IsInf(md.kinetic+md.potential, 0) {
+		return fmt.Errorf("moldyn: energies diverged: ke=%v pe=%v", md.kinetic, md.potential)
+	}
+	refMu.Lock()
+	ref, ok := refMolDyn[md.m]
+	if !ok {
+		r := NewMolDyn(md.m)
+		refMu.Unlock()
+		r.RunSeq()
+		refMu.Lock()
+		refMolDyn[md.m] = [2]float64{r.kinetic, r.potential}
+		ref = refMolDyn[md.m]
+	}
+	refMu.Unlock()
+	if md.kinetic != ref[0] || md.potential != ref[1] {
+		return fmt.Errorf("moldyn: energies (%v, %v) != reference (%v, %v)",
+			md.kinetic, md.potential, ref[0], ref[1])
+	}
+	return nil
+}

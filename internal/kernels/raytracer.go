@@ -1,0 +1,238 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/omp"
+)
+
+// RayTracer is the Java Grande RayTracer kernel: render a scene of spheres
+// lit by a point light, with shadows and recursive reflections, onto a
+// square image, and checksum the pixels. Scanlines are independent, so the
+// parallel version interleaves rows across the team (the Java Grande
+// multithreaded version uses a cyclic distribution for load balance — rows
+// through the sphere cluster cost more).
+type RayTracer struct {
+	width, height int
+	scene         rtScene
+	checksum      int64
+	ran           bool
+}
+
+// NewRayTracer builds an instance rendering a size x size image of the
+// standard 64-sphere scene.
+func NewRayTracer(size int) *RayTracer {
+	if size < 4 {
+		size = 4
+	}
+	return &RayTracer{width: size, height: size, scene: buildScene()}
+}
+
+// Name implements Kernel.
+func (r *RayTracer) Name() string { return "raytracer" }
+
+// RunSeq renders all scanlines on the calling goroutine.
+func (r *RayTracer) RunSeq() {
+	var sum int64
+	for y := 0; y < r.height; y++ {
+		sum += r.renderRow(y)
+	}
+	r.checksum = sum
+	r.ran = true
+}
+
+// RunPar renders with rows cyclically distributed over an n-thread team.
+func (r *RayTracer) RunPar(n int) {
+	var sum atomic.Int64
+	omp.ParallelForSchedule(n, 0, r.height, omp.Static, 1, func(y int) {
+		sum.Add(r.renderRow(y))
+	})
+	r.checksum = sum.Load()
+	r.ran = true
+}
+
+// Checksum returns the pixel checksum of the last run.
+func (r *RayTracer) Checksum() int64 { return r.checksum }
+
+// refChecksums caches the sequential reference checksum per image size.
+var refChecksums sync.Map // int -> int64
+
+// Validate compares the run's checksum to a sequential reference rendering
+// of the same size (computed once per size and cached).
+func (r *RayTracer) Validate() error {
+	if !r.ran {
+		return fmt.Errorf("raytracer: not run")
+	}
+	refAny, ok := refChecksums.Load(r.width)
+	if !ok {
+		ref := NewRayTracer(r.width)
+		ref.RunSeq()
+		refAny, _ = refChecksums.LoadOrStore(r.width, ref.checksum)
+	}
+	if ref := refAny.(int64); r.checksum != ref {
+		return fmt.Errorf("raytracer: checksum %d != reference %d", r.checksum, ref)
+	}
+	if r.checksum == 0 {
+		return fmt.Errorf("raytracer: zero checksum (blank image)")
+	}
+	return nil
+}
+
+// --- minimal vector algebra -------------------------------------------------
+
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) scale(s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func (a vec3) dot(b vec3) float64   { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec3) mulv(b vec3) vec3     { return vec3{a.x * b.x, a.y * b.y, a.z * b.z} }
+func (a vec3) norm() vec3 {
+	l := math.Sqrt(a.dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.scale(1 / l)
+}
+
+type rtSphere struct {
+	center vec3
+	radius float64
+	color  vec3
+	// kd/ks/kr: diffuse, specular, reflective coefficients.
+	kd, ks, kr float64
+	shine      float64
+}
+
+type rtScene struct {
+	spheres    []rtSphere
+	light      vec3
+	ambient    vec3
+	eye        vec3
+	background vec3
+}
+
+// buildScene reproduces the Java Grande scene shape: an 4x4x4 grid of 64
+// spheres of alternating materials, one point light, eye on the +z axis.
+func buildScene() rtScene {
+	sc := rtScene{
+		light:      vec3{100, 100, 100},
+		ambient:    vec3{0.1, 0.1, 0.1},
+		eye:        vec3{0, 0, 30},
+		background: vec3{0.05, 0.05, 0.15},
+	}
+	colors := []vec3{{0.9, 0.2, 0.2}, {0.2, 0.9, 0.2}, {0.2, 0.2, 0.9}, {0.9, 0.9, 0.2}}
+	i := 0
+	for gx := 0; gx < 4; gx++ {
+		for gy := 0; gy < 4; gy++ {
+			for gz := 0; gz < 4; gz++ {
+				s := rtSphere{
+					center: vec3{float64(gx-2)*4 + 2, float64(gy-2)*4 + 2, float64(gz-2)*4 + 2},
+					radius: 1.4,
+					color:  colors[i%len(colors)],
+					kd:     0.7,
+					ks:     0.3,
+					kr:     0.25,
+					shine:  20,
+				}
+				sc.spheres = append(sc.spheres, s)
+				i++
+			}
+		}
+	}
+	return sc
+}
+
+const rtMaxDepth = 5
+
+// intersect finds the nearest sphere hit by origin+t*dir with t > eps.
+func (sc *rtScene) intersect(origin, dir vec3, eps float64) (int, float64) {
+	best := -1
+	bestT := math.Inf(1)
+	for i := range sc.spheres {
+		s := &sc.spheres[i]
+		oc := origin.sub(s.center)
+		b := oc.dot(dir)
+		c := oc.dot(oc) - s.radius*s.radius
+		disc := b*b - c
+		if disc <= 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := -b - sq
+		if t < eps {
+			t = -b + sq
+		}
+		if t > eps && t < bestT {
+			bestT = t
+			best = i
+		}
+	}
+	return best, bestT
+}
+
+// shade computes the color seen along origin+dir.
+func (sc *rtScene) shade(origin, dir vec3, depth int) vec3 {
+	idx, t := sc.intersect(origin, dir, 1e-6)
+	if idx < 0 {
+		return sc.background
+	}
+	s := &sc.spheres[idx]
+	hit := origin.add(dir.scale(t))
+	n := hit.sub(s.center).norm()
+	col := sc.ambient.mulv(s.color)
+
+	toLight := sc.light.sub(hit)
+	lightDist := math.Sqrt(toLight.dot(toLight))
+	l := toLight.scale(1 / lightDist)
+
+	// Shadow ray.
+	shIdx, shT := sc.intersect(hit, l, 1e-4)
+	inShadow := shIdx >= 0 && shT < lightDist
+	if !inShadow {
+		if nl := n.dot(l); nl > 0 {
+			col = col.add(s.color.scale(s.kd * nl))
+			// Blinn-Phong specular.
+			h := l.sub(dir).norm()
+			if nh := n.dot(h); nh > 0 {
+				col = col.add(vec3{1, 1, 1}.scale(s.ks * math.Pow(nh, s.shine)))
+			}
+		}
+	}
+	// Reflection.
+	if s.kr > 0 && depth < rtMaxDepth {
+		refl := dir.sub(n.scale(2 * dir.dot(n))).norm()
+		col = col.add(sc.shade(hit, refl, depth+1).scale(s.kr))
+	}
+	return col
+}
+
+// renderRow renders scanline y and returns its pixel checksum contribution
+// (the Java Grande validation sums the pixel values).
+func (r *RayTracer) renderRow(y int) int64 {
+	var sum int64
+	fw, fh := float64(r.width), float64(r.height)
+	viewSize := 20.0
+	for x := 0; x < r.width; x++ {
+		px := (float64(x)/fw - 0.5) * viewSize
+		py := (0.5 - float64(y)/fh) * viewSize
+		dir := vec3{px, py, -30}.norm()
+		c := r.scene.shade(r.scene.eye, dir, 0)
+		sum += int64(clamp8(c.x)) + int64(clamp8(c.y)) + int64(clamp8(c.z))
+	}
+	return sum
+}
+
+func clamp8(v float64) uint8 {
+	i := int(v * 255)
+	if i < 0 {
+		return 0
+	}
+	if i > 255 {
+		return 255
+	}
+	return uint8(i)
+}

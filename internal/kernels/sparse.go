@@ -1,0 +1,148 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/omp"
+)
+
+// refMu guards the lazy reference caches of the extension kernels.
+var refMu sync.Mutex
+
+// Sparse is the Java Grande SparseMatmult kernel: repeated multiplication
+// of a random sparse matrix (CSR form) with a dense vector, y = A*x,
+// iterated a fixed number of times. Rows are independent, so the parallel
+// version distributes row ranges across the team and results are
+// bit-identical to the sequential run.
+type Sparse struct {
+	n      int // matrix dimension
+	nnz    int
+	iters  int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+	x, y   []float64
+	total  float64
+	ran    bool
+}
+
+// NewSparse builds an instance with an size x size matrix holding
+// approximately 5*size nonzeros (the Java Grande density) and 50
+// multiplication iterations.
+func NewSparse(size int) *Sparse {
+	if size < 8 {
+		size = 8
+	}
+	s := &Sparse{n: size, nnz: 5 * size, iters: 50}
+	rng := rand.New(rand.NewSource(1966))
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	entries := make([]entry, s.nnz)
+	for i := range entries {
+		entries[i] = entry{rng.Intn(size), rng.Intn(size), rng.Float64()}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	s.rowPtr = make([]int, size+1)
+	s.colIdx = make([]int, s.nnz)
+	s.vals = make([]float64, s.nnz)
+	for i, e := range entries {
+		s.colIdx[i] = e.c
+		s.vals[i] = e.v
+		s.rowPtr[e.r+1]++
+	}
+	for r := 0; r < size; r++ {
+		s.rowPtr[r+1] += s.rowPtr[r]
+	}
+	s.x = make([]float64, size)
+	for i := range s.x {
+		s.x[i] = rng.Float64()
+	}
+	s.y = make([]float64, size)
+	return s
+}
+
+// Name implements Kernel.
+func (s *Sparse) Name() string { return "sparse" }
+
+// multiplyRows accumulates y[i] += sum(A[i,:] * x) for rows [lo, hi).
+func (s *Sparse) multiplyRows(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			sum += s.vals[k] * s.x[s.colIdx[k]]
+		}
+		s.y[i] += sum
+	}
+}
+
+func (s *Sparse) finish() {
+	total := 0.0
+	for _, v := range s.y {
+		total += v
+	}
+	s.total = total
+	s.ran = true
+}
+
+// RunSeq iterates the multiplication on the calling goroutine.
+func (s *Sparse) RunSeq() {
+	for it := 0; it < s.iters; it++ {
+		s.multiplyRows(0, s.n)
+	}
+	s.finish()
+}
+
+// RunPar iterates with rows statically distributed across an n-thread team
+// (a barrier between iterations, since every row reads the shared x — here
+// x is constant, but the barrier mirrors the Java Grande structure where
+// iterations are timed individually).
+func (s *Sparse) RunPar(n int) {
+	omp.Parallel(n, func(tc *omp.Team) {
+		for it := 0; it < s.iters; it++ {
+			tc.For(0, s.n, omp.Static, 0, func(i int) { s.multiplyRows(i, i+1) })
+		}
+	})
+	s.finish()
+}
+
+// Total returns the checksum (sum of y) of the last run.
+func (s *Sparse) Total() float64 { return s.total }
+
+// refSparseTotals caches the sequential reference per size.
+var refSparseTotals = map[int]float64{}
+
+// Validate compares against a sequential reference run of the same size.
+func (s *Sparse) Validate() error {
+	if !s.ran {
+		return fmt.Errorf("sparse: not run")
+	}
+	if math.IsNaN(s.total) || math.IsInf(s.total, 0) || s.total == 0 {
+		return fmt.Errorf("sparse: total = %v", s.total)
+	}
+	refMu.Lock()
+	ref, ok := refSparseTotals[s.n]
+	if !ok {
+		r := NewSparse(s.n)
+		refMu.Unlock()
+		r.RunSeq()
+		refMu.Lock()
+		refSparseTotals[s.n] = r.total
+		ref = r.total
+	}
+	refMu.Unlock()
+	if s.total != ref {
+		return fmt.Errorf("sparse: total %v != reference %v", s.total, ref)
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+// Package metrics provides the measurement machinery used by the evaluation
+// harness: latency histograms with percentile summaries, throughput meters,
+// and time-series recorders for event response times.
+//
+// The paper's Evaluation section reports two quantities: the average response
+// time of GUI events (time from event firing to the completion of its
+// handling, Figures 7–8) and server throughput in responses per second
+// (Figure 9). Everything in this package is safe for concurrent use unless
+// stated otherwise.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe latency histogram with exact quantiles
+// (it retains all samples; evaluation runs record at most a few hundred
+// thousand events, so exactness is affordable and avoids bucket-resolution
+// arguments when comparing approaches).
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(h.samples)))
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples. Returns 0 if the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the samples in arrival order is not preserved;
+// the returned slice is sorted ascending.
+func (h *Histogram) Snapshot() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sortLocked()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+func (h *Histogram) sortLocked() {
+	if h.sorted {
+		return
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	h.sorted = true
+}
+
+// Summary is a fixed snapshot of a histogram's headline statistics.
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Min    time.Duration
+	P50    time.Duration
+	P90    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+	Stddev time.Duration
+}
+
+// Summarize computes a Summary from the histogram's current contents.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Min:    h.Min(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		Max:    h.Max(),
+		Stddev: h.Stddev(),
+	}
+}
+
+// String formats the summary as a single bench-style row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// ThroughputMeter counts completed operations over a wall-clock window, the
+// quantity Figure 9 reports as responses/sec.
+type ThroughputMeter struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+	end   time.Time
+}
+
+// NewThroughputMeter returns a meter; call Start before recording.
+func NewThroughputMeter() *ThroughputMeter { return &ThroughputMeter{} }
+
+// Start marks the beginning of the measurement window.
+func (m *ThroughputMeter) Start() {
+	m.mu.Lock()
+	m.start = time.Now()
+	m.end = time.Time{}
+	m.n = 0
+	m.mu.Unlock()
+}
+
+// Add records n completed operations.
+func (m *ThroughputMeter) Add(n int64) {
+	m.mu.Lock()
+	m.n += n
+	m.mu.Unlock()
+}
+
+// Stop marks the end of the window.
+func (m *ThroughputMeter) Stop() {
+	m.mu.Lock()
+	m.end = time.Now()
+	m.mu.Unlock()
+}
+
+// Count returns the number of recorded operations.
+func (m *ThroughputMeter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// PerSecond returns operations per second over the window. If Stop has not
+// been called, the window extends to now.
+func (m *ThroughputMeter) PerSecond() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.start.IsZero() {
+		return 0
+	}
+	end := m.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	secs := end.Sub(m.start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.n) / secs
+}
+
+// ResponseRecord is one event's measured lifecycle, mirroring the paper's
+// definition: "the time flow from the event firing to the finish of its
+// event handling".
+type ResponseRecord struct {
+	// Seq is the event's sequence number within its run.
+	Seq int
+	// Fired is when the event was generated (entered the queue).
+	Fired time.Time
+	// DispatchStart is when the EDT began executing the handler.
+	DispatchStart time.Time
+	// HandlerDone is when the EDT returned from the handler body (the EDT
+	// became free again).
+	HandlerDone time.Time
+	// Completed is when all work triggered by the event (including offloaded
+	// continuations) finished. Response time = Completed - Fired.
+	Completed time.Time
+}
+
+// ResponseTime returns Completed-Fired.
+func (r ResponseRecord) ResponseTime() time.Duration { return r.Completed.Sub(r.Fired) }
+
+// QueueDelay returns DispatchStart-Fired: how long the event waited behind
+// earlier events (the unresponsiveness the paper's Figure 1(i) illustrates).
+func (r ResponseRecord) QueueDelay() time.Duration { return r.DispatchStart.Sub(r.Fired) }
+
+// EDTOccupancy returns HandlerDone-DispatchStart: how long the EDT itself was
+// tied up by this event (small for asynchronous approaches).
+func (r ResponseRecord) EDTOccupancy() time.Duration { return r.HandlerDone.Sub(r.DispatchStart) }
+
+// Collector accumulates ResponseRecords for one benchmark run.
+type Collector struct {
+	mu      sync.Mutex
+	records []ResponseRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends one completed event record.
+func (c *Collector) Record(r ResponseRecord) {
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Records returns a copy of the accumulated records ordered by Seq.
+func (c *Collector) Records() []ResponseRecord {
+	c.mu.Lock()
+	out := make([]ResponseRecord, len(c.records))
+	copy(out, c.records)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ResponseHistogram builds a histogram of response times.
+func (c *Collector) ResponseHistogram() *Histogram {
+	h := NewHistogram()
+	for _, r := range c.Records() {
+		h.Observe(r.ResponseTime())
+	}
+	return h
+}
+
+// OccupancyHistogram builds a histogram of EDT occupancy times.
+func (c *Collector) OccupancyHistogram() *Histogram {
+	h := NewHistogram()
+	for _, r := range c.Records() {
+		h.Observe(r.EDTOccupancy())
+	}
+	return h
+}
+
+// Table renders rows of (label, Summary) as an aligned text table, the
+// format the cmd harnesses print for each figure.
+func Table(title string, rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-28s %8s %12s %12s %12s %12s %12s\n",
+		"series", "n", "mean", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		s := r.Summary
+		fmt.Fprintf(&b, "%-28s %8d %12v %12v %12v %12v %12v\n",
+			r.Label, s.Count,
+			s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// TableRow pairs a series label with its summary.
+type TableRow struct {
+	Label   string
+	Summary Summary
+}
+
+// BarChart renders labeled values as a horizontal ASCII bar chart scaled to
+// width columns — the text-mode "figure" the report command prints next to
+// its tables.
+func BarChart(labels []string, values []float64, unit string, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := values[0]
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.1f%s\n",
+			maxLabel, labels[i], strings.Repeat("#", n), strings.Repeat(" ", width-n), v, unit)
+	}
+	return b.String()
+}

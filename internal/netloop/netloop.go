@@ -1,0 +1,199 @@
+// Package netloop is a second event-driven framework on top of the same
+// runtime — the paper's further work ("a more universal implementation to
+// support more event-driven frameworks"). It is a libevent-style message
+// server (libevent is the related-work archetype the paper cites): one
+// dispatch goroutine drains a queue of connection events (message arrived,
+// client connected/disconnected) and runs the registered handlers, so
+// handlers enjoy the same single-threaded discipline as a GUI's EDT.
+//
+// Because the dispatch loop is an eventloop.Loop, it registers directly as
+// a virtual target: a message handler can offload parsing or computation
+// with `target virtual(worker) nowait` and hop back with
+// `target virtual(dispatch)` to write responses, keeping all connection
+// state single-threaded without locks.
+package netloop
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eventloop"
+	"repro/internal/gid"
+)
+
+// Handler processes one line-delimited message on the dispatch loop.
+type Handler func(c *Client, line string)
+
+// Server is a line-oriented message server with single-threaded dispatch.
+type Server struct {
+	name string
+	loop *eventloop.Loop
+
+	mu        sync.Mutex
+	ln        net.Listener
+	clients   map[int64]*Client
+	onMessage Handler
+	onConnect func(*Client)
+	onClose   func(*Client)
+	closed    bool
+
+	nextID   atomic.Int64
+	accepted atomic.Int64
+	messages atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// New creates a server whose dispatch loop is named name and registered in
+// reg (nil means gid.Default). Register s.Loop() as a virtual target to use
+// directives inside handlers.
+func New(name string, reg *gid.Registry) *Server {
+	if reg == nil {
+		reg = &gid.Default
+	}
+	l := eventloop.New(name, reg)
+	l.Start()
+	return &Server{name: name, loop: l, clients: make(map[int64]*Client)}
+}
+
+// Loop returns the dispatch loop (the server's EDT analogue).
+func (s *Server) Loop() *eventloop.Loop { return s.loop }
+
+// HandleFunc sets the message handler. Must be called before Start.
+func (s *Server) HandleFunc(h Handler) { s.onMessage = h }
+
+// OnConnect sets a connection callback, dispatched on the loop.
+func (s *Server) OnConnect(fn func(*Client)) { s.onConnect = fn }
+
+// OnClose sets a disconnection callback, dispatched on the loop.
+func (s *Server) OnClose(fn func(*Client)) { s.onClose = fn }
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
+// accepting. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.accepted.Add(1)
+		c := &Client{server: s, conn: conn, id: s.nextID.Add(1)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.clients[c.id] = c
+		s.mu.Unlock()
+		if s.onConnect != nil {
+			s.loop.Post(func() { s.onConnect(c) })
+		}
+		s.wg.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+// readLoop turns each received line into a dispatch-loop event — the
+// inversion of control of Section I: the framework invokes the handler.
+func (s *Server) readLoop(c *Client) {
+	defer s.wg.Done()
+	scanner := bufio.NewScanner(c.conn)
+	for scanner.Scan() {
+		line := scanner.Text()
+		s.messages.Add(1)
+		s.loop.PostLabeled("msg", func() {
+			if s.onMessage != nil {
+				s.onMessage(c, line)
+			}
+		})
+	}
+	s.mu.Lock()
+	delete(s.clients, c.id)
+	closed := s.closed
+	s.mu.Unlock()
+	c.conn.Close()
+	if s.onClose != nil && !closed {
+		s.loop.Post(func() { s.onClose(c) })
+	}
+}
+
+// Accepted returns the number of accepted connections.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
+
+// Messages returns the number of received messages.
+func (s *Server) Messages() int64 { return s.messages.Load() }
+
+// ClientCount returns the number of live connections.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Stop closes the listener, all connections, and the dispatch loop.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	s.loop.Stop()
+}
+
+// Client is one connection.
+type Client struct {
+	server *Server
+	conn   net.Conn
+	id     int64
+
+	writeMu sync.Mutex
+}
+
+// ID returns the connection's server-unique id.
+func (c *Client) ID() int64 { return c.id }
+
+// RemoteAddr returns the peer address.
+func (c *Client) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// Send writes one line to the client. Safe from any goroutine (writes are
+// serialized per connection), so offloaded blocks may reply directly.
+func (c *Client) Send(line string) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := fmt.Fprintf(c.conn, "%s\n", line)
+	return err
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }

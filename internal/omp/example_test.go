@@ -1,0 +1,58 @@
+package omp_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/omp"
+)
+
+// ExampleParallelFor distributes a loop across a team, like
+// `#pragma omp parallel for num_threads(4)`.
+func ExampleParallelFor() {
+	data := make([]int, 8)
+	omp.ParallelFor(4, 0, len(data), func(i int) {
+		data[i] = i * i
+	})
+	fmt.Println(data)
+	// Output: [0 1 4 9 16 25 36 49]
+}
+
+// ExampleParallelReduce computes a sum reduction, like
+// `#pragma omp parallel for reduction(+:sum)`.
+func ExampleParallelReduce() {
+	sum := omp.ParallelReduce(4, 1, 101, 0,
+		func(i, acc int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+// ExampleTeam_Single shows a single construct inside a region: one member
+// initializes, the implicit barrier publishes the result to everyone.
+func ExampleTeam_Single() {
+	var initialized atomic.Int64
+	omp.Parallel(4, func(tc *omp.Team) {
+		tc.Single(func() { initialized.Add(1) })
+		_ = initialized.Load() // every member sees 1 here
+	})
+	fmt.Println(initialized.Load())
+	// Output: 1
+}
+
+// ExampleTeam_ForOrdered prints loop iterations in order even though the
+// body executes in parallel (`#pragma omp for ordered`).
+func ExampleTeam_ForOrdered() {
+	omp.Parallel(3, func(tc *omp.Team) {
+		tc.ForOrdered(0, 5, omp.Dynamic, 1, func(i int, ordered func(func())) {
+			square := i * i // computed in parallel
+			ordered(func() { fmt.Println(square) })
+		})
+	})
+	// Output:
+	// 0
+	// 1
+	// 4
+	// 9
+	// 16
+}

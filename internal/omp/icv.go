@@ -1,0 +1,42 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// nthreadsVar is the nthreads-var ICV override (0 = use the hardware
+// default), mirroring omp_set_num_threads.
+var nthreadsVar atomic.Int64
+
+// SetDefaultNumThreads sets the team size used by Parallel calls that pass
+// n <= 0 (omp_set_num_threads). n <= 0 restores the hardware default.
+func SetDefaultNumThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	nthreadsVar.Store(int64(n))
+}
+
+// defaultNumThreads resolves the nthreads-var ICV.
+func defaultNumThreads() int {
+	if n := nthreadsVar.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MaxThreads returns the value Parallel would use for n <= 0
+// (omp_get_max_threads).
+func MaxThreads() int { return defaultNumThreads() }
+
+// processStart anchors Wtime.
+var processStart = time.Now()
+
+// Wtime returns elapsed wall-clock seconds from an arbitrary fixed point in
+// the past (omp_get_wtime).
+func Wtime() float64 { return time.Since(processStart).Seconds() }
+
+// Wtick returns the resolution of Wtime in seconds (omp_get_wtick).
+func Wtick() float64 { return 1e-9 }

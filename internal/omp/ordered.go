@@ -1,0 +1,47 @@
+package omp
+
+import "sync"
+
+// orderedState sequences ordered sections by iteration index.
+type orderedState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+}
+
+// ForOrdered is a work-sharing loop whose body may execute one section in
+// strict iteration order (the OpenMP `for ordered` construct). The body
+// receives the iteration index and an ordered function; calling
+// ordered(fn) blocks until every earlier iteration's ordered section has
+// run, executes fn, then releases the next iteration. Each iteration must
+// call ordered exactly once — skipping it stalls later iterations, exactly
+// as in OpenMP. An implicit barrier joins the team at loop end.
+//
+// A dynamic schedule with small chunks is usually right here: with large
+// static chunks, iteration i+1 often sits behind the same thread as i and
+// ordering forces near-serial execution.
+func (tc *Team) ForOrdered(lo, hi int, sched Schedule, chunk int, body func(i int, ordered func(fn func()))) {
+	st := tc.construct(func() any {
+		s := &orderedState{next: lo}
+		s.cond = sync.NewCond(&s.mu)
+		return s
+	}).(*orderedState)
+	tc.ForNowait(lo, hi, sched, chunk, func(i int) {
+		body(i, func(fn func()) {
+			st.mu.Lock()
+			for st.next != i {
+				st.cond.Wait()
+			}
+			st.mu.Unlock()
+			// Only iteration i can be here; no lock needed around fn, and
+			// holding the lock would serialize fn against the waiters'
+			// wakeup path.
+			fn()
+			st.mu.Lock()
+			st.next = i + 1
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		})
+	})
+	tc.Barrier()
+}

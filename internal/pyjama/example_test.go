@@ -1,0 +1,62 @@
+package pyjama_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pyjama"
+)
+
+// Example shows the Table II initialization followed by tagged offloading
+// and a wait clause — the hand-written form of
+//
+//	//#omp target virtual(worker) name_as(sum)
+//	{ ... }
+//	//#omp wait(sum)
+func Example() {
+	prev := pyjama.SetRuntime(core.NewRuntime(nil))
+	defer func() { pyjama.SetRuntime(prev).Shutdown() }()
+
+	if _, err := pyjama.CreateWorker("worker", 4); err != nil {
+		panic(err)
+	}
+
+	var mu sync.Mutex
+	var sums []int
+	for i := 1; i <= 4; i++ {
+		i := i
+		pyjama.TargetBlock("worker", pyjama.NameAs, "sum", func() {
+			s := 0
+			for k := 1; k <= i; k++ {
+				s += k
+			}
+			mu.Lock()
+			sums = append(sums, s)
+			mu.Unlock()
+		})
+	}
+	pyjama.WaitFor("sum") // joins all four tagged blocks
+
+	sort.Ints(sums)
+	fmt.Println(sums)
+	// Output: [1 3 6 10]
+}
+
+// Example_await shows the await logical barrier bridging an arbitrary
+// completion channel — the asynchronous-I/O integration hook.
+func Example_await() {
+	prev := pyjama.SetRuntime(core.NewRuntime(nil))
+	defer func() { pyjama.SetRuntime(prev).Shutdown() }()
+	pyjama.CreateWorker("worker", 2)
+
+	comp := pyjama.TargetBlock("worker", pyjama.Nowait, "", func() {
+		fmt.Println("offloaded work")
+	})
+	pyjama.AwaitCompletion(comp)
+	fmt.Println("continuation")
+	// Output:
+	// offloaded work
+	// continuation
+}

@@ -1,0 +1,24 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Example shows the ring buffer collecting scheduling events and the
+// aggregate queries tests use to assert runtime decisions.
+func Example() {
+	buf := trace.NewBuffer(64)
+	buf.Record(trace.Event{Op: trace.OpInvoke, Target: "worker", Mode: "nowait", Gid: 12})
+	buf.Record(trace.Event{Op: trace.OpPost, Target: "worker", Mode: "nowait", Gid: 12})
+	buf.Record(trace.Event{Op: trace.OpInline, Target: "worker", Mode: "wait", Gid: 30})
+
+	fmt.Println("events:", buf.Len())
+	fmt.Println("posted:", buf.CountOp(trace.OpPost))
+	fmt.Println("inlined:", buf.CountOp(trace.OpInline))
+	// Output:
+	// events: 3
+	// posted: 1
+	// inlined: 1
+}

@@ -1,0 +1,182 @@
+// Package trace is a lightweight execution tracer for the virtual-target
+// runtime: a fixed-capacity ring buffer of typed events (target-block
+// invocations, dispatch decisions, waits) that costs little when enabled
+// and nothing when no sink is installed. The runtime's debugging story —
+// "why did this block run inline?", "how long did the EDT pump?" — reads
+// straight out of a trace dump, and tests use traces to assert scheduling
+// decisions that are otherwise invisible.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is the traced operation kind.
+type Op int
+
+// Operation kinds recorded by the runtime.
+const (
+	// OpInvoke is a target-block invocation (Algorithm 1 entry).
+	OpInvoke Op = iota
+	// OpInline marks thread-context awareness: the block ran synchronously
+	// because the caller already belonged to the target.
+	OpInline
+	// OpPost marks an asynchronous submission to the target's queue.
+	OpPost
+	// OpWait marks a blocking join (default mode or wait clause).
+	OpWait
+	// OpAwaitEnter and OpAwaitExit bracket the logical barrier.
+	OpAwaitEnter
+	OpAwaitExit
+	// OpHelped marks one task run by an awaiting thread (help-first).
+	OpHelped
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInvoke:
+		return "invoke"
+	case OpInline:
+		return "inline"
+	case OpPost:
+		return "post"
+	case OpWait:
+		return "wait"
+	case OpAwaitEnter:
+		return "await-enter"
+	case OpAwaitExit:
+		return "await-exit"
+	case OpHelped:
+		return "helped"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Seq    uint64
+	Time   time.Time
+	Op     Op
+	Target string // virtual target name, when applicable
+	Mode   string // scheduling mode spelling, when applicable
+	Gid    uint64 // goroutine id of the actor
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d %s g%-5d %-12s", e.Seq, e.Time.Format("15:04:05.000000"), e.Gid, e.Op)
+	if e.Target != "" {
+		fmt.Fprintf(&b, " target=%s", e.Target)
+	}
+	if e.Mode != "" {
+		fmt.Fprintf(&b, " mode=%s", e.Mode)
+	}
+	return b.String()
+}
+
+// Buffer is a concurrency-safe ring buffer of events.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+	seq    atomic.Uint64
+	drops  atomic.Uint64
+}
+
+// NewBuffer returns a ring holding the last cap events (cap < 16 is
+// clamped to 16).
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Buffer{events: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (b *Buffer) Record(e Event) {
+	e.Seq = b.seq.Add(1)
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.Lock()
+	if b.full {
+		b.drops.Add(1)
+	}
+	b.events[b.next] = e
+	b.next++
+	if b.next == len(b.events) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.events)
+	}
+	return b.next
+}
+
+// Overwritten returns how many events were lost to ring wraparound.
+func (b *Buffer) Overwritten() uint64 { return b.drops.Load() }
+
+// Snapshot returns the retained events oldest first.
+func (b *Buffer) Snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	if b.full {
+		out = append(out, b.events[b.next:]...)
+	}
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Dump renders the retained events one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.Snapshot() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CountOp returns how many retained events have the given op.
+func (b *Buffer) CountOp(op Op) int {
+	n := 0
+	for _, e := range b.Snapshot() {
+		if e.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the buffer.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	b.next = 0
+	b.full = false
+	b.mu.Unlock()
+}
+
+// Sink receives events; Buffer implements it, and tests may provide
+// their own.
+type Sink interface {
+	Record(Event)
+}
+
+var _ Sink = (*Buffer)(nil)

@@ -1,0 +1,96 @@
+package transform
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genProgram builds a random but valid directive-annotated program:
+// arbitrary nesting of target blocks (all modes), parallel regions with
+// worksharing loops, tasks, criticals and waits.
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("package fuzz\n\nfunc compute(i int) {}\n\nfunc handler(data []int) {\n")
+	genBlockBody(rng, &b, 3, false)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genBlockBody(rng *rand.Rand, b *strings.Builder, depth int, inPar bool) {
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if depth <= 0 {
+			fmt.Fprintf(b, "compute(%d)\n", rng.Intn(10))
+			continue
+		}
+		switch rng.Intn(8) {
+		case 0:
+			fmt.Fprintf(b, "compute(%d)\n", rng.Intn(10))
+		case 1:
+			mode := []string{"", " nowait", " await", " name_as(t" + fmt.Sprint(rng.Intn(3)) + ")"}[rng.Intn(4)]
+			target := []string{"worker", "edt", "io"}[rng.Intn(3)]
+			fmt.Fprintf(b, "//#omp target virtual(%s)%s\n{\n", target, mode)
+			genBlockBody(rng, b, depth-1, inPar)
+			b.WriteString("}\n")
+		case 2:
+			fmt.Fprintf(b, "//#omp parallel num_threads(%d)\n{\n", 1+rng.Intn(4))
+			genBlockBody(rng, b, depth-1, true)
+			b.WriteString("}\n")
+		case 3:
+			sched := []string{"static", "dynamic", "guided"}[rng.Intn(3)]
+			fmt.Fprintf(b, "//#omp parallel for schedule(%s, %d)\nfor i := 0; i < len(data); i++ {\ncompute(i)\n}\n", sched, 1+rng.Intn(8))
+		case 4:
+			if inPar {
+				fmt.Fprintf(b, "//#omp for\nfor i := 0; i < %d; i++ {\ncompute(i)\n}\n", rng.Intn(100))
+			} else {
+				fmt.Fprintf(b, "//#omp wait(t%d)\n", rng.Intn(3))
+			}
+		case 5:
+			fmt.Fprintf(b, "//#omp critical(c%d)\n{\ncompute(0)\n}\n", rng.Intn(2))
+		case 6:
+			if inPar {
+				b.WriteString("//#omp task\n{\ncompute(1)\n}\n//#omp taskwait\n")
+			} else {
+				b.WriteString("//#omp barrier\n")
+			}
+		case 7:
+			if inPar {
+				b.WriteString("//#omp single\n{\ncompute(2)\n}\n")
+			} else {
+				fmt.Fprintf(b, "compute(%d)\n", rng.Intn(10))
+			}
+		}
+	}
+}
+
+// TestFuzzTransformProducesValidGo generates random annotated programs and
+// checks the invariants of the transformer: output parses, contains no
+// leftover directives, and is a fixed point under re-transformation.
+func TestFuzzTransformProducesValidGo(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := genProgram(rng)
+		out, err := File([]byte(src), "fuzz.go", Options{})
+		if err != nil {
+			t.Fatalf("seed %d: transform failed: %v\n--- input ---\n%s", seed, err, src)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "fuzz.go", out, 0); err != nil {
+			t.Fatalf("seed %d: output does not parse: %v\n--- output ---\n%s", seed, err, out)
+		}
+		if strings.Contains(string(out), "#omp") {
+			t.Fatalf("seed %d: leftover directive\n%s", seed, out)
+		}
+		again, err := File(out, "fuzz2.go", Options{})
+		if err != nil {
+			t.Fatalf("seed %d: re-transform failed: %v", seed, err)
+		}
+		if string(again) != string(out) {
+			t.Fatalf("seed %d: not a fixed point", seed)
+		}
+	}
+}

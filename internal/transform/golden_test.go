@@ -1,0 +1,62 @@
+package transform
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden translates the paper's listings in testdata/*.go.in and
+// compares against the checked-in golden outputs. Run with -update to
+// regenerate the goldens after an intentional translation change.
+func TestGolden(t *testing.T) {
+	inputs, err := filepath.Glob(filepath.Join("testdata", "*.go.in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) == 0 {
+		t.Fatal("no golden inputs found")
+	}
+	for _, in := range inputs {
+		in := in
+		t.Run(filepath.Base(in), func(t *testing.T) {
+			src, err := os.ReadFile(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := File(src, in, Options{})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			goldenPath := strings.TrimSuffix(in, ".in") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("translation of %s changed.\n--- got ---\n%s\n--- want ---\n%s", in, got, want)
+			}
+			// Goldens must not contain directives and must be gofmt-stable.
+			if strings.Contains(string(got), "#omp") {
+				t.Fatal("golden output still contains directives")
+			}
+			again, err := File(got, goldenPath, Options{})
+			if err != nil {
+				t.Fatalf("golden does not re-transform cleanly: %v", err)
+			}
+			if string(again) != string(got) {
+				t.Fatal("golden output is not a fixed point of the transformer")
+			}
+		})
+	}
+}

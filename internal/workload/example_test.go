@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ExampleSource_Schedule shows the deterministic open-loop schedules the
+// Evaluation A harness fires events with.
+func ExampleSource_Schedule() {
+	src := &workload.Source{Rate: 100, Events: 4}
+	for i, off := range src.Schedule() {
+		fmt.Printf("event %d at +%v\n", i, off)
+	}
+	// Output:
+	// event 0 at +0s
+	// event 1 at +10ms
+	// event 2 at +20ms
+	// event 3 at +30ms
+}
+
+// ExampleVirtualUsers shows the closed-loop pool of Evaluation B.
+func ExampleVirtualUsers() {
+	vu := &workload.VirtualUsers{Users: 3, RequestsPerUser: 2}
+	total := 0
+	done := make(chan int, vu.Total())
+	vu.Run(func(user, req int) { done <- 1 })
+	close(done)
+	for range done {
+		total++
+	}
+	fmt.Println("requests:", total)
+	// Output: requests: 6
+}
