@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench report examples clean
+.PHONY: all build test race cover bench report examples lint ci clean
 
-all: build test
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
+
+# lint mirrors the CI formatting/vet gates.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# ci runs exactly what .github/workflows/ci.yml runs.
+ci: build lint test race
 
 cover:
 	$(GO) test -cover ./internal/...

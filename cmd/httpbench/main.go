@@ -6,6 +6,12 @@
 // Example:
 //
 //	httpbench -workers 1,2,4,8,16 -users 100 -reqs 2
+//
+// With -overload it instead runs the QoS overload scenario: offered load
+// far beyond worker capacity against a Pyjama server with and without
+// admission control, reporting shed rate and success-latency percentiles.
+//
+//	httpbench -overload -overload-capacity 2 -overload-users 64
 package main
 
 import (
@@ -14,10 +20,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/evaluation"
 	"repro/internal/httpserver"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -29,8 +37,21 @@ func main() {
 		ompThreads = flag.Int("omp", 4, "team size for the +omp series")
 		noOmp      = flag.Bool("no-omp-series", false, "skip the +omp series")
 		latency    = flag.Bool("latency", false, "also print per-request p50/p99 latency")
+
+		overload   = flag.Bool("overload", false, "run the QoS overload scenario instead of the Figure 9 sweep")
+		olCapacity = flag.Int("overload-capacity", 2, "worker threads for the overload scenario")
+		olUsers    = flag.Int("overload-users", 64, "concurrent users offering load (should exceed capacity)")
+		olReqs     = flag.Int("overload-reqs", 8, "requests per user")
+		olTimeout  = flag.Duration("overload-timeout", 100*time.Millisecond, "per-request deadline for the qos series")
+		olQueue    = flag.Int("overload-queue", 4, "qos wait-queue bound (requests)")
+		olCoDel    = flag.Duration("overload-codel", 0, "CoDel sojourn target for the qos series (0 = queue-deadline policy)")
 	)
 	flag.Parse()
+
+	if *overload {
+		runOverload(*olCapacity, *olUsers, *olReqs, *kbytes*1024, *olQueue, *olTimeout, *olCoDel)
+		return
+	}
 
 	workers, err := parseInts(*workerList)
 	if err != nil {
@@ -72,6 +93,78 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// runOverload offers users×reqs requests from users concurrent clients to
+// a Pyjama server of capacity workers — an offered load far beyond
+// capacity — once without QoS (the seed's unbounded queue) and once with
+// admission control, and reports throughput, shed rate, and the latency
+// distribution of successful responses for each.
+func runOverload(capacity, users, reqs, kernelBytes, queueLimit int, timeout, codel time.Duration) {
+	qosCfg := &httpserver.QoSConfig{
+		QueueLimit:     queueLimit,
+		RequestTimeout: timeout,
+		CoDelTarget:    codel,
+	}
+	fmt.Printf("httpbench: overload scenario — %d users × %d reqs against %d workers (payload %dKiB)\n",
+		users, reqs, capacity, kernelBytes/1024)
+	fmt.Printf("qos: queue=%d timeout=%v policy=%s\n\n", queueLimit, timeout, qosCfg)
+	fmt.Printf("%-14s %8s %8s %8s %9s %10s %10s %10s\n",
+		"series", "ok", "shed", "errors", "shedrate", "resp/sec", "p50(ms)", "p99(ms)")
+	for _, run := range []struct {
+		label string
+		qos   *httpserver.QoSConfig
+	}{
+		{"pyjama", nil},
+		{"pyjama+qos", qosCfg},
+	} {
+		srv := httpserver.New(httpserver.Config{
+			Mode: httpserver.Pyjama, Workers: capacity, KernelBytes: kernelBytes, QoS: run.qos,
+		})
+		base, err := srv.Start()
+		if err != nil {
+			fail(err)
+		}
+		lat := metrics.NewHistogram()
+		var mu sync.Mutex
+		var ok, shed, errs int64
+		meter := metrics.NewThroughputMeter()
+		meter.Start()
+		var wg sync.WaitGroup
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := httpserver.NewClient(base)
+				for i := 0; i < reqs; i++ {
+					start := time.Now()
+					_, status, err := c.Do(0)
+					d := time.Since(start)
+					mu.Lock()
+					switch {
+					case err == nil:
+						ok++
+						lat.Observe(d)
+						meter.Add(1)
+					case status == 503:
+						shed++
+					default:
+						errs++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		meter.Stop()
+		srv.Stop()
+		total := float64(ok + shed + errs)
+		fmt.Printf("%-14s %8d %8d %8d %8.1f%% %10.1f %10.1f %10.1f\n",
+			run.label, ok, shed, errs, 100*float64(shed)/total, meter.PerSecond(),
+			msOf(lat.Quantile(0.5)), msOf(lat.Quantile(0.99)))
+	}
+	fmt.Printf("\nWithout qos every request queues (p99 grows with offered load); with qos\n")
+	fmt.Printf("overflow is shed as 503s and the p99 of admitted requests stays bounded.\n")
 }
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package evaluation
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package evaluation
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// performance-shape assertions are skipped because instrumentation skews
+// the sequential-vs-offloaded timing they compare.
+const raceEnabled = true

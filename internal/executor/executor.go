@@ -138,6 +138,7 @@ type Stats struct {
 	Completed  int64 // task bodies that finished (including panics)
 	Rejected   int64 // tasks rejected (shutdown / full bounded queue)
 	Helped     int64 // tasks run via TryRunPending rather than a worker
+	Panics     int64 // task bodies that terminated by panicking
 	QueuePeak  int64 // high watermark of queue length
 	QueueDepth int64 // current queue length
 }
@@ -204,6 +205,7 @@ type WorkerPool struct {
 	completed atomic.Int64
 	rejected  atomic.Int64
 	helped    atomic.Int64
+	panics    atomic.Int64
 	peak      atomic.Int64
 }
 
@@ -284,8 +286,20 @@ func (p *WorkerPool) workerLoop() {
 		p.queue = p.queue[1:]
 		onPanic := p.onPanic
 		p.mu.Unlock()
-		if runTask(t, onPanic) {
+		if runTask(t, p.countPanics(onPanic)) {
 			p.completed.Add(1)
+		}
+	}
+}
+
+// countPanics wraps a panic handler so every captured task panic also bumps
+// the pool's cumulative panic counter (Stats.Panics), which qos circuit
+// breakers read to decide when a target is failing.
+func (p *WorkerPool) countPanics(h func(any)) func(any) {
+	return func(v any) {
+		p.panics.Add(1)
+		if h != nil {
+			h(v)
 		}
 	}
 }
@@ -362,7 +376,7 @@ func (p *WorkerPool) TryRunPending() bool {
 	p.queue = p.queue[1:]
 	onPanic := p.onPanic
 	p.mu.Unlock()
-	if runTask(t, onPanic) {
+	if runTask(t, p.countPanics(onPanic)) {
 		p.completed.Add(1)
 		p.helped.Add(1)
 		return true
@@ -499,6 +513,7 @@ func (p *WorkerPool) Stats() Stats {
 		Completed:  p.completed.Load(),
 		Rejected:   p.rejected.Load(),
 		Helped:     p.helped.Load(),
+		Panics:     p.panics.Load(),
 		QueuePeak:  p.peak.Load(),
 		QueueDepth: depth,
 	}

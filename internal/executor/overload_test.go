@@ -1,0 +1,119 @@
+package executor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBoundedPoolAtCapacity drives a bounded pool to its queue limit and
+// checks the accept/reject boundary exactly: with one busy worker and a
+// queue of capacity tasks, the next Post is rejected with ErrQueueFull and
+// counted in Stats.Rejected, while every accepted task still completes.
+func TestBoundedPoolAtCapacity(t *testing.T) {
+	const capacity = 4
+	p := NewBoundedWorkerPool("bounded", 1, capacity, nil)
+	defer p.Shutdown()
+
+	gate := make(chan struct{})
+	busy := make(chan struct{})
+	p.Post(func() { close(busy); <-gate }) // occupy the single worker
+	<-busy
+
+	var accepted []*Completion
+	for i := 0; i < capacity; i++ {
+		accepted = append(accepted, p.Post(func() {}))
+	}
+	rej := p.Post(func() { t.Error("rejected task must never run") })
+	if !rej.Finished() {
+		t.Fatal("rejected completion should be finished immediately")
+	}
+	if !errors.Is(rej.Err(), ErrQueueFull) {
+		t.Fatalf("Err = %v, want ErrQueueFull", rej.Err())
+	}
+	rejC, cancel := p.PostCancellable(func() { t.Error("rejected task must never run") })
+	if !errors.Is(rejC.Err(), ErrQueueFull) {
+		t.Fatalf("PostCancellable Err = %v, want ErrQueueFull", rejC.Err())
+	}
+	if cancel() {
+		t.Fatal("cancel on a rejected task must report false")
+	}
+	if st := p.Stats(); st.Rejected != 2 || st.QueueDepth != capacity {
+		t.Fatalf("Stats = %+v, want Rejected=2 QueueDepth=%d", st, capacity)
+	}
+
+	close(gate)
+	for _, c := range accepted {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("accepted task failed: %v", err)
+		}
+	}
+}
+
+// TestPostCancellableCancelVsRunRace races cancel() against the worker
+// picking the task up. Exactly one side must win each round: either the
+// body runs and the completion is nil-errored, or it never runs and the
+// completion carries ErrCanceled. Run with -race.
+func TestPostCancellableCancelVsRunRace(t *testing.T) {
+	p := NewWorkerPool("race", 4, nil)
+	defer p.Shutdown()
+
+	const rounds = 500
+	var ran, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		comp, cancel := p.PostCancellable(func() { ran.Add(1) })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cancel() {
+				cancelled.Add(1)
+			}
+		}()
+		if err := comp.Wait(); err != nil && !errors.Is(err, ErrCanceled) {
+			t.Errorf("unexpected completion error: %v", err)
+		}
+	}
+	wg.Wait()
+	// Give in-flight bodies a moment to finish bumping the counter.
+	deadline := time.Now().Add(2 * time.Second)
+	for ran.Load()+cancelled.Load() != rounds && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := ran.Load() + cancelled.Load(); got != rounds {
+		t.Fatalf("ran(%d) + cancelled(%d) = %d, want exactly %d",
+			ran.Load(), cancelled.Load(), got, rounds)
+	}
+}
+
+// TestStatsPanicCount checks the cumulative panic counter, both for tasks
+// run by workers and tasks helped via TryRunPending.
+func TestStatsPanicCount(t *testing.T) {
+	p := NewWorkerPool("panicky", 1, nil)
+	defer p.Shutdown()
+
+	c := p.Post(func() { panic("boom") })
+	var pe *PanicError
+	if err := c.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("Err = %v, want *PanicError", err)
+	}
+
+	// Park the worker, queue a panicking task, and help it from here.
+	gate := make(chan struct{})
+	busy := make(chan struct{})
+	p.Post(func() { close(busy); <-gate })
+	<-busy
+	helped := p.Post(func() { panic("helped boom") })
+	for !p.TryRunPending() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := helped.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("helped Err = %v, want *PanicError", err)
+	}
+	if st := p.Stats(); st.Panics != 2 {
+		t.Fatalf("Stats.Panics = %d, want 2", st.Panics)
+	}
+}

@@ -18,6 +18,7 @@
 package httpserver
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -29,6 +30,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/gid"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/qos"
 )
 
 // Mode selects the server organization.
@@ -64,6 +67,53 @@ type Config struct {
 	OMPThreads int
 	// KernelBytes is the encryption payload size per request.
 	KernelBytes int
+	// QoS enables overload protection for the Pyjama organization (nil
+	// reproduces the seed behaviour: every request queues, however long
+	// the queue). See QoSConfig.
+	QoS *QoSConfig
+}
+
+// QoSConfig parameterizes the server's admission control. The limiter's
+// slot count equals Workers, so "waiting for a slot" is exactly "the
+// worker target's queue would grow"; overflow is shed with HTTP 503
+// instead of queueing unboundedly.
+type QoSConfig struct {
+	// QueueLimit bounds requests waiting for a worker slot (<0 =
+	// unbounded wait queue, 0 = no waiting; sheds are 503s).
+	QueueLimit int
+	// RequestTimeout is the per-request deadline propagated into the
+	// target block via InvokeCtx (0 = none). Requests that exceed it
+	// respond 503, and still-queued work is cancelled.
+	RequestTimeout time.Duration
+	// CoDelTarget, when > 0, selects a CoDel queue policy with this
+	// sojourn target (CoDelInterval defaulting per qos.CoDel); otherwise
+	// the policy is TimeoutAfter(RequestTimeout) when a timeout is set,
+	// else Reject.
+	CoDelTarget   time.Duration
+	CoDelInterval time.Duration
+	// BreakerThreshold, when > 0, adds a circuit breaker that opens
+	// after that many consecutive failures (timeouts or panics) and
+	// probes again after BreakerCooldown (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// String summarizes the configured protections for bench labels.
+func (q *QoSConfig) String() string {
+	return fmt.Sprintf("limiter(%s, queue=%d) breaker(threshold=%d)",
+		q.policy(), q.QueueLimit, q.BreakerThreshold)
+}
+
+// policy derives the limiter policy from the config.
+func (q *QoSConfig) policy() qos.Policy {
+	switch {
+	case q.CoDelTarget > 0:
+		return qos.CoDel(q.CoDelTarget, q.CoDelInterval)
+	case q.RequestTimeout > 0:
+		return qos.TimeoutAfter(q.RequestTimeout)
+	default:
+		return qos.Reject()
+	}
 }
 
 func (c *Config) fill() {
@@ -86,8 +136,12 @@ type Server struct {
 	reg  gid.Registry
 	done chan struct{}
 
+	limiter *qos.Limiter // nil without QoS
+	breaker *qos.Breaker // nil without QoS or BreakerThreshold
+
 	served atomic.Int64
 	errors atomic.Int64
+	shed   atomic.Int64
 }
 
 // New builds a server from cfg. Call Start to begin serving.
@@ -97,6 +151,12 @@ func New(cfg Config) *Server {
 	switch cfg.Mode {
 	case Pyjama:
 		s.rt = core.NewRuntime(&s.reg)
+		if q := cfg.QoS; q != nil {
+			s.limiter = qos.NewLimiter("worker", cfg.Workers, q.QueueLimit, q.policy())
+			if q.BreakerThreshold > 0 {
+				s.breaker = qos.NewBreaker("worker", q.BreakerThreshold, q.BreakerCooldown)
+			}
+		}
 	default:
 		s.sem = make(chan struct{}, cfg.Workers)
 	}
@@ -155,12 +215,21 @@ func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	var sum int64
 	switch s.cfg.Mode {
 	case Pyjama:
-		comp, err := s.rt.Invoke("worker", core.Wait, func() { sum = s.compute(size) })
-		if err != nil || comp.Err() != nil {
-			s.errors.Add(1)
-			http.Error(w, "compute failed", http.StatusInternalServerError)
-			return
+		if s.limiter != nil {
+			if !s.handleEncryptQoS(w, r, size) {
+				return
+			}
+		} else {
+			comp, err := s.rt.Invoke("worker", core.Wait, func() { sum = s.compute(size) })
+			if err != nil || comp.Err() != nil {
+				s.errors.Add(1)
+				http.Error(w, "compute failed", http.StatusInternalServerError)
+				return
+			}
+			s.served.Add(1)
+			fmt.Fprintf(w, "%d\n", sum)
 		}
+		return
 	default: // Jetty: admission into the fixed thread pool
 		s.sem <- struct{}{}
 		sum = s.compute(size)
@@ -170,11 +239,80 @@ func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%d\n", sum)
 }
 
+// handleEncryptQoS is the guarded Pyjama request path: breaker check,
+// limiter admission, then a deadline-propagating invocation. It writes the
+// full response (success or failure) and reports whether it succeeded.
+func (s *Server) handleEncryptQoS(w http.ResponseWriter, r *http.Request, size int) bool {
+	ctx := r.Context()
+	if d := s.cfg.QoS.RequestTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if err := s.breaker.Allow(); err != nil {
+		s.shed.Add(1)
+		http.Error(w, "overloaded (circuit open)", http.StatusServiceUnavailable)
+		return false
+	}
+	if err := s.limiter.Acquire(ctx); err != nil {
+		// Shed or client-abandoned: fail fast instead of queueing. An
+		// admission failure says nothing about the target's health, so
+		// the breaker is not informed.
+		s.shed.Add(1)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return false
+	}
+	defer s.limiter.Release()
+
+	var sum int64
+	comp, err := s.rt.InvokeCtx(ctx, "worker", core.Wait, func(context.Context) {
+		sum = s.compute(size)
+	})
+	if err != nil {
+		s.errors.Add(1)
+		http.Error(w, "compute failed", http.StatusInternalServerError)
+		return false
+	}
+	switch cerr := comp.Err(); {
+	case core.IsDeadline(cerr), ctx.Err() != nil:
+		// The block was cancelled in-queue, or finished after the
+		// request's deadline: either way the response is too late.
+		s.breaker.Failure()
+		s.shed.Add(1)
+		http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
+		return false
+	case cerr != nil:
+		s.breaker.Failure()
+		s.errors.Add(1)
+		http.Error(w, "compute failed", http.StatusInternalServerError)
+		return false
+	}
+	s.breaker.Success()
+	s.served.Add(1)
+	fmt.Fprintf(w, "%d\n", sum)
+	return true
+}
+
 // Served returns the number of successful responses.
 func (s *Server) Served() int64 { return s.served.Load() }
 
 // Errors returns the number of failed requests.
 func (s *Server) Errors() int64 { return s.errors.Load() }
+
+// Shed returns the number of 503 responses (admission sheds, breaker
+// rejections, and deadline expiries). Always 0 without QoS.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// QoSStats returns the limiter's live measurements (nil without QoS).
+func (s *Server) QoSStats() *metrics.QoSStats {
+	if s.limiter == nil {
+		return nil
+	}
+	return s.limiter.Stats()
+}
+
+// Breaker returns the server's circuit breaker (nil unless configured).
+func (s *Server) Breaker() *qos.Breaker { return s.breaker }
 
 // Stop shuts the server down and releases its worker pool.
 func (s *Server) Stop() {
@@ -209,25 +347,33 @@ func NewClient(base string) *Client {
 
 // Encrypt issues one request and returns the response checksum.
 func (c *Client) Encrypt(size int) (int64, error) {
+	sum, _, err := c.Do(size)
+	return sum, err
+}
+
+// Do issues one request and returns the checksum and the HTTP status code
+// (0 on transport failure). Callers driving overload scenarios use the
+// status to distinguish sheds (503) from successes and hard errors.
+func (c *Client) Do(size int) (int64, int, error) {
 	url := c.base + "/encrypt"
 	if size > 0 {
 		url += "?size=" + strconv.Itoa(size)
 	}
 	resp, err := c.http.Get(url)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, err
+		return 0, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("httpserver: status %d: %s", resp.StatusCode, body)
+		return 0, resp.StatusCode, fmt.Errorf("httpserver: status %d: %s", resp.StatusCode, body)
 	}
 	var sum int64
 	if _, err := fmt.Sscanf(string(body), "%d", &sum); err != nil {
-		return 0, fmt.Errorf("httpserver: bad response %q", body)
+		return 0, resp.StatusCode, fmt.Errorf("httpserver: bad response %q", body)
 	}
-	return sum, nil
+	return sum, resp.StatusCode, nil
 }

@@ -1,0 +1,124 @@
+package httpserver
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/qos"
+)
+
+// TestQoSHappyPathServes checks that a generously-provisioned qos server
+// behaves like the seed: every request admitted, nothing shed, sojourn
+// recorded.
+func TestQoSHappyPathServes(t *testing.T) {
+	s, c := startServer(t, Config{Mode: Pyjama, Workers: 4, KernelBytes: 4096,
+		QoS: &QoSConfig{QueueLimit: -1, RequestTimeout: 30 * time.Second}})
+	for i := 0; i < 8; i++ {
+		if _, err := c.Encrypt(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Served() != 8 || s.Shed() != 0 {
+		t.Fatalf("Served=%d Shed=%d, want 8/0", s.Served(), s.Shed())
+	}
+	st := s.QoSStats()
+	if st == nil || st.Admitted.Value() != 8 || st.Sojourn.Count() != 8 {
+		t.Fatalf("QoSStats = %v, want 8 admissions with sojourn samples", st)
+	}
+}
+
+// TestPyjamaQoSShedsUnderOverload is the acceptance scenario: offered load
+// far beyond worker capacity must produce 503s (bounded latency) instead
+// of an unbounded queue, with the shed count visible in the new metrics
+// and the p99 of successful requests bounded.
+func TestPyjamaQoSShedsUnderOverload(t *testing.T) {
+	// 1 worker at ~7ms/request vs 16 concurrent clients: offered load
+	// is an order of magnitude over capacity, and with a Reject policy
+	// (QueueLimit 0, no timeout) every request that cannot start
+	// immediately is shed.
+	s, c := startServer(t, Config{Mode: Pyjama, Workers: 1, KernelBytes: 256 * 1024,
+		QoS: &QoSConfig{QueueLimit: 0}})
+
+	lat := metrics.NewHistogram()
+	var mu sync.Mutex
+	var ok503, okOther int
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				start := time.Now()
+				_, status, err := c.Do(0)
+				d := time.Since(start)
+				mu.Lock()
+				switch {
+				case err == nil:
+					lat.Observe(d)
+				case status == http.StatusServiceUnavailable:
+					ok503++
+				default:
+					okOther++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if okOther != 0 {
+		t.Fatalf("%d requests failed with something other than 503", okOther)
+	}
+	if s.Served() < 1 {
+		t.Fatal("server under overload must still serve admitted requests")
+	}
+	if ok503 == 0 || s.Shed() == 0 {
+		t.Fatalf("client 503s=%d server Shed=%d, want overload sheds", ok503, s.Shed())
+	}
+	if got := s.QoSStats().Shed.Value(); got == 0 {
+		t.Fatalf("metrics Shed = %d, want nonzero", got)
+	}
+	// With immediate shedding, no successful request ever waits behind
+	// more than the in-flight computation: p99 stays bounded by a few
+	// service times (generous CI bound, versus unbounded queueing which
+	// would scale with total offered load).
+	if p99 := lat.Quantile(0.99); p99 > 2*time.Second {
+		t.Fatalf("success p99 = %v, want bounded under overload", p99)
+	}
+}
+
+// TestQoSDeadlineAndBreaker drives requests whose compute time exceeds the
+// request deadline: each admitted request responds 503, the breaker opens
+// after the configured streak, and further requests are rejected without
+// touching the worker.
+func TestQoSDeadlineAndBreaker(t *testing.T) {
+	// 1MiB ≈ tens of ms per request against a 15ms deadline.
+	s, c := startServer(t, Config{Mode: Pyjama, Workers: 1, KernelBytes: 1024 * 1024,
+		QoS: &QoSConfig{QueueLimit: 0, RequestTimeout: 15 * time.Millisecond,
+			BreakerThreshold: 2, BreakerCooldown: time.Hour}})
+
+	for i := 0; i < 2; i++ {
+		if _, status, err := c.Do(0); err == nil || status != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status=%d err=%v, want 503 deadline", i, status, err)
+		}
+	}
+	if st := s.Breaker().State(); st != qos.Open {
+		t.Fatalf("breaker state = %v after 2 timeouts, want open", st)
+	}
+	start := time.Now()
+	if _, status, _ := c.Do(0); status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d with open breaker, want 503", status)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("breaker-rejected request took %v, want fast rejection", d)
+	}
+	if s.Breaker().Rejections() == 0 {
+		t.Fatal("breaker should have rejected at least one request")
+	}
+	if s.Shed() < 3 {
+		t.Fatalf("Shed = %d, want ≥ 3 (2 deadlines + 1 breaker reject)", s.Shed())
+	}
+}

@@ -15,8 +15,58 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a concurrency-safe monotonic event counter, the measurement
+// primitive behind the overload-protection statistics (shed requests,
+// admission decisions, breaker rejections).
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// QoSStats bundles the measurements the qos layer produces for one guarded
+// target: how many invocations were admitted versus shed, why they were
+// shed, and how long admitted invocations waited for a slot (the queue
+// sojourn time that CoDel-style policies control). One QoSStats instance is
+// owned by each qos.Limiter; servers surface it for tests and reporting.
+type QoSStats struct {
+	// Admitted counts invocations that acquired an execution slot.
+	Admitted Counter
+	// Shed counts invocations rejected by admission control (full wait
+	// queue, queue-deadline expiry, or a CoDel drop decision).
+	Shed Counter
+	// Canceled counts invocations abandoned by their own context
+	// (deadline or cancellation) while waiting for a slot.
+	Canceled Counter
+	// BreakerRejects counts invocations refused by an open circuit
+	// breaker before reaching the wait queue.
+	BreakerRejects Counter
+	// Sojourn is the histogram of queue wait times for admitted
+	// invocations (0 for fast-path admissions).
+	Sojourn *Histogram
+}
+
+// NewQoSStats returns zeroed statistics with an empty sojourn histogram.
+func NewQoSStats() *QoSStats { return &QoSStats{Sojourn: NewHistogram()} }
+
+// String renders the headline counters plus sojourn percentiles.
+func (q *QoSStats) String() string {
+	s := q.Sojourn.Summarize()
+	return fmt.Sprintf("admitted=%d shed=%d canceled=%d breaker=%d sojourn[p50=%v p99=%v max=%v]",
+		q.Admitted.Value(), q.Shed.Value(), q.Canceled.Value(), q.BreakerRejects.Value(),
+		s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
 
 // Histogram is a concurrency-safe latency histogram with exact quantiles
 // (it retains all samples; evaluation runs record at most a few hundred

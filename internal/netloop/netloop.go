@@ -15,6 +15,7 @@ package netloop
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/eventloop"
 	"repro/internal/gid"
+	"repro/internal/qos"
 )
 
 // Handler processes one line-delimited message on the dispatch loop.
@@ -40,9 +42,12 @@ type Server struct {
 	onClose   func(*Client)
 	closed    bool
 
+	limiter *qos.Limiter // nil = unbounded dispatch queue (seed behaviour)
+
 	nextID   atomic.Int64
 	accepted atomic.Int64
 	messages atomic.Int64
+	shed     atomic.Int64
 	wg       sync.WaitGroup
 }
 
@@ -69,6 +74,18 @@ func (s *Server) OnConnect(fn func(*Client)) { s.onConnect = fn }
 
 // OnClose sets a disconnection callback, dispatched on the loop.
 func (s *Server) OnClose(fn func(*Client)) { s.onClose = fn }
+
+// UseLimiter applies qos admission control to the dispatch queue: each
+// message acquires a slot before it is posted to the loop and releases it
+// when its handler returns, so the queue of undispatched messages is
+// bounded by the limiter instead of growing without limit under a slow
+// handler. A Block policy applies backpressure to the sending connection
+// (its read loop stalls); Reject/TimeoutAfter/CoDel shed the message,
+// counted by Shed. Must be called before Start.
+func (s *Server) UseLimiter(l *qos.Limiter) { s.limiter = l }
+
+// Shed returns the number of messages dropped by admission control.
+func (s *Server) Shed() int64 { return s.shed.Load() }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
 // accepting. It returns the bound address.
@@ -118,7 +135,14 @@ func (s *Server) readLoop(c *Client) {
 	for scanner.Scan() {
 		line := scanner.Text()
 		s.messages.Add(1)
+		if err := s.limiter.Acquire(context.Background()); err != nil {
+			// Shed at the edge: the dispatch queue is protected and the
+			// reader moves on to the next line.
+			s.shed.Add(1)
+			continue
+		}
 		s.loop.PostLabeled("msg", func() {
+			defer s.limiter.Release()
 			if s.onMessage != nil {
 				s.onMessage(c, line)
 			}

@@ -1,0 +1,92 @@
+package netloop
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+)
+
+// TestLimiterShedsDispatchQueueOverflow wedges the dispatch loop with a
+// slow handler and floods messages: with a Reject-policy limiter of one
+// slot, overflow messages are shed at the read loop instead of piling up
+// in the dispatch queue, and the server keeps working afterwards.
+func TestLimiterShedsDispatchQueueOverflow(t *testing.T) {
+	s := New("dispatch", nil)
+	defer s.Stop()
+	s.UseLimiter(qos.NewLimiter("dispatch", 1, 0, qos.Reject()))
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var handled atomic.Int64
+	s.HandleFunc(func(c *Client, line string) {
+		select {
+		case started <- struct{}{}:
+			<-gate // wedge the loop on the first message
+		default:
+		}
+		handled.Add(1)
+		c.Send("ack:" + line)
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, sc := dial(t, addr)
+
+	fmt.Fprintln(conn, "first")
+	<-started // handler holds the only slot from here
+
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		fmt.Fprintf(conn, "flood%d\n", i)
+	}
+	// Wait until the reader consumed the burst (shed or queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Messages() < burst+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Shed() == 0 {
+		t.Fatalf("Shed = 0 after flooding a wedged loop (messages=%d)", s.Messages())
+	}
+	close(gate)
+
+	// The server must still dispatch fresh messages once unwedged.
+	fmt.Fprintln(conn, "after")
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if !sc.Scan() {
+		t.Fatal("no response after unwedging the loop")
+	}
+	if handled.Load() == 0 {
+		t.Fatal("no messages handled")
+	}
+	if shed, msgs := s.Shed(), s.Messages(); shed >= msgs {
+		t.Fatalf("shed=%d >= messages=%d; some messages must be admitted", shed, msgs)
+	}
+}
+
+// TestNoLimiterKeepsSeedBehaviour checks the nil-limiter path still
+// dispatches everything (no sheds, no admission).
+func TestNoLimiterKeepsSeedBehaviour(t *testing.T) {
+	s := New("dispatch", nil)
+	defer s.Stop()
+	s.HandleFunc(func(c *Client, line string) { c.Send("ack:" + line) })
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, sc := dial(t, addr)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(conn, "m%d\n", i)
+	}
+	for i := 0; i < 10; i++ {
+		if !sc.Scan() {
+			t.Fatalf("missing response %d", i)
+		}
+	}
+	if s.Shed() != 0 {
+		t.Fatalf("Shed = %d without a limiter", s.Shed())
+	}
+}

@@ -34,6 +34,19 @@ const (
 	OpAwaitExit
 	// OpHelped marks one task run by an awaiting thread (help-first).
 	OpHelped
+	// OpShed marks an invocation rejected by admission control (qos):
+	// the wait queue was full, a queue deadline expired, or a CoDel
+	// controller decided the target is persistently overloaded.
+	OpShed
+	// OpDeadline marks a target block cancelled by its context deadline
+	// while still queued (it never ran; its Completion carries
+	// context.DeadlineExceeded).
+	OpDeadline
+	// OpBreakerOpen and OpBreakerClose bracket a circuit breaker's open
+	// period: Open after too many consecutive failures, Close when a
+	// half-open probe succeeds.
+	OpBreakerOpen
+	OpBreakerClose
 )
 
 // String names the op.
@@ -53,6 +66,14 @@ func (o Op) String() string {
 		return "await-exit"
 	case OpHelped:
 		return "helped"
+	case OpShed:
+		return "shed"
+	case OpDeadline:
+		return "deadline"
+	case OpBreakerOpen:
+		return "breaker-open"
+	case OpBreakerClose:
+		return "breaker-close"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
