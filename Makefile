@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench report examples lint ci clean
+.PHONY: all build test race chaos cover bench report examples lint ci clean
 
 all: build test race
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# chaos runs the fault-injection storm tests (tagged `chaos`) with a pinned
+# seed so a failing schedule reproduces; override with CHAOS_SEED=<n>.
+CHAOS_SEED ?= 1337
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags=chaos ./...
 
 # lint mirrors the CI formatting/vet gates.
 lint:

@@ -1,0 +1,341 @@
+// Package chaos is the runtime's fault-injection layer: a
+// seeded-deterministic rule engine that provokes the failures the
+// supervision subsystem (package supervise) exists to survive — task
+// panics, worker deaths, dispatch delays, dropped tasks, and stalls — so
+// overload and failure behaviour can be tested on purpose instead of waited
+// for in production.
+//
+// Faults are described by Rules (by-target, by-rate, every-nth-call,
+// bounded-count) evaluated by an Injector whose randomness comes from a
+// caller-supplied seed: the same seed and call order reproduce the same
+// fault schedule. The injector plugs in at three seams:
+//
+//   - Wrap turns any executor.Executor into one whose posted tasks are
+//     subject to injection (the middleware used around worker pools);
+//   - Interceptor adapts the injector to eventloop.Loop.SetInterceptor, so
+//     faults land inside dispatched handlers on the EDT;
+//   - NetInterceptor adapts it to netloop.Server.SetInterceptor, where a
+//     Drop decision suppresses the message before it is queued.
+//
+// The injected failure modes:
+//
+//   - Panic: the task body panics (captured by the executor's panic
+//     isolation — exercises panic accounting and restart thresholds);
+//   - Kill: the running goroutine dies via runtime.Goexit, which defeats
+//     panic isolation exactly like a crashed thread — the worker is gone
+//     and the task's completion reports executor.ErrWorkerCrashed;
+//   - Delay: the task sleeps before running (queueing delay / slow handler);
+//   - Drop: the task is discarded (ErrInjectedDrop from Wrap, suppressed
+//     message from NetInterceptor, silent no-op from Interceptor);
+//   - Stall: the task blocks — for Rule.Delay, or until Release — wedging
+//     whatever thread runs it (the "frozen GUI" failure mode).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+)
+
+// Action is an injected failure mode.
+type Action int
+
+// The failure modes an Injector can inject.
+const (
+	None Action = iota
+	Panic
+	Kill
+	Delay
+	Drop
+	Stall
+	numActions
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Kill:
+		return "kill"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// ErrInjectedDrop is the terminal error of a task dropped by a Drop rule at
+// the executor middleware seam.
+var ErrInjectedDrop = errors.New("chaos: task dropped by fault injection")
+
+// InjectedPanic is the value thrown by a Panic rule, distinguishable from
+// organic panics in panic handlers and logs.
+type InjectedPanic struct {
+	Target string
+}
+
+// Error makes an InjectedPanic usable as an error when captured by
+// executor.PanicError.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected panic (target %q)", p.Target)
+}
+
+func (p *InjectedPanic) String() string { return p.Error() }
+
+// Rule selects when and how to inject one fault. A rule fires for a
+// matching call when its Nth counter divides the call number, or else with
+// probability Rate; both zero means the rule never fires.
+type Rule struct {
+	// Target restricts the rule to calls against this target name
+	// ("" matches every target).
+	Target string
+	// Action is the fault to inject.
+	Action Action
+	// Rate fires the rule with this probability per matching call
+	// (seeded-deterministic given a fixed call order).
+	Rate float64
+	// Nth fires the rule on every nth matching call (1-based; 0 disables
+	// the counter). Nth rules are deterministic regardless of call
+	// interleaving, which is what regression tests want.
+	Nth int
+	// After exempts the first After matching calls (warmup).
+	After int
+	// Count caps the number of injections from this rule (0 = unlimited),
+	// bounding the storm so scenarios can recover.
+	Count int
+	// Delay is the sleep for Delay actions and the stall duration for
+	// Stall actions (Stall with zero Delay blocks until Release).
+	Delay time.Duration
+}
+
+type ruleState struct {
+	Rule
+	calls int64 // matching calls seen
+	fired int64 // injections performed
+}
+
+// Injector evaluates rules and wraps tasks with their injected faults. All
+// decisions draw from one seeded source under a lock, so a fixed seed and
+// call order give a reproducible fault schedule; Nth-based rules are
+// reproducible under any interleaving.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*ruleState
+	released bool
+	stallCh  chan struct{}
+
+	disabled atomic.Bool
+	injected [numActions]atomic.Int64
+}
+
+// New builds an injector from seed and rules. The zero-rule injector
+// injects nothing.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		stallCh: make(chan struct{}),
+	}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// SetEnabled turns injection on or off (on by default). A disabled
+// injector passes every task through untouched.
+func (in *Injector) SetEnabled(v bool) { in.disabled.Store(!v) }
+
+// Injected returns how many faults of kind a have been injected.
+func (in *Injector) Injected(a Action) int64 {
+	if a < 0 || a >= numActions {
+		return 0
+	}
+	return in.injected[a].Load()
+}
+
+// TotalInjected returns the number of injected faults across all actions.
+func (in *Injector) TotalInjected() int64 {
+	var n int64
+	for i := range in.injected {
+		n += in.injected[i].Load()
+	}
+	return n
+}
+
+// Release unblocks every Stall injection that is waiting without a
+// duration (and any future ones — release is one-shot and permanent).
+func (in *Injector) Release() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.released {
+		in.released = true
+		close(in.stallCh)
+	}
+}
+
+// decide evaluates the rules for one call against target. Every matching
+// rule advances its call counter (so Nth/After schedules stay aligned with
+// the call stream); the first rule that fires wins.
+func (in *Injector) decide(target string) (Action, time.Duration) {
+	if in == nil || in.disabled.Load() {
+		return None, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	act, delay := None, time.Duration(0)
+	for _, r := range in.rules {
+		if r.Target != "" && r.Target != target {
+			continue
+		}
+		r.calls++
+		if act != None {
+			continue
+		}
+		if r.calls <= int64(r.After) {
+			continue
+		}
+		if r.Count > 0 && r.fired >= int64(r.Count) {
+			continue
+		}
+		fire := r.Nth > 0 && (r.calls-int64(r.After))%int64(r.Nth) == 0
+		if !fire && r.Rate > 0 {
+			fire = in.rng.Float64() < r.Rate
+		}
+		if fire {
+			r.fired++
+			in.injected[r.Action].Add(1)
+			act, delay = r.Action, r.Delay
+		}
+	}
+	return act, delay
+}
+
+// apply wraps fn with the decided fault. The wrapper runs wherever the
+// executor runs the task, so Kill takes down the worker (or EDT) that
+// picked it up.
+func (in *Injector) apply(act Action, d time.Duration, target string, fn func()) func() {
+	switch act {
+	case Panic:
+		return func() { panic(&InjectedPanic{Target: target}) }
+	case Kill:
+		return func() { runtime.Goexit() }
+	case Delay:
+		return func() { time.Sleep(d); fn() }
+	case Stall:
+		in.mu.Lock()
+		ch := in.stallCh
+		in.mu.Unlock()
+		if d > 0 {
+			return func() {
+				select {
+				case <-time.After(d):
+				case <-ch:
+				}
+				fn()
+			}
+		}
+		return func() { <-ch; fn() }
+	case Drop:
+		return func() {}
+	default:
+		return fn
+	}
+}
+
+// Wrap returns an executor.Executor middleware around e: every Post (and
+// PostCancellable) is subject to injection. Drop decisions reject the task
+// with ErrInjectedDrop without reaching e; every other fault travels inside
+// the task body. Wrapped executors expose the inner one via Unwrap, so
+// supervisors can still attach pool-level crash and panic hooks.
+func (in *Injector) Wrap(e executor.Executor) executor.Executor {
+	return &chaosExecutor{inner: e, inj: in}
+}
+
+type chaosExecutor struct {
+	inner executor.Executor
+	inj   *Injector
+}
+
+func (c *chaosExecutor) Name() string        { return c.inner.Name() }
+func (c *chaosExecutor) Owns() bool          { return c.inner.Owns() }
+func (c *chaosExecutor) TryRunPending() bool { return c.inner.TryRunPending() }
+func (c *chaosExecutor) Shutdown()           { c.inner.Shutdown() }
+
+// Unwrap exposes the wrapped executor (the supervisor hook-attachment and
+// watchdog drain checks walk this chain).
+func (c *chaosExecutor) Unwrap() executor.Executor { return c.inner }
+
+func (c *chaosExecutor) Post(fn func()) *executor.Completion {
+	act, d := c.inj.decide(c.inner.Name())
+	if act == Drop {
+		return executor.NewCompletedCompletion(ErrInjectedDrop)
+	}
+	return c.inner.Post(c.inj.apply(act, d, c.inner.Name(), fn))
+}
+
+// PostCancellable preserves the inner executor's cancellation capability
+// (core.InvokeCtx depends on it for deadline revocation).
+func (c *chaosExecutor) PostCancellable(fn func()) (*executor.Completion, func() bool) {
+	act, d := c.inj.decide(c.inner.Name())
+	if act == Drop {
+		return executor.NewCompletedCompletion(ErrInjectedDrop), func() bool { return false }
+	}
+	wrapped := c.inj.apply(act, d, c.inner.Name(), fn)
+	if cp, ok := c.inner.(interface {
+		PostCancellable(func()) (*executor.Completion, func() bool)
+	}); ok {
+		return cp.PostCancellable(wrapped)
+	}
+	return c.inner.Post(wrapped), func() bool { return false }
+}
+
+// Stats delegates to the inner executor when it keeps counters.
+func (c *chaosExecutor) Stats() executor.Stats {
+	if sp, ok := c.inner.(interface{ Stats() executor.Stats }); ok {
+		return sp.Stats()
+	}
+	return executor.Stats{}
+}
+
+var _ executor.Executor = (*chaosExecutor)(nil)
+
+// Interceptor adapts the injector to eventloop.Loop.SetInterceptor: faults
+// are injected into handlers as they are dispatched on target's loop. A
+// Drop decision suppresses the handler body (the event completes, its
+// effect is lost).
+func (in *Injector) Interceptor(target string) func(label string, fn func()) func() {
+	return func(label string, fn func()) func() {
+		act, d := in.decide(target)
+		if act == Drop {
+			return func() {}
+		}
+		return in.apply(act, d, target, fn)
+	}
+}
+
+// NetInterceptor adapts the injector to netloop.Server.SetInterceptor,
+// where a Drop decision suppresses the message before it is queued (the
+// second return reports whether to keep the message).
+func (in *Injector) NetInterceptor(target string) func(event string, fn func()) (func(), bool) {
+	return func(event string, fn func()) (func(), bool) {
+		act, d := in.decide(target)
+		if act == Drop {
+			return nil, false
+		}
+		return in.apply(act, d, target, fn), true
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !chaos
+
+package chaos
+
+// TagEnabled reports whether the build carries the `chaos` tag. The tag
+// gates the heavyweight fault-injection storm tests that CI's chaos job
+// runs (`go test -race -tags=chaos ./...`); the package itself — and the
+// fast deterministic tests — work in every build.
+const TagEnabled = false

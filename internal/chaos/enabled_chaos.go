@@ -1,0 +1,7 @@
+//go:build chaos
+
+package chaos
+
+// TagEnabled reports whether the build carries the `chaos` tag; this build
+// does, so the storm tests run.
+const TagEnabled = true

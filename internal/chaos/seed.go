@@ -1,0 +1,18 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedFromEnv returns the fault-schedule seed from CHAOS_SEED, or def when
+// the variable is unset or unparseable. CI's chaos job pins the seed so a
+// failing storm reproduces locally with the same schedule.
+func SeedFromEnv(def int64) int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}

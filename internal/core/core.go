@@ -186,6 +186,14 @@ func (r *Runtime) CreateWorker(name string, m int) (*executor.WorkerPool, error)
 
 	pool := executor.NewWorkerPool(name, m, r.registry)
 	r.mu.Lock()
+	if r.stopped {
+		// Shutdown ran between the name reservation and here; it cannot
+		// have seen this pool, so stop it ourselves or its workers leak.
+		delete(r.targets, name)
+		r.mu.Unlock()
+		pool.Shutdown()
+		return nil, ErrRuntimeStopped
+	}
 	r.targets[name] = pool
 	r.owned[name] = true
 	r.mu.Unlock()
@@ -323,6 +331,9 @@ func (r *Runtime) invoke(target string, mode Mode, tag string, block func()) (*e
 		// Line 8: post asynchronously.
 		r.emit(trace.OpPost, e.Name(), mode)
 		comp = e.Post(block)
+		if err := r.stoppedRejection(comp); err != nil {
+			return nil, err
+		}
 	}
 
 	switch mode {
@@ -339,6 +350,28 @@ func (r *Runtime) invoke(target string, mode Mode, tag string, block func()) (*e
 		comp.Wait()
 	}
 	return comp, nil
+}
+
+// stoppedRejection inspects a just-posted completion for the shutdown race:
+// resolve saw a live runtime, Shutdown won the race to the executor, and the
+// post was rejected synchronously with executor.ErrShutdown. Invokers get
+// the deterministic typed error ErrRuntimeStopped — the same answer they
+// would have gotten had Shutdown run one instruction earlier — instead of a
+// rejection surfacing through the completion. Rejections by targets shut
+// down externally (runtime still live) are left to the completion: their
+// lifecycle is the caller's.
+func (r *Runtime) stoppedRejection(comp *executor.Completion) error {
+	if comp.Finished() && errors.Is(comp.Err(), executor.ErrShutdown) && r.Stopped() {
+		return ErrRuntimeStopped
+	}
+	return nil
+}
+
+// Stopped reports whether Shutdown has run.
+func (r *Runtime) Stopped() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stopped
 }
 
 // AwaitCompletion implements the logical barrier of Algorithm 1 lines 14-16:

@@ -66,6 +66,9 @@ func (r *Runtime) InvokeCtx(ctx context.Context, target string, mode Mode, block
 	} else {
 		r.emit(trace.OpPost, e.Name(), mode)
 		comp = r.postCtx(ctx, e, mode, block)
+		if err := r.stoppedRejection(comp); err != nil {
+			return nil, err
+		}
 	}
 
 	switch mode {
@@ -114,6 +117,11 @@ func (r *Runtime) postCtx(ctx context.Context, e executor.Executor, mode Mode, b
 		inner, cancel = cp.PostCancellable(body)
 	} else {
 		inner = e.Post(body)
+	}
+	if inner.Finished() && inner.Err() != nil && !skipped.Load() {
+		// Synchronous rejection (shutdown, full queue): no watcher needed,
+		// and returning it directly lets InvokeCtx see the typed error.
+		return inner
 	}
 
 	outer, finish := executor.NewPendingCompletion()

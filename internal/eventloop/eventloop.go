@@ -73,12 +73,20 @@ type Loop struct {
 	ready  chan struct{}
 	wg     sync.WaitGroup
 
-	observer   atomic.Pointer[func(DispatchInfo)]
-	onPanic    atomic.Pointer[func(any)]
-	dispatched atomic.Int64
-	peak       atomic.Int64
-	depth      atomic.Int32 // dispatch nesting depth (1 = top level, >1 = pumping)
+	observer    atomic.Pointer[func(DispatchInfo)]
+	onPanic     atomic.Pointer[func(any)]
+	onCrash     atomic.Pointer[func(any)]
+	interceptor atomic.Pointer[Interceptor]
+	crashed     atomic.Bool
+	dispatched  atomic.Int64
+	peak        atomic.Int64
+	depth       atomic.Int32 // dispatch nesting depth (1 = top level, >1 = pumping)
 }
+
+// Interceptor wraps every handler just before it is dispatched — a seam for
+// fault injection (package chaos) and instrumentation. The wrapper runs on
+// the dispatch goroutine in the handler's place.
+type Interceptor func(label string, fn func()) func()
 
 // New creates a Loop named name whose dispatch goroutine registers itself in
 // reg (nil means gid.Default). The loop is not running until Start.
@@ -104,10 +112,26 @@ func (l *Loop) Start() {
 }
 
 func (l *Loop) run() {
-	defer l.wg.Done()
+	normal := false
+	defer func() {
+		v := recover()
+		l.registry.Deregister()
+		if !normal || v != nil {
+			// The dispatch goroutine died abnormally (runtime.Goexit in a
+			// handler, or a panic that escaped recovery): the loop is dead
+			// and its queue will never drain again. Record it so watchdogs
+			// and supervisors can tell a crashed EDT from an idle one.
+			l.loopCrashed(v)
+		}
+		l.wg.Done()
+	}()
 	l.registry.Register(l)
-	defer l.registry.Deregister()
 	close(l.ready)
+	l.runLoop()
+	normal = true
+}
+
+func (l *Loop) runLoop() {
 	for {
 		it, ok := l.next()
 		if !ok {
@@ -118,6 +142,52 @@ func (l *Loop) run() {
 		}
 		l.dispatch(it)
 	}
+}
+
+// loopCrashed marks the loop dead and notifies the crash handler.
+func (l *Loop) loopCrashed(reason any) {
+	l.crashed.Store(true)
+	if h := l.onCrash.Load(); h != nil {
+		(*h)(reason)
+	}
+}
+
+// Crashed reports whether the dispatch goroutine died abnormally. A crashed
+// loop never dispatches again; Stop will fail its remaining queue.
+func (l *Loop) Crashed() bool { return l.crashed.Load() }
+
+// SetCrashHandler installs fn to be called if the dispatch goroutine dies
+// abnormally, with the escaped panic value (nil for a plain Goexit).
+func (l *Loop) SetCrashHandler(fn func(any)) {
+	if fn == nil {
+		l.onCrash.Store(nil)
+		return
+	}
+	l.onCrash.Store(&fn)
+}
+
+// SetInterceptor installs a dispatch interceptor (nil removes it). See
+// Interceptor.
+func (l *Loop) SetInterceptor(ic Interceptor) {
+	if ic == nil {
+		l.interceptor.Store(nil)
+		return
+	}
+	l.interceptor.Store(&ic)
+}
+
+// FailPending removes every queued-but-undispatched event and completes it
+// with err, returning how many were failed. Used when the loop has crashed
+// and the queue can never drain.
+func (l *Loop) FailPending(err error) int {
+	l.mu.Lock()
+	q := l.queue
+	l.queue = nil
+	l.mu.Unlock()
+	for _, it := range q {
+		it.complete(err)
+	}
+	return len(q)
 }
 
 // next blocks until an event is available (returning it) or stop is
@@ -142,9 +212,22 @@ func (l *Loop) next() (*item, bool) {
 
 func (l *Loop) dispatch(it *item) {
 	start := time.Now()
+	fn := it.fn
+	if ic := l.interceptor.Load(); ic != nil {
+		fn = (*ic)(it.label, fn)
+	}
+	finished := false
+	defer func() {
+		if !finished {
+			// The dispatching goroutine is unwinding mid-handler: fail the
+			// event so waiters don't hang on a dead loop.
+			it.complete(executor.ErrWorkerCrashed)
+		}
+	}()
 	l.depth.Add(1)
-	err := executor.RunCaptured(it.fn)
+	err := executor.RunCaptured(fn)
 	l.depth.Add(-1)
+	finished = true
 	end := time.Now()
 	if err != nil {
 		var pe *executor.PanicError
@@ -320,7 +403,9 @@ func (l *Loop) SetPanicHandler(fn func(any)) {
 }
 
 // Stop rejects further posts, lets the loop drain already-queued events, and
-// joins the dispatch goroutine. Safe to call more than once.
+// joins the dispatch goroutine. If the loop crashed, the undrainable
+// remainder of the queue is failed with ErrWorkerCrashed. Safe to call more
+// than once.
 func (l *Loop) Stop() {
 	l.mu.Lock()
 	if !l.closed {
@@ -329,6 +414,9 @@ func (l *Loop) Stop() {
 	}
 	l.mu.Unlock()
 	l.wg.Wait()
+	if l.crashed.Load() {
+		l.FailPending(executor.ErrWorkerCrashed)
+	}
 }
 
 // Shutdown implements executor.Executor; it is Stop.

@@ -1,0 +1,159 @@
+package executor
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gid"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWorkerCrashFailsTaskTyped(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("crash", 2, &reg)
+	defer p.Shutdown()
+	c := p.Post(func() { runtime.Goexit() })
+	if err := c.Wait(); !errors.Is(err, ErrWorkerCrashed) {
+		t.Fatalf("err = %v, want ErrWorkerCrashed", err)
+	}
+	waitFor(t, "crash accounting", func() bool { return p.Crashes() == 1 && p.Workers() == 1 })
+	// The surviving worker still serves tasks.
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashHandlerNotified(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("crash2", 1, &reg)
+	defer p.Shutdown()
+	crashed := make(chan any, 1)
+	p.SetCrashHandler(func(v any) { crashed <- v })
+	p.Post(func() { runtime.Goexit() })
+	select {
+	case v := <-crashed:
+		if v != nil {
+			t.Fatalf("Goexit crash reason = %v, want nil", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crash handler not called")
+	}
+	waitFor(t, "worker count drop", func() bool { return p.Workers() == 0 })
+}
+
+func TestShutdownFailsStrandedQueue(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("stranded", 1, &reg)
+	// Kill the only worker, then queue tasks nobody can run.
+	p.Post(func() { runtime.Goexit() }).Wait()
+	waitFor(t, "worker death", func() bool { return p.Workers() == 0 })
+	c1 := p.Post(func() { t.Error("stranded task ran") })
+	c2 := p.Post(func() { t.Error("stranded task ran") })
+	p.Shutdown()
+	for _, c := range []*Completion{c1, c2} {
+		if err := c.Wait(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("stranded task err = %v, want ErrShutdown", err)
+		}
+	}
+}
+
+func TestFailPending(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("failpending", 1, &reg)
+	defer p.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Post(func() { close(started); <-gate })
+	<-started
+	bang := errors.New("restarting")
+	c1 := p.Post(func() {})
+	c2 := p.Post(func() {})
+	if n := p.FailPending(bang); n != 2 {
+		t.Fatalf("FailPending = %d, want 2", n)
+	}
+	if err := c1.Wait(); !errors.Is(err, bang) {
+		t.Fatalf("c1 err = %v", err)
+	}
+	if err := c2.Wait(); !errors.Is(err, bang) {
+		t.Fatalf("c2 err = %v", err)
+	}
+	close(gate)
+	// The pool keeps working after a purge.
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeGrowsAndShrinks(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("resize", 2, &reg)
+	defer p.Shutdown()
+	p.Resize(5)
+	if p.Workers() != 5 {
+		t.Fatalf("Workers = %d after Resize(5)", p.Workers())
+	}
+	p.Resize(1)
+	waitFor(t, "shrink to 1", func() bool { return p.Workers() == 1 })
+	p.Resize(0) // clamps to 1
+	waitFor(t, "clamp to 1", func() bool { return p.Workers() == 1 })
+	if err := p.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeAfterShutdownIsNoop(t *testing.T) {
+	var reg gid.Registry
+	p := NewWorkerPool("resize2", 2, &reg)
+	p.Shutdown()
+	p.Resize(8)
+	if got := p.Workers(); got != 2 {
+		t.Fatalf("Workers = %d after post-shutdown Resize, want 2", got)
+	}
+}
+
+func TestConcurrentResizeShutdown(t *testing.T) {
+	// Regression for the Grow wg.Add / Shutdown wg.Wait race: hammer
+	// Resize from several goroutines while Shutdown runs. Run with -race.
+	for round := 0; round < 20; round++ {
+		var reg gid.Registry
+		p := NewWorkerPool("storm", 2, &reg)
+		var running atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					p.Resize(1 + (g+i)%6)
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p.Post(func() { running.Add(1) })
+			}
+		}()
+		p.Shutdown()
+		wg.Wait()
+		p.Resize(4) // no-op after shutdown
+		// Every accepted task either ran before the drain finished or was
+		// failed by the shutdown backstop; none may hang.
+	}
+}

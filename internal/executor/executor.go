@@ -24,6 +24,14 @@ import (
 // executor that has been shut down.
 var ErrShutdown = errors.New("executor: shut down")
 
+// ErrWorkerCrashed is the terminal error of a task whose running goroutine
+// died before the task body returned — runtime.Goexit (which defeats panic
+// isolation) or a panic escaping the recovery wrapper. Without it a crashed
+// worker would leave the task's waiters blocked forever; with it in-flight
+// invocations fail fast and supervisors (package supervise) learn that a
+// worker needs replacing.
+var ErrWorkerCrashed = errors.New("executor: worker crashed while running task")
+
 // PanicError wraps a panic value recovered from a task body. Handler panics
 // must never kill an executor's workers (a crashed EDT would freeze the
 // whole application), so they are captured here instead.
@@ -139,6 +147,7 @@ type Stats struct {
 	Rejected   int64 // tasks rejected (shutdown / full bounded queue)
 	Helped     int64 // tasks run via TryRunPending rather than a worker
 	Panics     int64 // task bodies that terminated by panicking
+	Crashes    int64 // worker goroutines that died abnormally (Goexit/escaped panic)
 	QueuePeak  int64 // high watermark of queue length
 	QueueDepth int64 // current queue length
 }
@@ -158,11 +167,20 @@ type task struct {
 
 // runTask executes t.fn with panic capture and completes t.comp, reporting
 // whether the body ran. A task whose cancellation won the race is skipped
-// (its completion was already finished by the canceller).
+// (its completion was already finished by the canceller). If the running
+// goroutine dies mid-task (runtime.Goexit, or a panic that defeats the
+// recovery wrapper) the completion is still finished — with
+// ErrWorkerCrashed — so waiters never hang on a dead worker.
 func runTask(t *task, onPanic func(any)) bool {
 	if !t.state.CompareAndSwap(taskQueued, taskRunning) {
 		return false // cancelled while queued
 	}
+	finished := false
+	defer func() {
+		if !finished {
+			t.comp.complete(ErrWorkerCrashed)
+		}
+	}()
 	var err error
 	func() {
 		defer func() {
@@ -175,6 +193,7 @@ func runTask(t *task, onPanic func(any)) bool {
 		}()
 		t.fn()
 	}()
+	finished = true
 	t.comp.complete(err)
 	return true
 }
@@ -197,6 +216,7 @@ type WorkerPool struct {
 
 	wg      sync.WaitGroup
 	onPanic func(any)
+	onCrash func(any) // notified when a worker goroutine dies abnormally
 
 	nworkers int // guarded by mu (Grow/Shrink mutate it)
 	shrink   int // pending worker-exit credits, guarded by mu
@@ -206,6 +226,7 @@ type WorkerPool struct {
 	rejected  atomic.Int64
 	helped    atomic.Int64
 	panics    atomic.Int64
+	crashes   atomic.Int64
 	peak      atomic.Int64
 }
 
@@ -236,19 +257,68 @@ func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *Work
 	var startedCount atomic.Int64
 	total := int64(n)
 	for i := 0; i < n; i++ {
-		go func() {
-			defer p.wg.Done()
-			p.registry.Register(p)
-			defer p.registry.Deregister()
+		p.spawnWorker(func() {
 			if startedCount.Add(1) == total {
 				startOnce.Do(func() { close(started) })
 			}
-			p.workerLoop()
-		}()
+		})
 	}
 	<-started // all workers registered before the pool is visible
 	return p
 }
+
+// spawnWorker launches one worker goroutine, calling onStarted once it is
+// registered. The epilogue distinguishes the two legitimate exits (shutdown
+// drain and shrink retirement return normally from workerLoop) from a crash:
+// runtime.Goexit or a panic escaping the task recovery unwinds with
+// normal == false, which corrects the live-worker count and notifies the
+// crash handler so a supervisor can replace the worker or restart the pool.
+func (p *WorkerPool) spawnWorker(onStarted func()) {
+	go func() {
+		normal := false
+		defer func() {
+			v := recover()
+			p.registry.Deregister()
+			if !normal || v != nil {
+				p.workerCrashed(v)
+			}
+			p.wg.Done()
+		}()
+		p.registry.Register(p)
+		if onStarted != nil {
+			onStarted()
+		}
+		p.workerLoop()
+		normal = true
+	}()
+}
+
+// workerCrashed records an abnormal worker exit: the dead goroutine no
+// longer counts toward Workers, and the crash handler (if any) is told why.
+func (p *WorkerPool) workerCrashed(reason any) {
+	p.crashes.Add(1)
+	p.mu.Lock()
+	p.nworkers--
+	h := p.onCrash
+	p.mu.Unlock()
+	if h != nil {
+		h(reason)
+	}
+}
+
+// SetCrashHandler installs fn to be called whenever a worker goroutine dies
+// without going through shutdown or shrink retirement (runtime.Goexit in a
+// task body, or a panic that escaped recovery). The reason is the escaped
+// panic value, or nil for a plain Goexit. Supervisors use this as their
+// failure signal.
+func (p *WorkerPool) SetCrashHandler(fn func(any)) {
+	p.mu.Lock()
+	p.onCrash = fn
+	p.mu.Unlock()
+}
+
+// Crashes returns the number of worker goroutines that died abnormally.
+func (p *WorkerPool) Crashes() int64 { return p.crashes.Load() }
 
 // Name returns the pool's virtual-target name.
 func (p *WorkerPool) Name() string { return p.name }
@@ -385,17 +455,44 @@ func (p *WorkerPool) TryRunPending() bool {
 }
 
 // Shutdown stops accepting tasks, drains the queue, and joins all workers.
+// If every worker has crashed there is nobody left to drain: the queued
+// tasks are then failed with ErrShutdown instead of being stranded forever.
 func (p *WorkerPool) Shutdown() {
 	p.mu.Lock()
 	if p.shutdown {
 		p.mu.Unlock()
 		p.wg.Wait()
+		p.FailPending(ErrShutdown)
 		return
 	}
 	p.shutdown = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+	p.FailPending(ErrShutdown)
+}
+
+// FailPending removes every queued-but-not-started task and completes it
+// with err, returning how many were failed. Running tasks are untouched.
+// Supervisors call this when replacing a crashed pool so queued invocations
+// fail fast with a typed error instead of waiting on workers that no longer
+// exist; Shutdown calls it as a backstop after joining workers.
+func (p *WorkerPool) FailPending(err error) int {
+	p.mu.Lock()
+	q := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	n := 0
+	for _, t := range q {
+		if t.state.CompareAndSwap(taskQueued, taskCancelled) {
+			t.comp.complete(err)
+			n++
+		}
+	}
+	if n > 0 {
+		p.rejected.Add(int64(n))
+	}
+	return n
 }
 
 // Workers returns the current number of worker goroutines (Grow and Shrink
@@ -420,20 +517,41 @@ func (p *WorkerPool) Grow(n int) {
 		return
 	}
 	p.nworkers += n
-	p.mu.Unlock()
+	// Add under the lock: Shutdown flips p.shutdown under the same lock
+	// before calling wg.Wait, so the counter can never grow concurrently
+	// with the join.
 	p.wg.Add(n)
+	p.mu.Unlock()
 	started := make(chan struct{}, n)
 	for i := 0; i < n; i++ {
-		go func() {
-			defer p.wg.Done()
-			p.registry.Register(p)
-			defer p.registry.Deregister()
-			started <- struct{}{}
-			p.workerLoop()
-		}()
+		p.spawnWorker(func() { started <- struct{}{} })
 	}
 	for i := 0; i < n; i++ {
 		<-started
+	}
+}
+
+// Resize sets the pool's worker count to n (clamped to at least 1), growing
+// or shrinking as needed. Like Grow and Shrink it is a documented no-op
+// after Shutdown, so concurrent Resize/Shutdown is safe: whichever wins the
+// pool's lock decides, and a Resize that loses changes nothing.
+func (p *WorkerPool) Resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		return
+	}
+	// Workers already scheduled to retire don't count toward the target.
+	cur := p.nworkers - p.shrink
+	p.mu.Unlock()
+	switch {
+	case n > cur:
+		p.Grow(n - cur)
+	case n < cur:
+		p.Shrink(cur - n)
 	}
 }
 
@@ -514,6 +632,7 @@ func (p *WorkerPool) Stats() Stats {
 		Rejected:   p.rejected.Load(),
 		Helped:     p.helped.Load(),
 		Panics:     p.panics.Load(),
+		Crashes:    p.crashes.Load(),
 		QueuePeak:  p.peak.Load(),
 		QueueDepth: depth,
 	}

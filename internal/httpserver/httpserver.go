@@ -19,6 +19,8 @@ package httpserver
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,11 +29,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/executor"
 	"repro/internal/gid"
 	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/qos"
+	"repro/internal/supervise"
 )
 
 // Mode selects the server organization.
@@ -71,6 +76,40 @@ type Config struct {
 	// reproduces the seed behaviour: every request queues, however long
 	// the queue). See QoSConfig.
 	QoS *QoSConfig
+	// Supervise enables the failure model for the Pyjama organization:
+	// the worker target is watched for stalls and (with Restart) wrapped
+	// in a supervisor that replaces crashed workers, and /healthz reports
+	// per-target state instead of a static 200. See SuperviseConfig.
+	Supervise *SuperviseConfig
+	// Chaos, when set, wraps the Pyjama worker target in the
+	// fault-injection middleware so failure drills can be run against a
+	// live server (Pyjama mode only).
+	Chaos *chaos.Injector
+}
+
+// SuperviseConfig parameterizes the server's failure model. The zero value
+// of every field picks the supervise package defaults.
+type SuperviseConfig struct {
+	// Restart wraps the worker target in a supervise.Supervisor so worker
+	// crashes and panic storms trigger restarts; without it the target is
+	// only watched (stalls are reported, nothing is repaired).
+	Restart bool
+	// MaxRestarts / Window bound the restart budget (supervise.Options).
+	MaxRestarts int
+	Window      time.Duration
+	// BackoffInitial / BackoffMax shape the restart backoff.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	// PanicThreshold restarts the target after this many task panics in
+	// one generation (0 = tolerated).
+	PanicThreshold int
+	// RespawnWorkers repairs single worker deaths one-for-one instead of
+	// replacing the whole pool.
+	RespawnWorkers bool
+	// WatchdogInterval / StallAfter tune the heartbeat (defaults: 100ms
+	// checks, stall after 10 intervals).
+	WatchdogInterval time.Duration
+	StallAfter       time.Duration
 }
 
 // QoSConfig parameterizes the server's admission control. The limiter's
@@ -139,6 +178,10 @@ type Server struct {
 	limiter *qos.Limiter // nil without QoS
 	breaker *qos.Breaker // nil without QoS or BreakerThreshold
 
+	worker executor.Executor     // Pyjama worker target when not runtime-owned
+	sup    *supervise.Supervisor // nil unless Supervise.Restart
+	dog    *supervise.Watchdog   // nil without Supervise
+
 	served atomic.Int64
 	errors atomic.Int64
 	shed   atomic.Int64
@@ -167,7 +210,7 @@ func New(cfg Config) *Server {
 // URL ("http://127.0.0.1:PORT").
 func (s *Server) Start() (string, error) {
 	if s.rt != nil {
-		if _, err := s.rt.CreateWorker("worker", s.cfg.Workers); err != nil {
+		if err := s.setupWorkerTarget(); err != nil {
 			return "", err
 		}
 	}
@@ -178,15 +221,116 @@ func (s *Server) Start() (string, error) {
 	s.ln = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc("/encrypt", s.handleEncrypt)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		_ = s.srv.Serve(ln)
 		close(s.done)
 	}()
 	return "http://" + ln.Addr().String(), nil
+}
+
+// setupWorkerTarget builds the Pyjama worker target. Plain configs keep the
+// seed path (a runtime-owned pool); with Chaos the pool is wrapped in the
+// fault-injection middleware, and with Supervise it is watched and —
+// when Restart is set — supervised, so crashed workers are replaced instead
+// of silently draining the pool.
+func (s *Server) setupWorkerTarget() error {
+	sv := s.cfg.Supervise
+	if sv == nil && s.cfg.Chaos == nil {
+		_, err := s.rt.CreateWorker("worker", s.cfg.Workers)
+		return err
+	}
+	factory := func(gen int) (executor.Executor, error) {
+		var e executor.Executor = executor.NewWorkerPool("worker", s.cfg.Workers, &s.reg)
+		if s.cfg.Chaos != nil {
+			e = s.cfg.Chaos.Wrap(e)
+		}
+		return e, nil
+	}
+	var target executor.Executor
+	if sv != nil && sv.Restart {
+		sup, err := supervise.New("worker", factory, supervise.Options{
+			MaxRestarts:    sv.MaxRestarts,
+			Window:         sv.Window,
+			BackoffInitial: sv.BackoffInitial,
+			BackoffMax:     sv.BackoffMax,
+			PanicThreshold: sv.PanicThreshold,
+			RespawnWorkers: sv.RespawnWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		s.sup = sup
+		target = sup
+	} else {
+		target, _ = factory(0)
+	}
+	if err := s.rt.RegisterTarget("worker", target); err != nil {
+		target.Shutdown()
+		return err
+	}
+	s.worker = target // registered, not runtime-owned: Stop shuts it down
+	if sv != nil {
+		s.dog = supervise.NewWatchdog(sv.WatchdogInterval)
+		s.dog.Watch("worker", target, sv.StallAfter)
+		s.dog.Start()
+	}
+	return nil
+}
+
+// handleHealthz reports per-target health: supervision state (when the
+// worker target is supervised) and watchdog liveness (when it is watched).
+// The overall status is the worst across targets — "ok" and "degraded"
+// answer 200, "down" answers 503 so orchestrators stop routing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type targetHealth struct {
+		Supervision *supervise.TargetHealth `json:"supervision,omitempty"`
+		Liveness    *supervise.Report       `json:"liveness,omitempty"`
+	}
+	resp := struct {
+		Status  string                   `json:"status"`
+		Targets map[string]*targetHealth `json:"targets,omitempty"`
+	}{Status: supervise.Healthy.String()}
+	worst := supervise.Healthy
+	get := func(name string) *targetHealth {
+		if resp.Targets == nil {
+			resp.Targets = make(map[string]*targetHealth)
+		}
+		if resp.Targets[name] == nil {
+			resp.Targets[name] = &targetHealth{}
+		}
+		return resp.Targets[name]
+	}
+	if s.sup != nil {
+		h := s.sup.Health()
+		get(h.Name).Supervision = &h
+		if st := h.StatusValue(); st > worst {
+			worst = st
+		}
+	}
+	if s.dog != nil {
+		for name, rep := range s.dog.Health() {
+			rep := rep
+			get(name).Liveness = &rep
+			// A stalled target degrades the service; one answering
+			// ErrTargetDown takes it down.
+			switch rep.LivenessValue() {
+			case supervise.LiveStalled:
+				if worst < supervise.Degraded {
+					worst = supervise.Degraded
+				}
+			case supervise.LiveDown:
+				worst = supervise.Down
+			}
+		}
+	}
+	resp.Status = worst.String()
+	w.Header().Set("Content-Type", "application/json")
+	if worst == supervise.Down {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // compute runs the encryption kernel for one request and returns the
@@ -221,13 +365,16 @@ func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			comp, err := s.rt.Invoke("worker", core.Wait, func() { sum = s.compute(size) })
-			if err != nil || comp.Err() != nil {
+			switch {
+			case err != nil:
 				s.errors.Add(1)
 				http.Error(w, "compute failed", http.StatusInternalServerError)
-				return
+			case comp.Err() != nil:
+				s.failCompute(w, comp.Err())
+			default:
+				s.served.Add(1)
+				fmt.Fprintf(w, "%d\n", sum)
 			}
-			s.served.Add(1)
-			fmt.Fprintf(w, "%d\n", sum)
 		}
 		return
 	default: // Jetty: admission into the fixed thread pool
@@ -283,14 +430,27 @@ func (s *Server) handleEncryptQoS(w http.ResponseWriter, r *http.Request, size i
 		return false
 	case cerr != nil:
 		s.breaker.Failure()
-		s.errors.Add(1)
-		http.Error(w, "compute failed", http.StatusInternalServerError)
+		s.failCompute(w, cerr)
 		return false
 	}
 	s.breaker.Success()
 	s.served.Add(1)
 	fmt.Fprintf(w, "%d\n", sum)
 	return true
+}
+
+// failCompute writes the failure response for a finished-with-error
+// invocation. Supervision rejections are transient capacity answers (503,
+// counted as sheds) — the target is restarting or down, retry elsewhere;
+// everything else (panics, crashed workers) is a 500.
+func (s *Server) failCompute(w http.ResponseWriter, cerr error) {
+	if errors.Is(cerr, supervise.ErrRestarting) || errors.Is(cerr, supervise.ErrTargetDown) {
+		s.shed.Add(1)
+		http.Error(w, "worker target unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	s.errors.Add(1)
+	http.Error(w, "compute failed", http.StatusInternalServerError)
 }
 
 // Served returns the number of successful responses.
@@ -314,14 +474,28 @@ func (s *Server) QoSStats() *metrics.QoSStats {
 // Breaker returns the server's circuit breaker (nil unless configured).
 func (s *Server) Breaker() *qos.Breaker { return s.breaker }
 
+// Supervisor returns the worker target's supervisor (nil unless
+// Supervise.Restart is configured).
+func (s *Server) Supervisor() *supervise.Supervisor { return s.sup }
+
+// Watchdog returns the stall watchdog (nil unless Supervise is configured).
+func (s *Server) Watchdog() *supervise.Watchdog { return s.dog }
+
 // Stop shuts the server down and releases its worker pool.
 func (s *Server) Stop() {
+	if s.dog != nil {
+		s.dog.Stop()
+	}
 	if s.srv != nil {
 		_ = s.srv.Close()
 		<-s.done
 	}
 	if s.rt != nil {
 		s.rt.Shutdown()
+	}
+	if s.worker != nil {
+		// Registered targets are not runtime-owned; their lifecycle is ours.
+		s.worker.Shutdown()
 	}
 }
 
@@ -333,16 +507,40 @@ type Client struct {
 
 // NewClient builds a client for the server at base (as returned by Start).
 func NewClient(base string) *Client {
+	return NewClientTimeout(base, 60*time.Second)
+}
+
+// NewClientTimeout builds a client with an explicit request timeout.
+// Failure drills use short timeouts so a hung invocation shows up as a
+// client-side timeout instead of wedging the scenario.
+func NewClientTimeout(base string, timeout time.Duration) *Client {
 	return &Client{
 		base: base,
 		http: &http.Client{
-			Timeout: 60 * time.Second,
+			Timeout: timeout,
 			Transport: &http.Transport{
 				MaxIdleConns:        256,
 				MaxIdleConnsPerHost: 256,
 			},
 		},
 	}
+}
+
+// Healthz fetches /healthz and returns the reported status string
+// ("ok", "degraded", "down") and the HTTP status code.
+func (c *Client) Healthz() (string, int, error) {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return body.Status, resp.StatusCode, nil
 }
 
 // Encrypt issues one request and returns the response checksum.

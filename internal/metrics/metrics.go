@@ -68,6 +68,35 @@ func (q *QoSStats) String() string {
 		s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 
+// SupervisionStats bundles the counters the supervision subsystem (package
+// supervise) produces for one supervised target: how often it crashed, how
+// often it was restarted or respawned, and how many invocations were
+// rejected fail-fast while it was restarting or down.
+type SupervisionStats struct {
+	// Restarts counts full target restarts (the executor was replaced).
+	Restarts Counter
+	// Respawns counts one-for-one worker respawns (a crashed worker was
+	// replaced without restarting the whole target).
+	Respawns Counter
+	// Crashes counts worker-death reports observed by the supervisor.
+	Crashes Counter
+	// Panics counts task panics observed by the supervisor.
+	Panics Counter
+	// FailFast counts invocations rejected with a typed error while the
+	// target was restarting or marked down.
+	FailFast Counter
+}
+
+// NewSupervisionStats returns zeroed supervision statistics.
+func NewSupervisionStats() *SupervisionStats { return &SupervisionStats{} }
+
+// String renders the headline counters.
+func (s *SupervisionStats) String() string {
+	return fmt.Sprintf("restarts=%d respawns=%d crashes=%d panics=%d failfast=%d",
+		s.Restarts.Value(), s.Respawns.Value(), s.Crashes.Value(),
+		s.Panics.Value(), s.FailFast.Value())
+}
+
 // Histogram is a concurrency-safe latency histogram with exact quantiles
 // (it retains all samples; evaluation runs record at most a few hundred
 // thousand events, so exactness is affordable and avoids bucket-resolution

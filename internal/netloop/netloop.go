@@ -29,6 +29,14 @@ import (
 // Handler processes one line-delimited message on the dispatch loop.
 type Handler func(c *Client, line string)
 
+// Interceptor sits between the read loop and the dispatch queue: it
+// receives each message event ("msg") and its handler closure before the
+// message is queued, and returns the closure to dispatch plus a keep flag —
+// false suppresses the message entirely (it never reaches the queue, never
+// takes a limiter slot, and is counted by Dropped). The fault-injection
+// layer (chaos.NetInterceptor) plugs in here to drop or delay messages.
+type Interceptor func(event string, fn func()) (func(), bool)
+
 // Server is a line-oriented message server with single-threaded dispatch.
 type Server struct {
 	name string
@@ -42,12 +50,14 @@ type Server struct {
 	onClose   func(*Client)
 	closed    bool
 
-	limiter *qos.Limiter // nil = unbounded dispatch queue (seed behaviour)
+	limiter     *qos.Limiter // nil = unbounded dispatch queue (seed behaviour)
+	interceptor atomic.Pointer[Interceptor]
 
 	nextID   atomic.Int64
 	accepted atomic.Int64
 	messages atomic.Int64
 	shed     atomic.Int64
+	dropped  atomic.Int64
 	wg       sync.WaitGroup
 }
 
@@ -86,6 +96,28 @@ func (s *Server) UseLimiter(l *qos.Limiter) { s.limiter = l }
 
 // Shed returns the number of messages dropped by admission control.
 func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// SetInterceptor installs (or, with nil, removes) the message interceptor.
+func (s *Server) SetInterceptor(fn Interceptor) {
+	if fn == nil {
+		s.interceptor.Store(nil)
+		return
+	}
+	s.interceptor.Store(&fn)
+}
+
+// Dropped returns the number of messages suppressed by the interceptor.
+func (s *Server) Dropped() int64 { return s.dropped.Load() }
+
+// intercept applies the installed interceptor to one event, defaulting to
+// pass-through.
+func (s *Server) intercept(event string, fn func()) (func(), bool) {
+	p := s.interceptor.Load()
+	if p == nil || *p == nil {
+		return fn, true
+	}
+	return (*p)(event, fn)
+}
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
 // accepting. It returns the bound address.
@@ -135,6 +167,17 @@ func (s *Server) readLoop(c *Client) {
 	for scanner.Scan() {
 		line := scanner.Text()
 		s.messages.Add(1)
+		handler, keep := s.intercept("msg", func() {
+			if s.onMessage != nil {
+				s.onMessage(c, line)
+			}
+		})
+		if !keep {
+			// Suppressed by fault injection before it took a limiter slot
+			// or a queue position.
+			s.dropped.Add(1)
+			continue
+		}
 		if err := s.limiter.Acquire(context.Background()); err != nil {
 			// Shed at the edge: the dispatch queue is protected and the
 			// reader moves on to the next line.
@@ -143,9 +186,7 @@ func (s *Server) readLoop(c *Client) {
 		}
 		s.loop.PostLabeled("msg", func() {
 			defer s.limiter.Release()
-			if s.onMessage != nil {
-				s.onMessage(c, line)
-			}
+			handler()
 		})
 	}
 	s.mu.Lock()

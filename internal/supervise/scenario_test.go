@@ -1,0 +1,188 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/executor"
+	"repro/internal/gid"
+	"repro/internal/trace"
+)
+
+// TestSupervisedSurvivesKillStorm is the acceptance scenario: worker kills
+// injected at a 10% rate, a supervised target keeps serving by respawning
+// within its budget, health degrades and then recovers, and no invocation
+// hangs — every one completes or fails with a typed error.
+func TestSupervisedSurvivesKillStorm(t *testing.T) {
+	var reg gid.Registry
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		chaos.Rule{Action: chaos.Kill, Rate: 0.10, Count: 8})
+	factory := func(gen int) (executor.Executor, error) {
+		return inj.Wrap(executor.NewWorkerPool("w", 3, &reg)), nil
+	}
+	s, err := New("w", factory, Options{
+		RespawnWorkers: true,
+		MaxRestarts:    20,
+		Window:         300 * time.Millisecond,
+		BackoffInitial: time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	buf := trace.NewBuffer(256)
+	s.SetTraceSink(buf)
+
+	const calls = 200
+	var ok, typed int
+	sawDegraded := false
+	for i := 0; i < calls; i++ {
+		c := s.Post(func() {})
+		select {
+		case <-c.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("invocation %d hung", i)
+		}
+		switch err := c.Err(); {
+		case err == nil:
+			ok++
+		case errors.Is(err, executor.ErrWorkerCrashed) || errors.Is(err, ErrRestarting):
+			typed++
+		default:
+			t.Fatalf("invocation %d: untyped failure %v", i, err)
+		}
+		if s.Health().StatusValue() == Degraded {
+			sawDegraded = true
+		}
+	}
+	if kills := inj.Injected(chaos.Kill); kills == 0 {
+		t.Fatal("storm injected no kills; scenario proved nothing")
+	}
+	if ok == 0 {
+		t.Fatal("no invocation succeeded during the storm")
+	}
+	if !sawDegraded || s.Stats().Respawns.Value() == 0 {
+		t.Fatalf("supervision not exercised: degraded=%v respawns=%d",
+			sawDegraded, s.Stats().Respawns.Value())
+	}
+	if buf.CountOp(trace.OpRestart) == 0 {
+		t.Fatal("no OpRestart traced")
+	}
+
+	// The storm is bounded (Count): once it passes and the window slides,
+	// the target reads healthy and serves cleanly again.
+	waitFor(t, 5*time.Second, func() bool {
+		return s.Health().StatusValue() == Healthy && s.Post(func() {}).Wait() == nil
+	}, "post-storm recovery")
+	t.Logf("storm: %d ok, %d typed failures, %d kills, %d respawns",
+		ok, typed, inj.Injected(chaos.Kill), s.Stats().Respawns.Value())
+}
+
+// TestUnsupervisedPoolWedgesAndWatchdogSees is the control: the same kill
+// fault against a bare pool takes its workers down for good, posted work
+// queues forever, and only the watchdog's stall detection notices.
+func TestUnsupervisedPoolWedgesAndWatchdogSees(t *testing.T) {
+	var reg gid.Registry
+	pool := executor.NewWorkerPool("w", 2, &reg)
+	defer pool.Shutdown()
+	// Deterministic storm: the first two tasks each kill a worker.
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		chaos.Rule{Action: chaos.Kill, Nth: 1, Count: 2})
+	e := inj.Wrap(pool)
+
+	for i := 0; i < 2; i++ {
+		if err := e.Post(func() {}).Wait(); !errors.Is(err, executor.ErrWorkerCrashed) {
+			t.Fatalf("kill %d err = %v", i, err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return pool.Workers() == 0 }, "all workers dead")
+
+	// Watch only once the pool is dead, so heartbeat probes don't race the
+	// deterministic kill schedule above.
+	buf := trace.NewBuffer(64)
+	w := NewWatchdog(10 * time.Millisecond)
+	w.SetTraceSink(buf)
+	w.Watch("w", e, 50*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+
+	// Nobody restarts anything: this post wedges in the queue.
+	wedged := e.Post(func() {})
+	waitFor(t, 2*time.Second, func() bool {
+		return w.Health()["w"].LivenessValue() == LiveStalled
+	}, "watchdog stall detection")
+	if wedged.Finished() {
+		t.Fatal("wedged post completed with no workers")
+	}
+	if buf.CountOp(trace.OpStall) == 0 {
+		t.Fatal("no OpStall traced")
+	}
+	r := w.Health()["w"]
+	if r.Stalls == 0 || r.StallFor <= 0 {
+		t.Fatalf("stall report = %+v", r)
+	}
+
+	// Shutdown's fail-pending backstop keeps even the wedge from leaking:
+	// the stranded task fails typed instead of hanging forever.
+	pool.Shutdown()
+	if err := wedged.Wait(); !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("stranded task err = %v", err)
+	}
+}
+
+// TestWatchdogSeesBlockedThenRecovered drives a stall episode end to end:
+// stalled while the only worker is blocked, OK again once it unblocks.
+func TestWatchdogSeesBlockedThenRecovered(t *testing.T) {
+	var reg gid.Registry
+	pool := executor.NewWorkerPool("w", 1, &reg)
+	defer pool.Shutdown()
+	w := NewWatchdog(5 * time.Millisecond)
+	w.Watch("w", pool, 25*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+
+	gate := make(chan struct{})
+	pool.Post(func() { <-gate })
+	waitFor(t, 2*time.Second, func() bool {
+		return w.Health()["w"].LivenessValue() == LiveStalled
+	}, "stall while blocked")
+	close(gate)
+	waitFor(t, 2*time.Second, func() bool {
+		return w.Health()["w"].LivenessValue() == LiveOK
+	}, "recovery after unblock")
+	if w.Stalls() != 1 {
+		t.Fatalf("stall episodes = %d, want 1", w.Stalls())
+	}
+}
+
+// TestWatchdogReportsDownTarget: probes answered with ErrTargetDown read
+// LiveDown, not stalled — the watchdog distinguishes dead from blocked.
+func TestWatchdogReportsDownTarget(t *testing.T) {
+	var reg gid.Registry
+	s, err := New("w", func(int) (executor.Executor, error) {
+		return executor.NewWorkerPool("w", 1, &reg), nil
+	}, Options{MaxRestarts: 1, Window: time.Minute, BackoffInitial: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	// Two manual failures exhaust the budget of 1.
+	s.ReportFailure(errors.New("probe failed"))
+	waitFor(t, 2*time.Second, func() bool {
+		h := s.Health()
+		return h.Generation == 1 && h.State == Running.String()
+	}, "first restart done")
+	s.ReportFailure(errors.New("probe failed again"))
+	waitFor(t, 2*time.Second, func() bool { return s.Health().StatusValue() == Down }, "down")
+
+	w := NewWatchdog(5 * time.Millisecond)
+	w.Watch("w", s, 25*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+	waitFor(t, 2*time.Second, func() bool {
+		return w.Health()["w"].LivenessValue() == LiveDown
+	}, "down via probe")
+}

@@ -1,0 +1,201 @@
+package supervise
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/gid"
+	"repro/internal/trace"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func poolFactory(t *testing.T, reg *gid.Registry, workers int) Factory {
+	t.Helper()
+	return func(gen int) (executor.Executor, error) {
+		return executor.NewWorkerPool("w", workers, reg), nil
+	}
+}
+
+func TestRespawnReplacesCrashedWorker(t *testing.T) {
+	var reg gid.Registry
+	s, err := New("w", poolFactory(t, &reg, 2), Options{
+		RespawnWorkers: true,
+		BackoffInitial: time.Millisecond,
+		Window:         200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	if err := s.Post(func() {}).Wait(); err != nil {
+		t.Fatalf("healthy post: %v", err)
+	}
+	// Kill one worker: Goexit defeats panic isolation, the goroutine dies.
+	if err := s.Post(func() { runtime.Goexit() }).Wait(); !errors.Is(err, executor.ErrWorkerCrashed) {
+		t.Fatalf("killed task err = %v", err)
+	}
+	pool := base(s).(*executor.WorkerPool)
+	waitFor(t, 2*time.Second, func() bool { return pool.Workers() == 2 }, "worker respawn")
+	if got := s.Stats().Respawns.Value(); got != 1 {
+		t.Fatalf("respawns = %d", got)
+	}
+	if h := s.Health(); h.StatusValue() != Degraded || h.Generation != 0 {
+		t.Fatalf("health after respawn = %+v", h)
+	}
+	// After a quiet window the target reads healthy again.
+	waitFor(t, 2*time.Second, func() bool { return s.Health().StatusValue() == Healthy }, "recovery")
+	if err := s.Post(func() {}).Wait(); err != nil {
+		t.Fatalf("post after respawn: %v", err)
+	}
+}
+
+func TestPanicThresholdTriggersFullRestart(t *testing.T) {
+	var reg gid.Registry
+	s, err := New("w", poolFactory(t, &reg, 1), Options{
+		PanicThreshold: 2,
+		BackoffInitial: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	buf := trace.NewBuffer(64)
+	s.SetTraceSink(buf)
+
+	// Two panics in one generation cross the threshold.
+	for i := 0; i < 2; i++ {
+		var pe *executor.PanicError
+		if err := s.Post(func() { panic("boom") }).Wait(); !errors.As(err, &pe) {
+			t.Fatalf("panic %d err = %v", i, err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.Health().Generation == 1 }, "generation bump")
+	waitFor(t, 2*time.Second, func() bool { return s.Post(func() {}).Wait() == nil }, "new generation serving")
+	if buf.CountOp(trace.OpRestart) == 0 {
+		t.Fatal("no OpRestart traced")
+	}
+	if got := s.Stats().Restarts.Value(); got != 1 {
+		t.Fatalf("full restarts = %d", got)
+	}
+}
+
+func TestBudgetExhaustionFailsFast(t *testing.T) {
+	var reg gid.Registry
+	s, err := New("w", poolFactory(t, &reg, 1), Options{
+		MaxRestarts:    2,
+		Window:         time.Minute, // restarts never age out during the test
+		BackoffInitial: time.Millisecond,
+		RespawnWorkers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	buf := trace.NewBuffer(64)
+	s.SetTraceSink(buf)
+
+	// Each kill consumes one respawn; the third exhausts the budget.
+	for i := 0; i < 3; i++ {
+		pool := base(s).(*executor.WorkerPool)
+		waitFor(t, 2*time.Second, func() bool { return pool.Workers() == 1 }, "worker up")
+		waitFor(t, 2*time.Second, func() bool { return s.Health().State == Running.String() }, "running")
+		if err := s.Post(func() { runtime.Goexit() }).Wait(); !errors.Is(err, executor.ErrWorkerCrashed) {
+			t.Fatalf("kill %d err = %v", i, err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.Health().StatusValue() == Down }, "target down")
+	if err := s.Post(func() {}).Wait(); !errors.Is(err, ErrTargetDown) {
+		t.Fatalf("post after down err = %v", err)
+	}
+	if buf.CountOp(trace.OpTargetDown) == 0 {
+		t.Fatal("no OpTargetDown traced")
+	}
+	if got := s.Stats().FailFast.Value(); got == 0 {
+		t.Fatal("fail-fast counter not bumped")
+	}
+	// Typed rejection must be immediate, not a hang.
+	done := make(chan error, 1)
+	go func() { done <- s.Post(func() {}).Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTargetDown) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("post against down target hung")
+	}
+}
+
+func TestFactoryErrorMarksDown(t *testing.T) {
+	var reg gid.Registry
+	boom := errors.New("no capacity")
+	factory := func(gen int) (executor.Executor, error) {
+		if gen > 0 {
+			return nil, boom
+		}
+		return executor.NewWorkerPool("w", 1, &reg), nil
+	}
+	s, err := New("w", factory, Options{PanicThreshold: 1, BackoffInitial: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	var pe *executor.PanicError
+	if err := s.Post(func() { panic("x") }).Wait(); !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.Health().StatusValue() == Down }, "down on factory error")
+	if err := s.Post(func() {}).Wait(); !errors.Is(err, ErrTargetDown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewFactoryErrorPropagates(t *testing.T) {
+	_, err := New("w", func(int) (executor.Executor, error) {
+		return nil, errors.New("nope")
+	}, Options{})
+	if err == nil {
+		t.Fatal("New succeeded with failing factory")
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	s := &Supervisor{opts: Options{BackoffInitial: 10 * time.Millisecond, BackoffMax: 60 * time.Millisecond}}
+	want := []time.Duration{10, 20, 40, 60, 60}
+	for i, w := range want {
+		if got := s.backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestShutdownStopsSupervision(t *testing.T) {
+	var reg gid.Registry
+	s, err := New("w", poolFactory(t, &reg, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post(func() {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	s.Shutdown() // idempotent
+	if err := s.Post(func() {}).Wait(); err == nil {
+		t.Fatal("post after shutdown succeeded")
+	}
+}

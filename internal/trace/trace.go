@@ -47,6 +47,17 @@ const (
 	// half-open probe succeeds.
 	OpBreakerOpen
 	OpBreakerClose
+	// OpRestart marks a supervised target being restarted (worker respawn
+	// or full executor replacement) after a crash or panic storm.
+	OpRestart
+	// OpStall marks a watchdog flagging a registered loop or pool as
+	// stalled: its heartbeat probe did not complete within the threshold
+	// (queue not draining, EDT blocked, or all workers dead).
+	OpStall
+	// OpTargetDown marks a supervised target exhausting its restart
+	// budget: it is declared failed and invocations fail fast from then
+	// on with supervise.ErrTargetDown.
+	OpTargetDown
 )
 
 // String names the op.
@@ -74,6 +85,12 @@ func (o Op) String() string {
 		return "breaker-open"
 	case OpBreakerClose:
 		return "breaker-close"
+	case OpRestart:
+		return "restart"
+	case OpStall:
+		return "stall"
+	case OpTargetDown:
+		return "target-down"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
