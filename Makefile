@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench report examples lint ci clean
+.PHONY: all build test race chaos cover bench bench-baseline bench-smoke report examples lint ci clean
 
 all: build test race
 
@@ -36,8 +36,25 @@ ci: build lint test race
 cover:
 	$(GO) test -cover ./internal/...
 
+# bench runs the scheduler benchmark suite and writes BENCH_sched.json: the
+# fresh numbers merged with the pinned pre-overhaul baseline in
+# bench/baseline.json, with per-benchmark speedups. BENCHTIME trades noise
+# for wall-clock; bench-baseline re-pins the comparison point (only after an
+# intentional regression-resetting change).
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) ./bench | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.json -out BENCH_sched.json
+	@cat BENCH_sched.json
+
+bench-baseline:
+	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) ./bench | \
+		$(GO) run ./cmd/benchjson -capture > bench/baseline.json
+
+# bench-smoke compiles and runs every benchmark once — the CI gate that
+# keeps the suite from rotting without paying benchmark wall-clock.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate the experimental report (quick scale; use SCALE=full for the
 # paper-scale sweep).

@@ -1,0 +1,157 @@
+// Package bench holds the scheduler micro- and macro-benchmarks that track
+// the dispatch hot path across PRs: task submission throughput under one and
+// many producers, round-trip Invoke latency, the await logical barrier's help
+// rate, and EDT pump throughput.
+//
+// `make bench` runs this suite and writes BENCH_sched.json — the machine's
+// perf trajectory — by merging the fresh numbers with the recorded baseline
+// in bench/baseline.json (captured before the PR 3 hot-path overhaul). Keep
+// benchmark names stable: the JSON keys are the names with the -cpu suffix
+// stripped, and future PRs compare against them.
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+	"repro/internal/executor"
+	"repro/internal/gid"
+)
+
+// drain spins until the pool has completed want task bodies. The task bodies
+// used by the throughput benchmarks are a single atomic add, so the drain
+// cost is charged identically to every implementation under test.
+func drain(done *atomic.Int64, want int64) {
+	for done.Load() < want {
+		// Gosched, not a sleep: on a single-CPU runner a sleep would idle the
+		// workers out of the measurement window.
+		runtime.Gosched()
+	}
+}
+
+// BenchmarkSchedPost_1P measures single-producer Post cost on a 2-worker
+// pool: the uncontended enqueue path (allocation + wakeup decision).
+func BenchmarkSchedPost_1P(b *testing.B) {
+	reg := &gid.Registry{}
+	p := executor.NewWorkerPool("bench", 2, reg)
+	defer p.Shutdown()
+	var done atomic.Int64
+	body := func() { done.Add(1) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Post(body)
+	}
+	drain(&done, int64(b.N))
+}
+
+// benchPostNP measures Post throughput with n concurrent producers hammering
+// one 2-worker pool — the many-producer lock-convoy scenario the ROADMAP
+// north-star ("heavy traffic from millions of users") implies.
+func benchPostNP(b *testing.B, producers int) {
+	reg := &gid.Registry{}
+	p := executor.NewWorkerPool("bench", 2, reg)
+	defer p.Shutdown()
+	var done atomic.Int64
+	body := func() { done.Add(1) }
+	b.ReportAllocs()
+	b.SetParallelism(producers) // RunParallel spawns producers×GOMAXPROCS goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Post(body)
+		}
+	})
+	drain(&done, int64(b.N))
+}
+
+func BenchmarkSchedPost_8P(b *testing.B)  { benchPostNP(b, 8) }
+func BenchmarkSchedPost_64P(b *testing.B) { benchPostNP(b, 64) }
+
+// BenchmarkSchedInvokePingPong measures the round-trip latency of a Wait-mode
+// Invoke of an empty block: post, worker wakeup, run, completion, caller
+// wakeup. This is the floor every synchronous target-block invocation pays.
+func BenchmarkSchedInvokePingPong(b *testing.B) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	if _, err := rt.CreateWorker("worker", 1); err != nil {
+		b.Fatal(err)
+	}
+	block := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Invoke("worker", core.Wait, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedAwaitHelpRate measures the await logical barrier on a worker
+// whose own queue keeps receiving tasks: Algorithm 1 lines 14-16, where the
+// encountering thread "processes another runnable task" instead of idling.
+// helps/op reports how many queued tasks the barrier actually drained.
+func BenchmarkSchedAwaitHelpRate(b *testing.B) {
+	reg := &gid.Registry{}
+	rt := core.NewRuntime(reg)
+	defer rt.Shutdown()
+	worker, err := rt.CreateWorker("worker", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.CreateWorker("aux", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, _ := rt.Invoke("worker", core.Nowait, func() {
+			// The worker awaits aux; its own queue gets a task meanwhile.
+			rt.Invoke("aux", core.Await, func() {})
+		})
+		rt.Invoke("worker", core.Nowait, func() {})
+		comp.Wait()
+	}
+	b.StopTimer()
+	st := worker.Stats()
+	b.ReportMetric(float64(st.Helped)/float64(b.N), "helps/op")
+}
+
+// BenchmarkSchedEDTPump measures EDT event throughput: one producer posting
+// no-op events to the dispatch loop, the quantity that bounds how fast an
+// event-driven application can consume its queue.
+func BenchmarkSchedEDTPump(b *testing.B) {
+	reg := &gid.Registry{}
+	l := eventloop.New("edt", reg)
+	l.Start()
+	defer l.Stop()
+	var done atomic.Int64
+	body := func() { done.Add(1) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Post(body)
+	}
+	drain(&done, int64(b.N))
+}
+
+// BenchmarkSchedEDTPingPong measures InvokeAndWait round-trip latency against
+// the EDT: the cross-thread "update the GUI and wait" primitive.
+func BenchmarkSchedEDTPingPong(b *testing.B) {
+	reg := &gid.Registry{}
+	l := eventloop.New("edt", reg)
+	l.Start()
+	defer l.Stop()
+	block := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.InvokeAndWait(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

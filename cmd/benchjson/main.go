@@ -1,0 +1,155 @@
+// Command benchjson turns `go test -bench` output into the repo's scheduler
+// perf-trajectory file. It reads benchmark result lines from stdin, parses
+// the standard columns (ns/op, B/op, allocs/op) plus any custom ReportMetric
+// columns, and writes a JSON document.
+//
+// Two modes:
+//
+//	benchjson -capture > bench/baseline.json
+//	    record the parsed results alone (used once, before a hot-path
+//	    change, to pin the comparison point)
+//
+//	benchjson -baseline bench/baseline.json -out BENCH_sched.json
+//	    merge the parsed results with the recorded baseline and compute
+//	    per-benchmark speedups (baseline ns/op ÷ current ns/op)
+//
+// Benchmark names are normalized by stripping the trailing -<procs> suffix
+// so the keys stay stable across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	N        int64              `json:"n"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BPerOp   float64            `json:"b_per_op,omitempty"`
+	AllocsOp float64            `json:"allocs_per_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is the document layout of BENCH_sched.json: the pinned baseline, the
+// current run, and the headline ratios the acceptance gates read.
+type File struct {
+	Baseline map[string]Result  `json:"baseline,omitempty"`
+	Current  map[string]Result  `json:"current"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	// AllocReduction maps benchmark name to baseline allocs/op minus
+	// current allocs/op (positive = fewer allocations now).
+	AllocReduction map[string]float64 `json:"alloc_reduction,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{N: n}
+		fields := strings.Fields(m[3])
+		// Measurement columns come in (value, unit) pairs.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[fields[i+1]] = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, r.Err()
+}
+
+func main() {
+	capture := flag.Bool("capture", false, "emit parsed results alone (baseline capture)")
+	baselinePath := flag.String("baseline", "", "baseline JSON to merge and compare against")
+	outPath := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	current, err := parse(sc)
+	if err != nil {
+		fail(err)
+	}
+	if len(current) == 0 {
+		fail(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	var doc any
+	if *capture {
+		doc = current
+	} else {
+		f := File{Current: current}
+		if *baselinePath != "" {
+			raw, err := os.ReadFile(*baselinePath)
+			if err != nil {
+				fail(err)
+			}
+			if err := json.Unmarshal(raw, &f.Baseline); err != nil {
+				fail(fmt.Errorf("%s: %w", *baselinePath, err))
+			}
+			f.Speedup = make(map[string]float64)
+			f.AllocReduction = make(map[string]float64)
+			for name, base := range f.Baseline {
+				cur, ok := current[name]
+				if !ok || cur.NsPerOp <= 0 {
+					continue
+				}
+				f.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
+				f.AllocReduction[name] = base.AllocsOp - cur.AllocsOp
+			}
+		}
+		doc = f
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -45,6 +45,7 @@ func main() {
 		ompThreads = flag.Int("omp", 4, "team size for the +omp series")
 		noOmp      = flag.Bool("no-omp-series", false, "skip the +omp series")
 		latency    = flag.Bool("latency", false, "also print per-request p50/p99 latency")
+		sched      = flag.Bool("sched", false, "also print the worker target's scheduler counters (submitted/completed/helped/rejected/peak)")
 
 		overload   = flag.Bool("overload", false, "run the QoS overload scenario instead of the Figure 9 sweep")
 		olCapacity = flag.Int("overload-capacity", 2, "worker threads for the overload scenario")
@@ -111,6 +112,15 @@ func main() {
 				fmt.Printf(" %4.0f/%4.0f", msOf(r.Latency.P50), msOf(r.Latency.P99))
 			}
 			fmt.Println()
+		}
+		if *sched {
+			// The same counters bench/ reports, from the widest sweep point:
+			// how much work the dispatch path moved and how deep it queued.
+			st := results[len(results)-1].Sched
+			if st.Submitted > 0 {
+				fmt.Printf("%-16s submitted=%d completed=%d helped=%d rejected=%d peak=%d\n",
+					"  sched", st.Submitted, st.Completed, st.Helped, st.Rejected, st.QueuePeak)
+			}
 		}
 	}
 }

@@ -380,6 +380,12 @@ func (r *Runtime) Stopped() bool {
 // another queued task if it is a pool worker. A goroutine that belongs to no
 // registered executor simply blocks (there is nothing for it to help with).
 func (r *Runtime) AwaitCompletion(comp *executor.Completion) {
+	if comp.Finished() {
+		// Already done (inline execution, or the block beat us here): skip
+		// the barrier entirely — in particular don't force the completion
+		// to materialize its done channel.
+		return
+	}
 	r.AwaitDone(comp.Done())
 }
 
@@ -389,6 +395,12 @@ func (r *Runtime) AwaitCompletion(comp *executor.Completion) {
 // Done, an I/O completion signal — can hold the encountering thread in the
 // logical barrier.
 func (r *Runtime) AwaitDone(done <-chan struct{}) {
+	select {
+	case <-done:
+		// Signal already raised: no barrier to hold, no helping to do.
+		return
+	default:
+	}
 	owner, _ := r.registry.Owner().(pendingRunner)
 	if owner == nil {
 		<-done

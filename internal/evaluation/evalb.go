@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/executor"
 	"repro/internal/httpserver"
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -54,6 +55,9 @@ type EvalBResult struct {
 	// Latency summarizes per-request response times as seen by the virtual
 	// users (an extension beyond the paper's throughput-only Figure 9).
 	Latency metrics.Summary
+	// Sched is the worker target's scheduler counter snapshot at the end of
+	// the run (zero in Jetty mode, which has no virtual-target runtime).
+	Sched executor.Stats
 }
 
 // Label renders the series name the paper uses ("jetty", "pyjama",
@@ -105,6 +109,7 @@ func RunEvalB(cfg EvalBConfig) (*EvalBResult, error) {
 		Failed:     failed.Load(),
 		Wall:       wall,
 		Latency:    latency.Summarize(),
+		Sched:      srv.SchedStats()["worker"],
 	}, nil
 }
 

@@ -11,6 +11,12 @@
 // the await logical barrier on the EDT ("the current experimental version of
 // Pyjama achieves this by slightly modifying the event queue dispatching
 // mechanism in the Java AWT runtime library").
+//
+// Dispatch hot path (PR 3): events flow through the same pooled chunked
+// ring queue as the worker pools (executor.ChunkQueue), event nodes are
+// recycled through a sync.Pool, and the producer→EDT wakeup token is sent
+// only when the dispatch goroutine is actually parked (the waiters counter),
+// so a loop that is keeping up never pays a channel operation per Post.
 package eventloop
 
 import (
@@ -64,9 +70,15 @@ type Loop struct {
 	name     string
 	registry *gid.Registry
 
-	mu     sync.Mutex
-	queue  []*item
-	closed bool
+	mu      sync.Mutex
+	q       executor.ChunkQueue[*item]
+	closed  bool
+	delayed map[*time.Timer]func(error) // pending PostDelayed timers -> their completions
+
+	// Hot-path state read without the lock.
+	qlen     atomic.Int64 // mirror of q.Len(), updated under mu
+	waiters  atomic.Int32 // dispatch goroutine parked on notify (0 or 1)
+	itemPool sync.Pool    // *item nodes
 
 	notify chan struct{} // cap-1 wakeup
 	stopCh chan struct{}
@@ -94,13 +106,17 @@ func New(name string, reg *gid.Registry) *Loop {
 	if reg == nil {
 		reg = &gid.Default
 	}
-	return &Loop{
+	l := &Loop{
 		name:     name,
 		registry: reg,
+		q:        executor.NewChunkQueue[*item](),
+		delayed:  make(map[*time.Timer]func(error)),
 		notify:   make(chan struct{}, 1),
 		stopCh:   make(chan struct{}),
 		ready:    make(chan struct{}),
 	}
+	l.itemPool.New = func() any { return new(item) }
+	return l
 }
 
 // Start launches the event-dispatch goroutine and returns once it is
@@ -141,6 +157,7 @@ func (l *Loop) runLoop() {
 			return
 		}
 		l.dispatch(it)
+		l.releaseItem(it)
 	}
 }
 
@@ -181,30 +198,55 @@ func (l *Loop) SetInterceptor(ic Interceptor) {
 // and the queue can never drain.
 func (l *Loop) FailPending(err error) int {
 	l.mu.Lock()
-	q := l.queue
-	l.queue = nil
+	items := l.q.Drain(nil)
+	l.qlen.Store(0)
 	l.mu.Unlock()
-	for _, it := range q {
+	for _, it := range items {
 		it.complete(err)
+		l.releaseItem(it)
 	}
-	return len(q)
+	return len(items)
+}
+
+// releaseItem returns a dispatched (or failed) event node to the pool.
+func (l *Loop) releaseItem(it *item) {
+	*it = item{}
+	l.itemPool.Put(it)
+}
+
+// popItem removes the oldest queued event under the lock, nil if none.
+func (l *Loop) popItem() *item {
+	l.mu.Lock()
+	it, ok := l.q.Pop()
+	if !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	l.qlen.Store(int64(l.q.Len()))
+	l.mu.Unlock()
+	return it
 }
 
 // next blocks until an event is available (returning it) or stop is
-// requested with an empty queue (returning false).
+// requested with an empty queue (returning false). The park protocol
+// mirrors the worker pool's: announce intent via the waiters counter,
+// re-check the (atomic) queue length, then sleep — PostLabeled publishes
+// the length before reading the counter, so a wakeup is never lost.
 func (l *Loop) next() (*item, bool) {
 	for {
-		l.mu.Lock()
-		if len(l.queue) > 0 {
-			it := l.queue[0]
-			l.queue = l.queue[1:]
-			l.mu.Unlock()
+		if it := l.popItem(); it != nil {
 			return it, true
 		}
-		l.mu.Unlock()
+		l.waiters.Add(1)
+		if l.qlen.Load() > 0 {
+			l.waiters.Add(-1)
+			continue
+		}
 		select {
 		case <-l.notify:
+			l.waiters.Add(-1)
 		case <-l.stopCh:
+			l.waiters.Add(-1)
 			return nil, false
 		}
 	}
@@ -216,12 +258,13 @@ func (l *Loop) dispatch(it *item) {
 	if ic := l.interceptor.Load(); ic != nil {
 		fn = (*ic)(it.label, fn)
 	}
+	complete, label, enqueued := it.complete, it.label, it.enqueued
 	finished := false
 	defer func() {
 		if !finished {
 			// The dispatching goroutine is unwinding mid-handler: fail the
 			// event so waiters don't hang on a dead loop.
-			it.complete(executor.ErrWorkerCrashed)
+			complete(executor.ErrWorkerCrashed)
 		}
 	}()
 	l.depth.Add(1)
@@ -237,25 +280,22 @@ func (l *Loop) dispatch(it *item) {
 			}
 		}
 	}
-	it.complete(err)
+	complete(err)
 	l.dispatched.Add(1)
 	if obs := l.observer.Load(); obs != nil {
-		(*obs)(DispatchInfo{Label: it.label, Enqueued: it.enqueued, Start: start, End: end, Err: err})
+		(*obs)(DispatchInfo{Label: label, Enqueued: enqueued, Start: start, End: end, Err: err})
 	}
 }
 
 // runOne pops and dispatches a single queued event, reporting whether one
 // was found. Must run on the dispatch goroutine.
 func (l *Loop) runOne() bool {
-	l.mu.Lock()
-	if len(l.queue) == 0 {
-		l.mu.Unlock()
+	it := l.popItem()
+	if it == nil {
 		return false
 	}
-	it := l.queue[0]
-	l.queue = l.queue[1:]
-	l.mu.Unlock()
 	l.dispatch(it)
+	l.releaseItem(it)
 	return true
 }
 
@@ -268,33 +308,61 @@ func (l *Loop) Post(fn func()) *executor.Completion { return l.PostLabeled("", f
 // PostLabeled enqueues fn with a label used in DispatchInfo instrumentation.
 func (l *Loop) PostLabeled(label string, fn func()) *executor.Completion {
 	comp, complete := executor.NewPendingCompletion()
-	it := &item{fn: fn, complete: complete, enqueued: time.Now(), label: label}
+	l.postItem(label, fn, complete)
+	return comp
+}
+
+// postItem is the shared enqueue path of PostLabeled and fired PostDelayed
+// timers: push a pooled node, publish length and peak off the lock, and
+// wake the dispatch goroutine only if it is parked.
+func (l *Loop) postItem(label string, fn func(), complete func(error)) {
+	it := l.itemPool.Get().(*item)
+	it.fn, it.complete, it.enqueued, it.label = fn, complete, time.Now(), label
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.releaseItem(it)
+		complete(executor.ErrShutdown)
+		return
+	}
+	n := int64(l.q.Push(it))
+	l.qlen.Store(n)
+	l.mu.Unlock()
+	executor.CasMax(&l.peak, n)
+	if l.waiters.Load() > 0 {
+		select {
+		case l.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// PostDelayed enqueues fn after delay d (like javax.swing.Timer one-shots).
+// The returned Completion finishes when the handler has run — or with
+// executor.ErrShutdown if the loop stops first: the timer is cancelled by
+// Stop instead of leaking past it, and no forwarding goroutine is burned
+// waiting for the handler.
+func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
+	comp, complete := executor.NewPendingCompletion()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		complete(executor.ErrShutdown)
 		return comp
 	}
-	l.queue = append(l.queue, it)
-	if n := int64(len(l.queue)); n > l.peak.Load() {
-		l.peak.Store(n)
-	}
-	l.mu.Unlock()
-	select {
-	case l.notify <- struct{}{}:
-	default:
-	}
-	return comp
-}
-
-// PostDelayed enqueues fn after delay d (like javax.swing.Timer one-shots).
-// The returned Completion finishes when the handler has run.
-func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
-	comp, complete := executor.NewPendingCompletion()
-	time.AfterFunc(d, func() {
-		inner := l.Post(fn)
-		go func() { complete(inner.Wait()) }()
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		l.mu.Lock()
+		delete(l.delayed, tm)
+		l.mu.Unlock()
+		// postItem rejects with ErrShutdown if Stop won the race, so the
+		// completion always finishes exactly once: Stop only completes
+		// timers it successfully cancelled (tm.Stop() == true), and a
+		// cancelled timer never runs this callback.
+		l.postItem("", fn, complete)
 	})
+	l.delayed[tm] = complete
+	l.mu.Unlock()
 	return comp
 }
 
@@ -314,9 +382,13 @@ func (l *Loop) Owns() bool { return l.registry.IsOwnedBy(l) }
 // TryRunPending dispatches one queued event on the calling goroutine if one
 // is pending. It refuses to run events off the dispatch goroutine — thread
 // confinement is the whole point of an EDT — so from any other goroutine it
-// reports false without touching the queue.
+// reports false without touching the queue. The empty case is answered from
+// the atomic length without taking the lock.
 func (l *Loop) TryRunPending() bool {
 	if !l.Owns() {
+		return false
+	}
+	if l.qlen.Load() == 0 {
 		return false
 	}
 	return l.runOne()
@@ -324,12 +396,16 @@ func (l *Loop) TryRunPending() bool {
 
 // WaitPending blocks until an event is queued or cancel fires, reporting
 // whether pending work may be available (see executor.WorkerPool.WaitPending
-// for the contract).
+// for the contract). Only the dispatch goroutine itself ever waits here (it
+// is the only goroutine the registry affiliates with the loop), so it shares
+// the waiters counter with next.
 func (l *Loop) WaitPending(cancel <-chan struct{}) bool {
-	l.mu.Lock()
-	n := len(l.queue)
-	l.mu.Unlock()
-	if n > 0 {
+	if l.qlen.Load() > 0 {
+		return true
+	}
+	l.waiters.Add(1)
+	defer l.waiters.Add(-1)
+	if l.qlen.Load() > 0 {
 		return true
 	}
 	select {
@@ -357,11 +433,19 @@ func (l *Loop) PumpUntil(done <-chan struct{}) error {
 		if l.runOne() {
 			continue
 		}
+		l.waiters.Add(1)
+		if l.qlen.Load() > 0 {
+			l.waiters.Add(-1)
+			continue
+		}
 		select {
 		case <-done:
+			l.waiters.Add(-1)
 			return nil
 		case <-l.notify:
+			l.waiters.Add(-1)
 		case <-l.stopCh:
+			l.waiters.Add(-1)
 			return executor.ErrShutdown
 		}
 	}
@@ -372,11 +456,7 @@ func (l *Loop) PumpUntil(done <-chan struct{}) error {
 func (l *Loop) Depth() int { return int(l.depth.Load()) }
 
 // Len returns the number of queued (not yet dispatched) events.
-func (l *Loop) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.queue)
-}
+func (l *Loop) Len() int { return int(l.qlen.Load()) }
 
 // Dispatched returns the total number of events dispatched so far.
 func (l *Loop) Dispatched() int64 { return l.dispatched.Load() }
@@ -402,17 +482,32 @@ func (l *Loop) SetPanicHandler(fn func(any)) {
 	l.onPanic.Store(&fn)
 }
 
-// Stop rejects further posts, lets the loop drain already-queued events, and
-// joins the dispatch goroutine. If the loop crashed, the undrainable
-// remainder of the queue is failed with ErrWorkerCrashed. Safe to call more
-// than once.
+// Stop rejects further posts, cancels pending PostDelayed timers (their
+// completions finish with executor.ErrShutdown), lets the loop drain
+// already-queued events, and joins the dispatch goroutine. If the loop
+// crashed, the undrainable remainder of the queue is failed with
+// ErrWorkerCrashed. Safe to call more than once.
 func (l *Loop) Stop() {
 	l.mu.Lock()
+	var orphaned []func(error)
 	if !l.closed {
 		l.closed = true
+		for tm, complete := range l.delayed {
+			if tm.Stop() {
+				// The callback will never run; we own the completion.
+				orphaned = append(orphaned, complete)
+			}
+			// Otherwise the callback is already firing: it will block on
+			// mu, see closed==true, and finish the completion itself via
+			// postItem's ErrShutdown rejection.
+			delete(l.delayed, tm)
+		}
 		close(l.stopCh)
 	}
 	l.mu.Unlock()
+	for _, complete := range orphaned {
+		complete(executor.ErrShutdown)
+	}
 	l.wg.Wait()
 	if l.crashed.Load() {
 		l.FailPending(executor.ErrWorkerCrashed)

@@ -9,11 +9,19 @@
 // gid.Registry so the core runtime can answer the thread-context-awareness
 // question "is the encountering thread already a member of this virtual
 // target's thread group?" (Algorithm 1, line 6).
+//
+// Dispatch hot path (PR 3): tasks flow through a pooled chunked ring queue
+// (queue.go) under a single short critical section; idle workers park on
+// per-worker wake channels and are woken one at a time (no broadcast
+// thundering herd, no wakeup at all while a worker is spinning); the
+// submitted/peak counters live off the lock as atomics with a CAS-max loop.
+// See DESIGN.md §10 for the full protocol and its invariants.
 package executor
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -41,16 +49,34 @@ type PanicError struct {
 
 func (e *PanicError) Error() string { return fmt.Sprintf("executor: task panicked: %v", e.Value) }
 
+// completionSpin bounds the cooperative-yield phase of Completion.Wait
+// before the waiter falls back to channel parking. Each iteration is one
+// runtime.Gosched — on a busy scheduler that is exactly the window in which
+// a short target block finishes, so the common Invoke(Wait) round trip
+// skips the park/unpark pair entirely.
+const completionSpin = 16
+
 // Completion tracks the lifecycle of one submitted task. It is created by
 // Post and completed exactly once, either when the task body returns or when
 // the executor rejects it.
+//
+// The done channel is allocated lazily on first Done call: fire-and-forget
+// submissions (Nowait mode — the dominant traffic under load) never touch
+// it, which removes a channel allocation from every Post.
 type Completion struct {
-	done chan struct{}
-	err  atomic.Pointer[error]
+	state  atomic.Uint32 // 0 = pending, 1 = finished
+	closed atomic.Bool   // guards close(done) exactly once
+	err    atomic.Pointer[error]
+	done   atomic.Pointer[chan struct{}]
 }
 
+const (
+	compPending  uint32 = 0
+	compFinished uint32 = 1
+)
+
 func newCompletion() *Completion {
-	return &Completion{done: make(chan struct{})}
+	return &Completion{}
 }
 
 // NewCompletedCompletion returns an already-finished Completion with the
@@ -83,30 +109,59 @@ func RunCaptured(fn func()) (err error) {
 	return nil
 }
 
+// complete finishes the completion: the error (if any) is published before
+// the finished flag so any observer of state==finished sees it.
 func (c *Completion) complete(err error) {
 	if err != nil {
 		c.err.Store(&err)
 	}
-	close(c.done)
+	c.state.Store(compFinished)
+	if p := c.done.Load(); p != nil {
+		if c.closed.CompareAndSwap(false, true) {
+			close(*p)
+		}
+	}
 }
 
 // Done returns a channel closed when the task has finished (or was rejected).
-func (c *Completion) Done() <-chan struct{} { return c.done }
+func (c *Completion) Done() <-chan struct{} {
+	for {
+		if p := c.done.Load(); p != nil {
+			return *p
+		}
+		ch := make(chan struct{})
+		if c.done.CompareAndSwap(nil, &ch) {
+			// complete may have run between its done load and our CAS; the
+			// closed flag makes the close race a single-winner handoff.
+			if c.state.Load() == compFinished && c.closed.CompareAndSwap(false, true) {
+				close(ch)
+			}
+			return ch
+		}
+	}
+}
 
 // Wait blocks until the task has finished and returns its error, if any.
+// It yields the processor a few times before parking: short tasks routinely
+// finish inside that window, saving both the done-channel allocation and a
+// park/unpark round trip through the scheduler.
 func (c *Completion) Wait() error {
-	<-c.done
+	if c.state.Load() == compFinished {
+		return c.Err()
+	}
+	for i := 0; i < completionSpin; i++ {
+		runtime.Gosched()
+		if c.state.Load() == compFinished {
+			return c.Err()
+		}
+	}
+	<-c.Done()
 	return c.Err()
 }
 
 // Finished reports whether the task has completed without blocking.
 func (c *Completion) Finished() bool {
-	select {
-	case <-c.done:
-		return true
-	default:
-		return false
-	}
+	return c.state.Load() == compFinished
 }
 
 // Err returns the task's terminal error: nil on success, a *PanicError if the
@@ -160,9 +215,14 @@ const (
 )
 
 type task struct {
-	fn    func()
-	comp  *Completion
-	state atomic.Int32 // taskQueued -> taskRunning | taskCancelled
+	fn   func()
+	comp *Completion
+	// recycle marks nodes with no external references after execution
+	// (plain Post). PostCancellable nodes are excluded: their cancel
+	// closure may outlive the run, and a pooled reuse would let a stale
+	// cancel race a new task's state machine.
+	recycle bool
+	state   atomic.Int32 // taskQueued -> taskRunning | taskCancelled
 }
 
 // runTask executes t.fn with panic capture and completes t.comp, reporting
@@ -176,9 +236,10 @@ func runTask(t *task, onPanic func(any)) bool {
 		return false // cancelled while queued
 	}
 	finished := false
+	comp := t.comp
 	defer func() {
 		if !finished {
-			t.comp.complete(ErrWorkerCrashed)
+			comp.complete(ErrWorkerCrashed)
 		}
 	}()
 	var err error
@@ -194,9 +255,23 @@ func runTask(t *task, onPanic func(any)) bool {
 		t.fn()
 	}()
 	finished = true
-	t.comp.complete(err)
+	comp.complete(err)
 	return true
 }
+
+// parker is one idle worker's parking slot: a single-token wake channel,
+// linked into the pool's LIFO idle stack. Waking a worker is one buffered
+// channel send to exactly that worker — never a broadcast.
+type parker struct {
+	wake chan struct{} // cap 1
+	next *parker
+}
+
+// workerSpins is how many cooperative yields an idle worker burns before
+// parking. While any worker is in this phase the pool's spinning counter is
+// nonzero and Post skips the wakeup entirely — the spinner will find the
+// task itself.
+const workerSpins = 4
 
 // WorkerPool is a fixed-size thread-pool executor: the realization of the
 // paper's worker virtual target created by virtual_target_create_worker
@@ -208,18 +283,24 @@ type WorkerPool struct {
 	registry *gid.Registry
 
 	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*task
-	capacity int // 0 = unbounded
+	q        ChunkQueue[*task]
+	parked   *parker // LIFO stack of idle (parked) workers
+	capacity int     // 0 = unbounded
 	shutdown bool
-	notify   chan struct{} // cap-1 wakeup for WaitPending
+	onPanic  func(any)
+	onCrash  func(any) // notified when a worker goroutine dies abnormally
+	nworkers int       // guarded by mu (Grow/Shrink mutate it)
+	shrink   int       // pending worker-exit credits, guarded by mu
 
-	wg      sync.WaitGroup
-	onPanic func(any)
-	onCrash func(any) // notified when a worker goroutine dies abnormally
+	// Hot-path state read without the lock.
+	qlen       atomic.Int64  // mirror of q.len(), updated under mu
+	spinning   atomic.Int32  // workers in the pre-park spin phase
+	extWaiters atomic.Int32  // goroutines blocked in WaitPending
+	notify     chan struct{} // cap-1 wakeup for WaitPending
+	taskPool   sync.Pool     // *task nodes for the plain Post path
 
-	nworkers int // guarded by mu (Grow/Shrink mutate it)
-	shrink   int // pending worker-exit credits, guarded by mu
+	wg        sync.WaitGroup
+	panicWrap func(any) // counts panics, then calls the installed handler
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -249,8 +330,18 @@ func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *Work
 		reg = &gid.Default
 	}
 	p := &WorkerPool{name: name, registry: reg, capacity: capacity, nworkers: n,
+		q:      NewChunkQueue[*task](),
 		notify: make(chan struct{}, 1)}
-	p.cond = sync.NewCond(&p.mu)
+	p.taskPool.New = func() any { return new(task) }
+	p.panicWrap = func(v any) {
+		p.panics.Add(1)
+		p.mu.Lock()
+		h := p.onPanic
+		p.mu.Unlock()
+		if h != nil {
+			h(v)
+		}
+	}
 	p.wg.Add(n)
 	started := make(chan struct{})
 	var startOnce sync.Once
@@ -300,7 +391,13 @@ func (p *WorkerPool) workerCrashed(reason any) {
 	p.mu.Lock()
 	p.nworkers--
 	h := p.onCrash
+	// A consumer died; if work is queued and siblings are parked, hand the
+	// wakeup on so the queue keeps draining.
+	w := p.popParkerLocked()
 	p.mu.Unlock()
+	if w != nil {
+		w.wake <- struct{}{}
+	}
 	if h != nil {
 		h(reason)
 	}
@@ -332,75 +429,166 @@ func (p *WorkerPool) SetPanicHandler(fn func(any)) {
 	p.mu.Unlock()
 }
 
+// popParkerLocked removes one parked worker from the idle stack (nil if
+// none). Callers send its wake token after releasing the lock.
+func (p *WorkerPool) popParkerLocked() *parker {
+	pk := p.parked
+	if pk != nil {
+		p.parked = pk.next
+		pk.next = nil
+	}
+	return pk
+}
+
+// takeAllParkedLocked detaches the whole idle stack for a broadcast-style
+// wake (shutdown, shrink). Tokens are sent after releasing the lock.
+func (p *WorkerPool) takeAllParkedLocked() *parker {
+	head := p.parked
+	p.parked = nil
+	return head
+}
+
+func wakeAll(head *parker) {
+	for pk := head; pk != nil; {
+		next := pk.next
+		pk.next = nil
+		pk.wake <- struct{}{}
+		pk = next
+	}
+}
+
+// spin is the pre-park idle phase: a few cooperative yields while polling
+// the queue length. While at least one worker spins, Post skips the wake
+// token entirely — the cheapest possible wakeup is the one never sent.
+func (p *WorkerPool) spin() {
+	p.spinning.Add(1)
+	for i := 0; i < workerSpins; i++ {
+		// Poll only the atomic queue length — no lock. Shutdown during the
+		// spin just costs a few extra yields: the locked recheck the worker
+		// does before parking observes it.
+		if p.qlen.Load() > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	p.spinning.Add(-1)
+}
+
+// releaseTask returns a plain-Post node to the pool once nothing references
+// it anymore. Cancellable nodes are left to the GC (see task.recycle).
+func (p *WorkerPool) releaseTask(t *task) {
+	if !t.recycle {
+		return
+	}
+	t.fn, t.comp = nil, nil
+	p.taskPool.Put(t)
+}
+
+// workerLoop is one worker's life: pop-and-run while there is work, spin
+// briefly when the queue goes empty, then park on the worker's own wake
+// channel until a producer (or shutdown/shrink) hands it a token.
+//
+// The no-lost-wakeup invariant: a worker only parks after re-checking the
+// queue under the pool lock, and producers enqueue under that same lock, so
+// a producer either sees the parked worker (and wakes it) or the worker sees
+// the task (and never parks).
 func (p *WorkerPool) workerLoop() {
+	pk := &parker{wake: make(chan struct{}, 1)}
+	spun := false
 	for {
 		p.mu.Lock()
-		for {
-			if p.shrink > 0 {
-				// A Shrink credit retires this worker.
-				p.shrink--
-				p.nworkers--
-				p.mu.Unlock()
-				return
+		if p.shrink > 0 {
+			// A Shrink credit retires this worker. If work remains, pass the
+			// consumer role to a parked sibling instead of stranding it.
+			p.shrink--
+			p.nworkers--
+			var w *parker
+			if p.q.Len() > 0 {
+				w = p.popParkerLocked()
 			}
-			if len(p.queue) > 0 || p.shutdown {
-				break
+			p.mu.Unlock()
+			if w != nil {
+				w.wake <- struct{}{}
 			}
-			p.cond.Wait()
+			return
 		}
-		if len(p.queue) == 0 && p.shutdown {
+		if t, ok := p.q.Pop(); ok {
+			p.qlen.Store(int64(p.q.Len()))
+			p.mu.Unlock()
+			spun = false
+			if runTask(t, p.panicWrap) {
+				p.completed.Add(1)
+			}
+			p.releaseTask(t)
+			continue
+		}
+		if p.shutdown {
 			p.mu.Unlock()
 			return
 		}
-		t := p.queue[0]
-		p.queue = p.queue[1:]
-		onPanic := p.onPanic
+		if !spun {
+			p.mu.Unlock()
+			p.spin()
+			spun = true
+			continue
+		}
+		// Still empty after spinning: park. Publish the parker under the
+		// lock (the producer's enqueue section), then block on our token.
+		pk.next = p.parked
+		p.parked = pk
 		p.mu.Unlock()
-		if runTask(t, p.countPanics(onPanic)) {
-			p.completed.Add(1)
-		}
+		<-pk.wake
+		spun = false
 	}
 }
 
-// countPanics wraps a panic handler so every captured task panic also bumps
-// the pool's cumulative panic counter (Stats.Panics), which qos circuit
-// breakers read to decide when a target is failing.
-func (p *WorkerPool) countPanics(h func(any)) func(any) {
-	return func(v any) {
-		p.panics.Add(1)
-		if h != nil {
-			h(v)
-		}
-	}
-}
-
-// Post submits fn for execution by the pool.
-func (p *WorkerPool) Post(fn func()) *Completion {
-	c := newCompletion()
-	t := &task{fn: fn, comp: c}
+// enqueue is the shared admission path of Post and PostCancellable: reject
+// on shutdown or a full bounded queue, otherwise push, publish the new
+// length and peak watermark, and wake at most one parked worker (none if a
+// spinner will find the task anyway).
+func (p *WorkerPool) enqueue(t *task, c *Completion) bool {
 	p.mu.Lock()
-	if p.shutdown || (p.capacity > 0 && len(p.queue) >= p.capacity) {
+	if p.shutdown || (p.capacity > 0 && p.q.Len() >= p.capacity) {
 		full := !p.shutdown
 		p.mu.Unlock()
+		p.releaseTask(t)
 		p.rejected.Add(1)
 		if full {
 			c.complete(ErrQueueFull)
 		} else {
 			c.complete(ErrShutdown)
 		}
-		return c
+		return false
 	}
-	p.queue = append(p.queue, t)
-	if n := int64(len(p.queue)); n > p.peak.Load() {
-		p.peak.Store(n)
+	n := int64(p.q.Push(t))
+	p.qlen.Store(n)
+	var w *parker
+	if p.spinning.Load() == 0 {
+		w = p.popParkerLocked()
 	}
-	p.cond.Signal()
 	p.mu.Unlock()
-	select {
-	case p.notify <- struct{}{}:
-	default:
-	}
+	// Bookkeeping off the lock: watermark via CAS-max, counter via atomic.
+	CasMax(&p.peak, n)
 	p.submitted.Add(1)
+	if w != nil {
+		w.wake <- struct{}{}
+	}
+	if p.extWaiters.Load() > 0 {
+		select {
+		case p.notify <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Post submits fn for execution by the pool.
+func (p *WorkerPool) Post(fn func()) *Completion {
+	c := newCompletion()
+	t := p.taskPool.Get().(*task)
+	t.fn, t.comp, t.recycle = fn, c, true
+	t.state.Store(taskQueued)
+	p.enqueue(t, c)
 	return c
 }
 
@@ -411,10 +599,14 @@ func (p *WorkerPool) Post(fn func()) *Completion {
 // The await logical barrier alternates TryRunPending / WaitPending so a
 // blocked encountering thread sleeps instead of spinning.
 func (p *WorkerPool) WaitPending(cancel <-chan struct{}) bool {
-	p.mu.Lock()
-	n := len(p.queue)
-	p.mu.Unlock()
-	if n > 0 {
+	if p.qlen.Load() > 0 {
+		return true
+	}
+	// Announce before the re-check: Post publishes the new queue length
+	// before reading extWaiters, so one side always sees the other.
+	p.extWaiters.Add(1)
+	defer p.extWaiters.Add(-1)
+	if p.qlen.Load() > 0 {
 		return true
 	}
 	select {
@@ -435,23 +627,30 @@ func (p *WorkerPool) Owns() bool { return p.registry.IsOwnedBy(p) }
 
 // TryRunPending pops one queued task and runs it on the calling goroutine.
 // The paper's await barrier uses this so a worker waiting on a nested target
-// block keeps draining the pool's queue instead of idling.
+// block keeps draining the pool's queue instead of idling. The empty case is
+// answered from the atomic queue length without touching the lock, so an
+// awaiting thread polling an idle queue costs two loads, not a mutex
+// acquisition (the seed double-locked here: once in TryRunPending, once in
+// the WaitPending length check).
 func (p *WorkerPool) TryRunPending() bool {
+	if p.qlen.Load() == 0 {
+		return false
+	}
 	p.mu.Lock()
-	if len(p.queue) == 0 {
+	t, ok := p.q.Pop()
+	if !ok {
 		p.mu.Unlock()
 		return false
 	}
-	t := p.queue[0]
-	p.queue = p.queue[1:]
-	onPanic := p.onPanic
+	p.qlen.Store(int64(p.q.Len()))
 	p.mu.Unlock()
-	if runTask(t, p.countPanics(onPanic)) {
+	ran := runTask(t, p.panicWrap)
+	if ran {
 		p.completed.Add(1)
 		p.helped.Add(1)
-		return true
 	}
-	return false
+	p.releaseTask(t)
+	return ran
 }
 
 // Shutdown stops accepting tasks, drains the queue, and joins all workers.
@@ -466,8 +665,9 @@ func (p *WorkerPool) Shutdown() {
 		return
 	}
 	p.shutdown = true
-	p.cond.Broadcast()
+	head := p.takeAllParkedLocked()
 	p.mu.Unlock()
+	wakeAll(head)
 	p.wg.Wait()
 	p.FailPending(ErrShutdown)
 }
@@ -479,15 +679,16 @@ func (p *WorkerPool) Shutdown() {
 // exist; Shutdown calls it as a backstop after joining workers.
 func (p *WorkerPool) FailPending(err error) int {
 	p.mu.Lock()
-	q := p.queue
-	p.queue = nil
+	tasks := p.q.Drain(nil)
+	p.qlen.Store(0)
 	p.mu.Unlock()
 	n := 0
-	for _, t := range q {
+	for _, t := range tasks {
 		if t.state.CompareAndSwap(taskQueued, taskCancelled) {
 			t.comp.complete(err)
 			n++
 		}
+		p.releaseTask(t)
 	}
 	if n > 0 {
 		p.rejected.Add(int64(n))
@@ -563,8 +764,8 @@ func (p *WorkerPool) Shrink(n int) int {
 		return 0
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.shutdown {
+		p.mu.Unlock()
 		return 0
 	}
 	avail := p.nworkers - p.shrink - 1
@@ -572,10 +773,15 @@ func (p *WorkerPool) Shrink(n int) int {
 		n = avail
 	}
 	if n <= 0 {
+		p.mu.Unlock()
 		return 0
 	}
 	p.shrink += n
-	p.cond.Broadcast()
+	// Parked workers must come back to the lock to see their retirement
+	// credit; spinning or busy workers observe it on their next pass.
+	head := p.takeAllParkedLocked()
+	p.mu.Unlock()
+	wakeAll(head)
 	return n
 }
 
@@ -588,27 +794,10 @@ var ErrCanceled = errors.New("executor: task canceled")
 // and false if the task already started or finished.
 func (p *WorkerPool) PostCancellable(fn func()) (*Completion, func() bool) {
 	c := newCompletion()
-	t := &task{fn: fn, comp: c}
-	p.mu.Lock()
-	if p.shutdown || (p.capacity > 0 && len(p.queue) >= p.capacity) {
-		full := !p.shutdown
-		p.mu.Unlock()
-		p.rejected.Add(1)
-		if full {
-			c.complete(ErrQueueFull)
-		} else {
-			c.complete(ErrShutdown)
-		}
+	t := &task{fn: fn, comp: c} // not pooled: the cancel closure keeps t alive
+	if !p.enqueue(t, c) {
 		return c, func() bool { return false }
 	}
-	p.queue = append(p.queue, t)
-	p.cond.Signal()
-	p.mu.Unlock()
-	select {
-	case p.notify <- struct{}{}:
-	default:
-	}
-	p.submitted.Add(1)
 	cancel := func() bool {
 		if !t.state.CompareAndSwap(taskQueued, taskCancelled) {
 			return false
@@ -623,9 +812,6 @@ var _ Executor = (*WorkerPool)(nil)
 
 // Stats returns a snapshot of the pool's counters.
 func (p *WorkerPool) Stats() Stats {
-	p.mu.Lock()
-	depth := int64(len(p.queue))
-	p.mu.Unlock()
 	return Stats{
 		Submitted:  p.submitted.Load(),
 		Completed:  p.completed.Load(),
@@ -634,6 +820,6 @@ func (p *WorkerPool) Stats() Stats {
 		Panics:     p.panics.Load(),
 		Crashes:    p.crashes.Load(),
 		QueuePeak:  p.peak.Load(),
-		QueueDepth: depth,
+		QueueDepth: p.qlen.Load(),
 	}
 }

@@ -1,0 +1,81 @@
+//go:build amd64 || arm64
+
+package gid
+
+import "unsafe"
+
+// getg is implemented in assembly; it returns the current goroutine's
+// runtime.g pointer.
+func getg() unsafe.Pointer
+
+// gWords is how much of the g struct calibration scans for the goid field.
+// 32 words (256 bytes) comfortably covers the field's location in every
+// released Go version (~offset 152) while staying well inside the struct,
+// so the cast never straddles the allocation.
+const gWords = 32
+
+// goidWord is the word index of the goid field within the g struct,
+// discovered by calibrate at init, or -1 when discovery failed and Current
+// must keep using the runtime.Stack parse.
+var goidWord = calibrate()
+
+// calibrate locates the goid field by scanning several goroutines' g structs
+// for the id that the runtime.Stack parse reports for that same goroutine,
+// and intersecting the candidate offsets. goid is immutable for a
+// goroutine's lifetime and unique process-wide, so the real field matches in
+// every goroutine, while coincidental matches (another field happening to
+// hold one goroutine's id) die in the intersection. Anything other than
+// exactly one surviving offset disables the fast path.
+func calibrate() int {
+	for attempt := 0; attempt < 4; attempt++ {
+		mask := candidateMask()
+		const probes = 8
+		results := make(chan uint64, probes)
+		for i := 0; i < probes; i++ {
+			go func() { results <- candidateMask() }()
+		}
+		for i := 0; i < probes; i++ {
+			mask &= <-results
+		}
+		if mask != 0 && mask&(mask-1) == 0 {
+			w := 0
+			for mask != 1 {
+				mask >>= 1
+				w++
+			}
+			return w
+		}
+	}
+	return -1
+}
+
+// candidateMask scans the calling goroutine's g struct and returns a bitmask
+// of word offsets whose value equals the goroutine's Stack-parsed id.
+func candidateMask() uint64 {
+	id := int64(stackParse())
+	if id <= 0 {
+		return 0
+	}
+	words := (*[gWords]int64)(getg())
+	var mask uint64
+	for i, w := range words {
+		if w == id {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+// Current returns the id of the calling goroutine.
+//
+// Fast path: one TLS load plus one field read against the offset located by
+// calibrate — low single-digit nanoseconds, versus ~3µs for the
+// runtime.Stack header parse it replaces. The slow parse remains both the
+// calibration oracle and the fallback when discovery fails, so a future g
+// layout change degrades performance, never correctness.
+func Current() ID {
+	if w := goidWord; w >= 0 {
+		return ID((*[gWords]int64)(getg())[w])
+	}
+	return stackParse()
+}

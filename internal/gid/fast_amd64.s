@@ -1,0 +1,14 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func getg() unsafe.Pointer
+//
+// Returns the current goroutine's runtime.g. On amd64 the g pointer lives
+// in thread-local storage; the runtime keeps it there across preemption and
+// thread migration, and g structs are never moved by the GC, so the pointer
+// stays valid for the duration of any read the caller performs.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,54 @@
+//go:build amd64 || arm64
+
+package gid
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCalibration asserts the goid-field discovery succeeded on the
+// architectures that ship a getg stub. If a Go release moves the field out
+// of the scanned window this fails loudly in CI instead of silently leaving
+// every Current call on the microsecond slow path.
+func TestCalibration(t *testing.T) {
+	if goidWord < 0 {
+		t.Fatal("goid field calibration failed; fast path disabled")
+	}
+	t.Logf("goid at g struct word %d (byte offset %d)", goidWord, goidWord*8)
+}
+
+// TestFastMatchesStackParse is the correctness oracle for the fast path: on
+// many concurrent goroutines the direct field read must agree with the
+// runtime.Stack header parse, repeatedly, including across stack growth.
+func TestFastMatchesStackParse(t *testing.T) {
+	const goroutines = 100
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				fast, slow := Current(), stackParse()
+				if fast != slow {
+					t.Errorf("Current()=%d disagrees with stackParse()=%d", fast, slow)
+					return
+				}
+				// Force stack growth between probes so a g pointer cached
+				// across a moving stack would be caught (g itself must not
+				// move; its stack does).
+				growStack(64)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+//go:noinline
+func growStack(depth int) int {
+	var pad [256]byte
+	if depth == 0 {
+		return int(pad[0])
+	}
+	return growStack(depth-1) + int(pad[128])
+}

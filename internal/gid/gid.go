@@ -5,10 +5,23 @@
 // target block is invoked, the runtime asks whether the encountering thread
 // is already a member of the destination virtual target's thread group. Java
 // answers this with Thread.currentThread(); Go deliberately hides goroutine
-// identity, so we parse the header line of runtime.Stack, which is stable
-// across releases ("goroutine 18 [running]:"). The parse costs ~1µs and is
-// only paid on target-block boundaries, which in the paper's workloads are
-// hundreds of milliseconds apart.
+// identity.
+//
+// Two implementations of Current coexist:
+//
+//   - stackParse reads the header line of runtime.Stack, which is stable
+//     across releases ("goroutine 18 [running]:"). It costs microseconds —
+//     tolerable when target-block boundaries are hundreds of milliseconds
+//     apart, but it dominated the synchronous Invoke round trip once the
+//     dispatch hot path itself was cut down to a few microseconds.
+//   - on amd64/arm64 an assembly stub returns the runtime.g pointer and
+//     Current reads the goid field directly. The field's offset is not part
+//     of Go's compatibility promise, so it is discovered at init by scanning
+//     g structs for the value stackParse reports (see fast.go); if discovery
+//     fails, Current silently keeps using stackParse.
+//
+// Both paths return the same runtime-assigned id, which is never reused for
+// the life of the process.
 package gid
 
 import (
@@ -21,8 +34,10 @@ import (
 // and are never reused by the Go runtime.
 type ID uint64
 
-// Current returns the id of the calling goroutine.
-func Current() ID {
+// stackParse returns the calling goroutine's id by parsing the runtime.Stack
+// header. It is the portable fallback and the calibration oracle for the
+// fast path.
+func stackParse() ID {
 	var buf [64]byte
 	n := runtime.Stack(buf[:], false)
 	// Header: "goroutine 123 [running]:\n..."

@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package gid
+
+// Current returns the id of the calling goroutine. Architectures without an
+// assembly getg stub always take the runtime.Stack parse.
+func Current() ID {
+	return stackParse()
+}

@@ -456,6 +456,17 @@ func (s *Server) failCompute(w http.ResponseWriter, cerr error) {
 // Served returns the number of successful responses.
 func (s *Server) Served() int64 { return s.served.Load() }
 
+// SchedStats returns per-target scheduler counters (submitted, completed,
+// helped, queue peak, …) for every target that exposes them — the same
+// counters the bench suite reports, so server runs and microbenchmarks can
+// be compared on one axis. Nil in Jetty mode (no virtual-target runtime).
+func (s *Server) SchedStats() map[string]executor.Stats {
+	if s.rt == nil {
+		return nil
+	}
+	return s.rt.PoolStats()
+}
+
 // Errors returns the number of failed requests.
 func (s *Server) Errors() int64 { return s.errors.Load() }
 

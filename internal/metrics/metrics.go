@@ -97,72 +97,131 @@ func (s *SupervisionStats) String() string {
 		s.Panics.Value(), s.FailFast.Value())
 }
 
-// Histogram is a concurrency-safe latency histogram with exact quantiles
-// (it retains all samples; evaluation runs record at most a few hundred
-// thousand events, so exactness is affordable and avoids bucket-resolution
-// arguments when comparing approaches).
+// defaultReservoirCap bounds how many raw samples a Histogram retains by
+// default. Evaluation runs record at most a few hundred thousand events, so
+// the default keeps them exact; anything longer-lived (a qos sojourn
+// histogram on a server that never restarts) degrades to reservoir sampling
+// instead of growing without bound.
+const defaultReservoirCap = 1 << 18
+
+// Histogram is a concurrency-safe latency histogram. Up to its reservoir
+// capacity it retains every sample, so quantiles are exact — avoiding
+// bucket-resolution arguments when comparing approaches. Past the capacity
+// it switches to reservoir sampling (Vitter's Algorithm R): each new sample
+// replaces a uniformly random retained one with probability cap/seen, so
+// the reservoir stays a uniform sample of the whole stream and memory stays
+// bounded. Count, Mean, Stddev, Min and Max are maintained as running
+// aggregates and remain exact regardless of how many samples were observed.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	cap     int
+	seen    int64   // total observations, including ones not retained
+	sum     float64 // running sum of all observations
+	sumsq   float64 // running sum of squares of all observations
+	min     time.Duration
+	max     time.Duration
+	rng     uint64 // splitmix64 state for reservoir replacement
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+// NewHistogram returns an empty histogram with the default reservoir
+// capacity.
+func NewHistogram() *Histogram { return NewHistogramCap(defaultReservoirCap) }
+
+// NewHistogramCap returns an empty histogram retaining at most capacity raw
+// samples (capacity < 16 is clamped to 16). Quantiles are exact until the
+// stream outgrows the reservoir, then approximate; the running aggregates
+// stay exact either way.
+func NewHistogramCap(capacity int) *Histogram {
+	if capacity < 16 {
+		capacity = 16
+	}
+	// Deterministic seed: evaluation runs must be reproducible, and the
+	// reservoir only needs uniformity, not unpredictability.
+	return &Histogram{cap: capacity, rng: 0x9E3779B97F4A7C15}
+}
+
+// nextRand is splitmix64 — one add, three xor-shift-multiplies; called under mu.
+func (h *Histogram) nextRand() uint64 {
+	h.rng += 0x9E3779B97F4A7C15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	if h.cap == 0 {
+		h.cap = defaultReservoirCap // zero-value Histogram
+	}
+	if h.seen == 0 || d < h.min {
+		h.min = d
+	}
+	if h.seen == 0 || d > h.max {
+		h.max = d
+	}
+	h.seen++
+	h.sum += float64(d)
+	h.sumsq += float64(d) * float64(d)
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+	} else if j := int64(h.nextRand() % uint64(h.seen)); j < int64(h.cap) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of observed samples (including any no longer
+// retained by the reservoir).
 func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.seen)
+}
+
+// Retained returns how many raw samples the reservoir currently holds (for
+// tests and memory accounting).
+func (h *Histogram) Retained() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
 }
 
-// Mean returns the arithmetic mean of the samples (0 if empty).
+// Mean returns the arithmetic mean of all observed samples (0 if empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
-	}
-	return time.Duration(sum / float64(len(h.samples)))
+	return time.Duration(h.sum / float64(h.seen))
 }
 
-// Min returns the smallest sample (0 if empty).
+// Min returns the smallest observed sample (0 if empty). Exact: tracked as
+// a running aggregate, not read from the reservoir.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[0]
+	return h.min
 }
 
-// Max returns the largest sample (0 if empty).
+// Max returns the largest observed sample (0 if empty). Exact, like Min.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
-// sorted samples. Returns 0 if the histogram is empty.
+// sorted retained samples — exact while the stream fits the reservoir, a
+// uniform-sample estimate beyond it. The extremes are always exact: q<=0
+// and q>=1 return the running Min and Max. Returns 0 if the histogram is
+// empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -170,13 +229,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
-	h.sortLocked()
 	if q <= 0 {
-		return h.samples[0]
+		return h.min
 	}
 	if q >= 1 {
-		return h.samples[n-1]
+		return h.max
 	}
+	h.sortLocked()
 	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
@@ -187,37 +246,37 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Stddev returns the population standard deviation of the samples.
+// Stddev returns the population standard deviation of all observed samples.
+// Exact: computed from running aggregates.
 func (h *Histogram) Stddev() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := len(h.samples)
-	if n == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
+	n := float64(h.seen)
+	mean := h.sum / n
+	variance := h.sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // float rounding on near-constant streams
 	}
-	mean := sum / float64(n)
-	var ss float64
-	for _, s := range h.samples {
-		d := float64(s) - mean
-		ss += d * d
-	}
-	return time.Duration(math.Sqrt(ss / float64(n)))
+	return time.Duration(math.Sqrt(variance))
 }
 
-// Reset discards all samples.
+// Reset discards all samples and running aggregates.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.seen = 0
+	h.sum, h.sumsq = 0, 0
+	h.min, h.max = 0, 0
 	h.mu.Unlock()
 }
 
-// Snapshot returns a copy of the samples in arrival order is not preserved;
-// the returned slice is sorted ascending.
+// Snapshot returns a copy of the retained samples sorted ascending (arrival
+// order is not preserved). Past the reservoir capacity this is a uniform
+// subsample of the stream, not every observation.
 func (h *Histogram) Snapshot() []time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -331,3 +331,87 @@ func countRunes(s string, want rune) int {
 	}
 	return n
 }
+
+// TestHistogramMemoryBounded is the regression test for the unbounded
+// sample-retention bug: a long-lived histogram (e.g. a server's sojourn
+// histogram) used to keep every sample forever. With the reservoir it must
+// retain at most its capacity while the exact running aggregates keep
+// reporting on the whole stream.
+func TestHistogramMemoryBounded(t *testing.T) {
+	const capacity = 1024
+	const n = 500_000
+	h := NewHistogramCap(capacity)
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := h.Retained(); got > capacity {
+		t.Fatalf("Retained() = %d, want <= %d (unbounded growth)", got, capacity)
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("Count() = %d, want %d", got, n)
+	}
+	// Running aggregates are exact regardless of the reservoir.
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min() = %d, want 1", got)
+	}
+	if got := h.Max(); got != n {
+		t.Fatalf("Max() = %d, want %d", got, n)
+	}
+	wantMean := time.Duration((n + 1) / 2)
+	if got := h.Mean(); got < wantMean-1 || got > wantMean+1 {
+		t.Fatalf("Mean() = %d, want ~%d", got, wantMean)
+	}
+	// Quantile extremes route to the exact running min/max.
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != n {
+		t.Fatalf("Quantile(1) = %d, want %d", got, n)
+	}
+	// Interior quantiles are estimates from a uniform reservoir: for the
+	// ramp 1..n the p50 must land near n/2. A 1024-sample reservoir gives a
+	// standard error around 1.6% of n; 10% tolerance is far outside noise.
+	p50 := float64(h.Quantile(0.50))
+	if p50 < 0.40*n || p50 > 0.60*n {
+		t.Fatalf("Quantile(0.5) = %.0f, want within 10%% of %d", p50, n/2)
+	}
+}
+
+// TestHistogramExactBelowCap verifies nothing changed for streams that fit
+// the reservoir: quantiles stay exact nearest-rank answers.
+func TestHistogramExactBelowCap(t *testing.T) {
+	h := NewHistogramCap(1024)
+	for i := 100; i >= 1; i-- { // reverse order: sorting must still happen
+		h.Observe(time.Duration(i))
+	}
+	if got := h.Retained(); got != 100 {
+		t.Fatalf("Retained() = %d, want 100", got)
+	}
+	if got := h.Quantile(0.50); got != 50 {
+		t.Fatalf("Quantile(0.5) = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("Quantile(0.99) = %d, want 99", got)
+	}
+	if got := h.Stddev(); got < 28 || got > 30 { // exact: ~28.87 for 1..100
+		t.Fatalf("Stddev() = %d, want ~28.87", got)
+	}
+}
+
+// TestHistogramResetClearsAggregates verifies Reset also clears the running
+// aggregates, not just the reservoir.
+func TestHistogramResetClearsAggregates(t *testing.T) {
+	h := NewHistogramCap(16)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i + 1))
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Retained() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("Reset left state: count=%d retained=%d min=%v max=%v mean=%v",
+			h.Count(), h.Retained(), h.Min(), h.Max(), h.Mean())
+	}
+	h.Observe(7)
+	if h.Min() != 7 || h.Max() != 7 || h.Count() != 1 {
+		t.Fatalf("post-Reset observe wrong: min=%v max=%v count=%d", h.Min(), h.Max(), h.Count())
+	}
+}

@@ -125,7 +125,7 @@ type Buffer struct {
 	events []Event
 	next   int
 	full   bool
-	seq    atomic.Uint64
+	seq    uint64 // guarded by mu: sequence and ring position must advance together
 	drops  atomic.Uint64
 }
 
@@ -139,12 +139,18 @@ func NewBuffer(capacity int) *Buffer {
 }
 
 // Record appends an event, overwriting the oldest when full.
+//
+// Seq is assigned under the ring mutex: sequence numbers and ring positions
+// must advance together, or two concurrent recorders could store their
+// events in the opposite order from their Seqs and Snapshot/Dump would
+// render a misordered history.
 func (b *Buffer) Record(e Event) {
-	e.Seq = b.seq.Add(1)
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
 	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
 	if b.full {
 		b.drops.Add(1)
 	}
@@ -203,11 +209,13 @@ func (b *Buffer) CountOp(op Op) int {
 	return n
 }
 
-// Reset clears the buffer.
+// Reset clears the buffer, including the overwrite counter — a fresh
+// capture must not inherit the previous capture's drop tally.
 func (b *Buffer) Reset() {
 	b.mu.Lock()
 	b.next = 0
 	b.full = false
+	b.drops.Store(0)
 	b.mu.Unlock()
 }
 

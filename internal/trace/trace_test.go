@@ -124,3 +124,53 @@ func BenchmarkRecord(b *testing.B) {
 		buf.Record(Event{Op: OpInvoke, Target: "worker"})
 	}
 }
+
+// TestConcurrentRecordSeqOrdered is the regression test for the Seq/ring
+// ordering race: when Seq was assigned atomically before taking the ring
+// mutex, two racing recorders could store their events in the opposite
+// order from their sequence numbers, so a Snapshot was not monotonically
+// ordered. With Seq assigned under the mutex the snapshot must be strictly
+// ascending with no gaps.
+func TestConcurrentRecordSeqOrdered(t *testing.T) {
+	b := NewBuffer(8192)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Record(Event{Op: OpPost, Time: time.Now()})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := b.Snapshot()
+	if len(snap) != 4000 {
+		t.Fatalf("Snapshot len = %d, want 4000", len(snap))
+	}
+	for i, e := range snap {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (out-of-order or gapped ring)", i, e.Seq, i+1)
+		}
+	}
+}
+
+// TestResetClearsOverwritten is the regression test for Reset leaving the
+// drop counter stale: a capture after Reset must start from zero drops.
+func TestResetClearsOverwritten(t *testing.T) {
+	b := NewBuffer(16)
+	for i := 0; i < 40; i++ {
+		b.Record(Event{})
+	}
+	if b.Overwritten() == 0 {
+		t.Fatal("expected overwrites before Reset")
+	}
+	b.Reset()
+	if got := b.Overwritten(); got != 0 {
+		t.Fatalf("Overwritten after Reset = %d, want 0", got)
+	}
+	b.Record(Event{})
+	if got := b.Overwritten(); got != 0 {
+		t.Fatalf("Overwritten after Reset+Record = %d, want 0", got)
+	}
+}
