@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-baseline bench-smoke report examples lint ci clean
+.PHONY: all build test race vet chaos cover bench bench-baseline bench-smoke report examples lint ci clean
 
 all: build test race
 
@@ -14,7 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+# vet runs the repo's own static analysis suite (cmd/ompvet): EDT
+# confinement, blocking-call, wait-graph, and directive lint passes.
+vet:
+	$(GO) run ./cmd/ompvet ./...
 
 # chaos runs the fault-injection storm tests (tagged `chaos`) with a pinned
 # seed so a failing schedule reproduces; override with CHAOS_SEED=<n>.
@@ -22,13 +27,14 @@ CHAOS_SEED ?= 1337
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags=chaos ./...
 
-# lint mirrors the CI formatting/vet gates.
+# lint mirrors the CI formatting/vet gates, including ompvet.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/ompvet ./...
 
 # ci runs exactly what .github/workflows/ci.yml runs.
 ci: build lint test race

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// TestRepositoryIsClean is the regression gate for satellite fixes: the
+// whole module must stay free of ompvet diagnostics. Any new off-EDT widget
+// write, EDT-blocking call, wait cycle, or malformed directive anywhere in
+// the repository fails this test.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	if code := run([]string{"repro/..."}); code != 0 {
+		t.Fatalf("ompvet found issues in the repository (exit %d); run `go run ./cmd/ompvet ./...` for the list", code)
+	}
+}
+
+func TestSelectPasses(t *testing.T) {
+	if as, err := selectPasses(""); err != nil || len(as) != len(all) {
+		t.Fatalf("default selection: %v, %d passes", err, len(as))
+	}
+	as, err := selectPasses("waitgraph, directivelint")
+	if err != nil || len(as) != 2 {
+		t.Fatalf("subset selection: %v, %d passes", err, len(as))
+	}
+	if as[0].Name != "waitgraph" || as[1].Name != "directivelint" {
+		t.Fatalf("subset selection order: %s, %s", as[0].Name, as[1].Name)
+	}
+	if _, err := selectPasses("nosuch"); err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+	if _, err := selectPasses(","); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}

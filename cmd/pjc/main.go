@@ -6,8 +6,11 @@
 //	pjc -w file.go ...     rewrite files in place
 //	pjc -o out.go file.go  translate one file to out.go
 //	pjc -check file.go ... parse and validate directives only
+//	pjc -vet file.go ...   run directivelint + waitgraph before translating
 //
-// Exits non-zero on the first error.
+// Exits non-zero on the first error. With -vet, the directivelint and
+// waitgraph analysis passes run over the inputs first (syntactically — no
+// type information is required), and any finding stops the translation.
 package main
 
 import (
@@ -17,6 +20,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
+	"repro/internal/analysis/directivelint"
+	"repro/internal/analysis/waitgraph"
 	"repro/internal/transform"
 )
 
@@ -25,6 +31,7 @@ func main() {
 		write   = flag.Bool("w", false, "write results back to the source files")
 		out     = flag.String("o", "", "write output to this file (single input only)")
 		check   = flag.Bool("check", false, "validate directives without emitting code")
+		vet     = flag.Bool("vet", false, "run directivelint and waitgraph over the inputs before translating")
 		pyjamaP = flag.String("pyjama", "", "import path of the pyjama runtime facade")
 		ompP    = flag.String("omp", "", "import path of the omp substrate")
 	)
@@ -51,6 +58,13 @@ func main() {
 	if *out != "" && len(files) != 1 {
 		fmt.Fprintln(os.Stderr, "pjc: -o requires exactly one input file")
 		os.Exit(2)
+	}
+
+	if *vet {
+		if n := runVet(files); n > 0 {
+			fmt.Fprintf(os.Stderr, "pjc: vet: %d issue(s); not translating\n", n)
+			os.Exit(1)
+		}
 	}
 
 	for _, name := range files {
@@ -104,6 +118,26 @@ func expandDirs(args []string) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// runVet parses the inputs (no type-checking — the files may not compile
+// yet) and runs the syntactic passes, printing findings to stderr. Ignores
+// run in non-strict mode: an //ompvet:ignore aimed at one of the typed
+// passes cmd/ompvet runs is left alone rather than reported as unknown.
+func runVet(files []string) int {
+	pkg, err := analysis.ParseFiles(files)
+	if err != nil {
+		fail(err)
+	}
+	findings, err := analysis.RunPackage(pkg,
+		[]*analysis.Analyzer{directivelint.Analyzer, waitgraph.Analyzer}, false)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	return len(findings)
 }
 
 func fail(err error) {

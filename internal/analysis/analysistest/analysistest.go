@@ -1,0 +1,134 @@
+// Package analysistest drives an ompvet analyzer over a testdata package
+// and checks its diagnostics against expectations written in the source,
+// in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	tk.InvokeLater(func() { time.Sleep(time.Second) }) // want `time\.Sleep blocks`
+//
+// Each `want` comment carries one or more backquoted regular expressions;
+// every diagnostic reported on that line must match one of them, every
+// expectation must be matched by exactly one diagnostic, and diagnostics on
+// lines without expectations fail the test. //ompvet:ignore processing runs
+// exactly as in cmd/ompvet, so suppression behaviour is testable the same
+// way (an unused ignore surfaces as a pass-"ompvet" diagnostic, matchable
+// with a want comment).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the backquoted expectation patterns of a comment.
+var wantRE = regexp.MustCompile("//.*\\bwant\\s+((?:`[^`]*`\\s*)+)")
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory), runs the analyzer with full ignore processing, and compares
+// diagnostics against the `want` expectations in the sources.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, dir)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one testdata package.
+func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(abs, "ompvet.test/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	requiresTypes := false
+	for _, a := range as {
+		requiresTypes = requiresTypes || a.RequiresTypes
+	}
+	if requiresTypes && len(pkg.TypeErrors) > 0 {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("testdata must type-check: %v", e)
+		}
+		t.FailNow()
+	}
+	findings, err := analysis.RunPackage(pkg, as, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expects := collectExpectations(t, pkg)
+	for _, f := range findings {
+		if !matchExpectation(expects, f) {
+			t.Errorf("unexpected diagnostic:\n  %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations scans the package sources for want comments.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, chunk := range strings.Split(m[1], "`") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		re, err := regexp.Compile(chunk)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, chunk, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out
+}
+
+// matchExpectation consumes the first unmatched expectation on the
+// finding's line whose pattern matches.
+func matchExpectation(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if e.matched || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) || e.re.MatchString(fmt.Sprintf("%s: %s", f.Pass, f.Message)) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

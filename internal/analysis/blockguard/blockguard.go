@@ -1,0 +1,229 @@
+// Package blockguard implements the ompvet pass proving the paper's other
+// EDT rule: the event-dispatch thread must never block. Inside any block
+// destined for an EDT or serial virtual target (Toolkit.InvokeLater,
+// Loop.Post, button/timer handlers, Runtime.Invoke of an EDT-registered
+// name, SwingWorker.Process/Done) the pass flags:
+//
+//   - blocking joins: Completion.Wait, Runtime.Wait/WaitTag, pyjama.WaitFor,
+//     sync.WaitGroup.Wait, SwingWorker.Get, Future.Get;
+//   - synchronous re-dispatch: Toolkit/Loop.InvokeAndWait, and
+//     Invoke/TargetBlock of a worker target in mode Wait;
+//   - time.Sleep;
+//   - bare channel receives (outside select);
+//   - sync.Mutex/RWMutex.Lock held across a dispatch call.
+//
+// Runtime.AwaitCompletion / AwaitDone are deliberately NOT flagged: await is
+// the paper's logical barrier — the encountering thread keeps processing its
+// own queue while it waits, which is exactly the sanctioned alternative to
+// the calls this pass reports.
+package blockguard
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dispatch"
+)
+
+// Analyzer is the blockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name:          "blockguard",
+	Doc:           "flag blocking operations inside blocks dispatched to an EDT or serial virtual target",
+	RequiresTypes: true,
+	Run:           run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := dispatch.NewClassifier(pass)
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				desc, ok := blockingCall(c, n)
+				if !ok {
+					return true
+				}
+				if kind, site := c.Context(stack); kind == dispatch.EDT {
+					pass.Reportf(n.Pos(),
+						"%s blocks the event-dispatch thread (enclosing block is dispatched via %s); offload with a worker target or use the await logical barrier",
+						desc, site)
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() != "<-" || insideSelect(stack) {
+					return true
+				}
+				if kind, site := c.Context(stack); kind == dispatch.EDT {
+					pass.Reportf(n.Pos(),
+						"channel receive blocks the event-dispatch thread (enclosing block is dispatched via %s); deliver the value with a further Post instead",
+						site)
+				}
+			case *ast.BlockStmt:
+				checkLockAcrossDispatch(pass, c, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// insideSelect reports whether the node is within a select statement, whose
+// comm clauses are the non-blocking way to touch channels on the EDT.
+func insideSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.SelectStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// blockingCall reports whether call is one of the blocking operations the
+// EDT must not perform, with a description for the diagnostic.
+func blockingCall(c *dispatch.Classifier, call *ast.CallExpr) (string, bool) {
+	fn := c.Callee(call)
+	if fn == nil {
+		return "", false
+	}
+	switch {
+	case c.IsFunc(fn, "time", "Sleep"):
+		return "time.Sleep", true
+	case c.IsMethod(fn, "repro/internal/executor", "Completion", "Wait"):
+		return "Completion.Wait", true
+	case c.IsMethod(fn, "repro/internal/core", "Runtime", "Wait"),
+		c.IsMethod(fn, "repro/internal/core", "Runtime", "WaitTag"):
+		return "Runtime." + fn.Name(), true
+	case c.IsFunc(fn, "repro/internal/pyjama", "WaitFor"):
+		return "pyjama.WaitFor", true
+	case c.IsMethod(fn, "sync", "WaitGroup", "Wait"):
+		return "sync.WaitGroup.Wait", true
+	case c.IsMethod(fn, "repro/internal/gui", "SwingWorker", "Get"),
+		c.IsMethod(fn, "repro/internal/gui", "Future", "Get"):
+		return fn.Name() + " (blocking join)", true
+	case c.IsMethod(fn, "repro/internal/gui", "Toolkit", "InvokeAndWait"),
+		c.IsMethod(fn, "repro/internal/eventloop", "Loop", "InvokeAndWait"):
+		return "InvokeAndWait", true
+	case c.IsMethod(fn, "repro/internal/core", "Runtime", "Invoke"):
+		return syncWorkerInvoke(c, call, "Runtime.Invoke", 0, 1)
+	case c.IsFunc(fn, "repro/internal/pyjama", "TargetBlock"):
+		return syncWorkerInvoke(c, call, "pyjama.TargetBlock", 0, 1)
+	case c.IsFunc(fn, "repro/internal/pyjama", "TargetBlockIf"):
+		return syncWorkerInvoke(c, call, "pyjama.TargetBlockIf", 1, 2)
+	}
+	return "", false
+}
+
+// syncWorkerInvoke flags Invoke/TargetBlock calls that synchronously wait
+// (mode Wait, the zero Mode) on a known worker target: a blocking
+// cross-target join. Dispatch to an EDT-registered name is left alone —
+// thread-context awareness runs it inline — as is any non-constant mode.
+func syncWorkerInvoke(c *dispatch.Classifier, call *ast.CallExpr, callee string, nameArg, modeArg int) (string, bool) {
+	mode := c.ConstArg(call, modeArg)
+	if mode == nil || mode.Kind() != constant.Int {
+		return "", false
+	}
+	if v, ok := constant.Int64Val(mode); !ok || v != 0 { // 0 == core.Wait
+		return "", false
+	}
+	name := ""
+	if v := c.ConstArg(call, nameArg); v != nil && v.Kind() == constant.String {
+		name = constant.StringVal(v)
+	}
+	if !c.WorkerName(name) {
+		return "", false
+	}
+	return callee + "(" + name + ", mode Wait)", true
+}
+
+// checkLockAcrossDispatch scans one EDT-context block for a Mutex.Lock that
+// is still held when a dispatch call runs: the dispatched block (or any EDT
+// work needing the lock) then contends with a lock owned by the EDT.
+func checkLockAcrossDispatch(pass *analysis.Pass, c *dispatch.Classifier, block *ast.BlockStmt, stack []ast.Node) {
+	if kind, _ := c.Context(stack); kind != dispatch.EDT {
+		return
+	}
+	// held maps the receiver expression text of a locked mutex to the Lock
+	// call position; deferred unlocks keep the lock held to block end.
+	type lockSite struct {
+		pos      ast.Node
+		receiver string
+	}
+	var held []lockSite
+	for _, st := range block.List {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if recv, isLock, isUnlock := mutexLockCall(pass, c, call); recv != "" {
+					if isLock {
+						held = append(held, lockSite{pos: call, receiver: recv})
+						continue
+					}
+					if isUnlock {
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i].receiver == recv {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+						continue
+					}
+				}
+				if len(held) > 0 {
+					if desc, ok := c.DispatchSite(call); ok {
+						pass.Reportf(held[len(held)-1].pos.Pos(),
+							"mutex locked on the event-dispatch thread is still held across %s; unlock before dispatching or move the critical section off the EDT",
+							desc)
+						held = held[:len(held)-1]
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// block; nothing to update.
+			continue
+		}
+	}
+}
+
+// mutexLockCall identifies sync.Mutex/RWMutex Lock/Unlock calls, returning
+// the receiver's source-position key.
+func mutexLockCall(pass *analysis.Pass, c *dispatch.Classifier, call *ast.CallExpr) (recv string, isLock, isUnlock bool) {
+	fn := c.Callee(call)
+	if fn == nil {
+		return "", false, false
+	}
+	isMutex := c.IsMethod(fn, "sync", "Mutex", fn.Name()) || c.IsMethod(fn, "sync", "RWMutex", fn.Name())
+	if !isMutex {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	key := exprKey(pass, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, false
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// exprKey renders a (simple) receiver expression as a comparison key.
+func exprKey(pass *analysis.Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(pass, e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(pass, e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprKey(pass, e.X)
+	}
+	return ""
+}

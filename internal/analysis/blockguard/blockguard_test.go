@@ -1,0 +1,12 @@
+package blockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blockguard"
+)
+
+func TestBlockguard(t *testing.T) {
+	analysistest.Run(t, blockguard.Analyzer, "testdata/block")
+}

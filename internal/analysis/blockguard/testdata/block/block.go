@@ -1,0 +1,79 @@
+// Package block seeds blockguard violations: blocking operations inside
+// blocks dispatched to an event-dispatch loop or serial virtual target.
+package block
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+	"repro/internal/executor"
+	"repro/internal/gui"
+	"repro/internal/pyjama"
+)
+
+func joins(tk *gui.Toolkit, loop *eventloop.Loop, rt *core.Runtime, comp *executor.Completion) {
+	tk.InvokeLater(func() {
+		time.Sleep(time.Millisecond) // want `time\.Sleep blocks the event-dispatch thread`
+	})
+
+	loop.Post(func() {
+		comp.Wait() // want `Completion\.Wait blocks the event-dispatch thread`
+	})
+
+	tk.InvokeLater(func() {
+		rt.WaitTag("frames") // want `Runtime\.WaitTag blocks the event-dispatch thread`
+	})
+
+	var wg sync.WaitGroup
+	loop.PostLabeled("drain", func() {
+		wg.Wait() // want `sync\.WaitGroup\.Wait blocks the event-dispatch thread`
+	})
+
+	ch := make(chan int)
+	loop.Post(func() {
+		<-ch // want `channel receive blocks the event-dispatch thread`
+	})
+
+	tk.InvokeLater(func() {
+		tk.InvokeAndWait(func() {}) // want `InvokeAndWait blocks the event-dispatch thread`
+	})
+}
+
+func targets(tk *gui.Toolkit, rt *core.Runtime) {
+	rt.RegisterEDT("ui", tk.EDT())
+	rt.CreateWorker("compute", 4)
+	rt.CreateWorker("serial", 1)
+
+	rt.Invoke("ui", core.Nowait, func() {
+		rt.Invoke("compute", core.Wait, func() {}) // want `Runtime\.Invoke\(compute, mode Wait\) blocks the event-dispatch thread`
+	})
+
+	// A one-goroutine worker is a serial virtual target: blocking it stalls
+	// every queued block, so the never-block rule covers it too.
+	rt.Invoke("serial", core.Nowait, func() {
+		time.Sleep(time.Millisecond) // want `time\.Sleep blocks the event-dispatch thread`
+	})
+
+	pyjama.RegisterEDT("pjui")
+	pyjama.TargetBlock("pjui", pyjama.Nowait, "", func() {
+		pyjama.WaitFor("jobs") // want `pyjama\.WaitFor blocks the event-dispatch thread`
+	})
+}
+
+func futures(tk *gui.Toolkit, svc *gui.ExecutorService) {
+	fut := gui.Submit(svc, func() int { return 1 })
+	tk.InvokeLater(func() {
+		fut.Get() // want `Get \(blocking join\) blocks the event-dispatch thread`
+	})
+}
+
+func lockAcrossDispatch(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	var mu sync.Mutex
+	tk.InvokeLater(func() {
+		mu.Lock() // want `mutex locked on the event-dispatch thread is still held across WorkerPool\.Post`
+		pool.Post(func() {})
+		mu.Unlock()
+	})
+}

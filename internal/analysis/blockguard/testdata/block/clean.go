@@ -1,0 +1,51 @@
+package block
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+// clean exercises the sanctioned patterns; none of these may be reported.
+func clean(tk *gui.Toolkit, rt *core.Runtime, pool *executor.WorkerPool, comp *executor.Completion) {
+	ch := make(chan int)
+
+	// select is the non-blocking way to touch channels on the EDT.
+	tk.InvokeLater(func() {
+		select {
+		case <-ch:
+		default:
+		}
+	})
+
+	// The await logical barrier helps with queued work instead of parking,
+	// which is exactly the paper's alternative to the blocking joins.
+	tk.InvokeLater(func() {
+		rt.AwaitCompletion(comp)
+	})
+
+	// Workers may block freely.
+	pool.Post(func() {
+		time.Sleep(time.Millisecond)
+		comp.Wait()
+		<-ch
+	})
+
+	// A lock released before the dispatch is not held across it.
+	var mu sync.Mutex
+	tk.InvokeLater(func() {
+		mu.Lock()
+		mu.Unlock()
+		pool.Post(func() {})
+	})
+
+	// Dispatch to an EDT-registered name from its own EDT runs inline
+	// (thread-context awareness), and Nowait never parks anyway.
+	rt.RegisterEDT("cleanui", tk.EDT())
+	rt.Invoke("cleanui", core.Nowait, func() {
+		rt.Invoke("cleanui", core.Wait, func() {})
+	})
+}

@@ -1,0 +1,12 @@
+package directivelint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/directivelint"
+)
+
+func TestDirectivelint(t *testing.T) {
+	analysistest.Run(t, directivelint.Analyzer, "testdata/lint")
+}

@@ -1,0 +1,26 @@
+package lint
+
+// good holds only well-formed directives; nothing here may be reported.
+func good(items []int) {
+	//#omp target virtual(worker) name_as(batch)
+	{
+		work()
+	}
+
+	//#omp wait(batch)
+
+	//#omp parallel for schedule(static, 4)
+	for i := 0; i < len(items); i++ {
+		work()
+	}
+
+	//#omp barrier
+
+	//#omp parallel
+	{
+		//#omp single nowait
+		{
+			work()
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package lint seeds directivelint violations: malformed directives,
+// clause conflicts, and directives that cannot bind to a statement.
+package lint
+
+//#omp barrier // want `standalone directive "barrier" outside a function body`
+
+func bad() {
+	//#omp target virtual(edt) nowait await // want `conflicting scheduling clauses "nowait" and "await"`
+	{
+		work()
+	}
+
+	//#omp target virtual(edt) virtual(edt) // want `duplicate clause "virtual"`
+	{
+		work()
+	}
+
+	//#omp bogus // want `unknown directive "bogus"`
+
+	//#omp parallel for // want `directive "parallel for" must be followed by a for statement`
+	{
+		work()
+	}
+
+	//#omp target virtual(v) // want `directive "target" is not followed by a statement on the next line`
+
+	x := 0
+	x++ //#omp single // want `directive "single" shares its line with code`
+
+	//#omp task // want `directive "task" must be followed by a structured block`
+	x--
+	_ = x
+}
+
+func work() {}

@@ -1,0 +1,82 @@
+// Package edtconfine implements the ompvet pass proving the paper's widget
+// confinement rule at compile time: "GUI components are not thread-safe and
+// access is strictly confined to the EDT". The gui package enforces this at
+// run time with checkConfinement (a panic, or a counted violation); this
+// pass turns the panic into a compile-time diagnostic by flagging calls to
+// confined widget mutators that are lexically inside a block dispatched off
+// the EDT — a function literal handed to WorkerPool.Post, Runtime.Invoke of
+// a worker target, ExecutorService.Execute, SwingWorker.DoInBackground, or
+// a go statement — without an intervening InvokeLater / InvokeAndWait /
+// target-virtual(edt) re-entry.
+package edtconfine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dispatch"
+)
+
+// Analyzer is the edtconfine pass.
+var Analyzer = &analysis.Analyzer{
+	Name:          "edtconfine",
+	Doc:           "flag confined gui widget mutations inside blocks dispatched off the EDT",
+	RequiresTypes: true,
+	Run:           run,
+}
+
+// confined lists the mutating methods of each confined widget type — the
+// methods funnelling into widget.mutate, which calls checkConfinement.
+var confined = map[string]map[string]bool{
+	"Label":       {"SetText": true},
+	"ProgressBar": {"SetValue": true},
+	"Button":      {"SetHandler": true},
+	"TextArea":    {"Append": true, "Clear": true},
+	"Frame":       {"SetTitle": true, "SetVisible": true, "Add": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == "repro/internal/gui" {
+		// The toolkit's own internals are the enforcement mechanism.
+		return nil
+	}
+	c := dispatch.NewClassifier(pass)
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			widget, method, ok := confinedMutator(c, call)
+			if !ok {
+				return true
+			}
+			if kind, site := c.Context(stack); kind == dispatch.Worker {
+				pass.Reportf(call.Pos(),
+					"(*gui.%s).%s mutates a confined widget off the event-dispatch thread (enclosing block is dispatched via %s); wrap the update in Toolkit.InvokeLater or a target virtual(edt) block",
+					widget, method, site)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// confinedMutator reports whether call invokes a confined widget mutator.
+func confinedMutator(c *dispatch.Classifier, call *ast.CallExpr) (widget, method string, ok bool) {
+	fn := c.Callee(call)
+	if fn == nil {
+		return "", "", false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || sig.Recv() == nil {
+		return "", "", false
+	}
+	for w, methods := range confined {
+		if methods[fn.Name()] && dispatch.IsNamed(sig.Recv().Type(), "repro/internal/gui", w) {
+			return w, fn.Name(), true
+		}
+	}
+	return "", "", false
+}

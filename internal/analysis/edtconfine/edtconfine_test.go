@@ -1,0 +1,16 @@
+package edtconfine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/edtconfine"
+)
+
+func TestConfine(t *testing.T) {
+	analysistest.Run(t, edtconfine.Analyzer, "testdata/confine")
+}
+
+func TestIgnoreSuppression(t *testing.T) {
+	analysistest.Run(t, edtconfine.Analyzer, "testdata/ignore")
+}

@@ -1,0 +1,44 @@
+package confine
+
+import (
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+// onEDT exercises the sanctioned patterns; none of these may be reported.
+func onEDT(tk *gui.Toolkit, pool *executor.WorkerPool, rt *core.Runtime) {
+	status := tk.NewLabel("ok")
+
+	// Direct EDT dispatch.
+	tk.InvokeLater(func() {
+		status.SetText("direct")
+	})
+
+	// Off-EDT block that re-enters the EDT before mutating: the Figure 4
+	// pattern this repository exists to demonstrate.
+	pool.Post(func() {
+		tk.InvokeLater(func() {
+			status.SetText("done")
+		})
+	})
+
+	// Handlers run on the EDT.
+	btn := tk.NewButton("go", func() {
+		status.SetText("clicked")
+	})
+	btn.SetHandler(func() {
+		status.SetText("again")
+	})
+
+	// Invoke to a registered EDT target runs on the EDT.
+	rt.RegisterEDT("ui", tk.EDT())
+	rt.Invoke("ui", core.Nowait, func() {
+		status.SetText("via target")
+	})
+
+	// Reads are not confined; only mutators are.
+	pool.Post(func() {
+		_ = status.Text()
+	})
+}

@@ -1,0 +1,60 @@
+// Package confine seeds edtconfine violations: confined widget mutators
+// called from blocks the runtime dispatches off the event-dispatch thread.
+package confine
+
+import (
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/gui"
+	"repro/internal/pyjama"
+)
+
+// offEDT drives each worker-context dispatch site past a confined mutator.
+func offEDT(tk *gui.Toolkit, pool *executor.WorkerPool, svc *gui.ExecutorService, rt *core.Runtime) {
+	status := tk.NewLabel("status")
+	bar := tk.NewProgressBar("progress", 100)
+	frame := tk.NewFrame("main")
+
+	pool.Post(func() {
+		status.SetText("working") // want `\(\*gui\.Label\)\.SetText mutates a confined widget off the event-dispatch thread`
+	})
+
+	go func() {
+		bar.SetValue(10) // want `\(\*gui\.ProgressBar\)\.SetValue mutates a confined widget`
+	}()
+
+	svc.Execute(func() {
+		frame.SetTitle("busy") // want `\(\*gui\.Frame\)\.SetTitle mutates a confined widget`
+	})
+
+	rt.CreateWorker("bg", 4)
+	rt.Invoke("bg", core.Nowait, func() {
+		status.SetText("bg") // want `SetText mutates a confined widget`
+	})
+
+	pyjama.CreateWorker("pjbg", 4)
+	pyjama.TargetBlock("pjbg", pyjama.Nowait, "", func() {
+		bar.SetValue(50) // want `SetValue mutates a confined widget`
+	})
+}
+
+// swing seeds the SwingWorker split: DoInBackground is off-EDT, while
+// Process and Done are EDT callbacks and may touch widgets freely.
+func swing(tk *gui.Toolkit) {
+	area := tk.NewTextArea("log", 100)
+	w := gui.NewSwingWorker[int, string](tk)
+	w.DoInBackground = func(publish func(...string)) int {
+		area.Append("start") // want `\(\*gui\.TextArea\)\.Append mutates a confined widget`
+		publish("tick")
+		return 0
+	}
+	w.Process = func(chunks []string) {
+		for _, c := range chunks {
+			area.Append(c) // clean: Process runs on the EDT
+		}
+	}
+	w.Done = func(int) {
+		area.Append("done") // clean: Done runs on the EDT
+	}
+	w.Execute()
+}

@@ -1,0 +1,32 @@
+// Package ignore exercises //ompvet:ignore suppression semantics: one
+// ignore silences exactly one diagnostic, ignores may sit on the offending
+// line or the line above, and a stale or typo'd ignore is itself reported.
+package ignore
+
+import (
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+func suppressed(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	status := tk.NewLabel("status")
+
+	pool.Post(func() {
+		status.SetText("a") //ompvet:ignore edtconfine deliberate demo of an off-EDT write
+		status.SetText("b") // want `SetText mutates a confined widget`
+	})
+
+	pool.Post(func() {
+		//ompvet:ignore edtconfine the ignore may also sit on the line above
+		status.SetText("c")
+	})
+}
+
+func stale(tk *gui.Toolkit) {
+	status := tk.NewLabel("ok")
+	tk.InvokeLater(func() {
+		status.SetText("fine") //ompvet:ignore edtconfine nothing to silence here // want `unused ompvet:ignore for pass "edtconfine"`
+	})
+}
+
+//ompvet:ignore edtconfien typo'd pass name // want `ompvet:ignore names unknown pass "edtconfien"`

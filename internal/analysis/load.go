@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	// Name is the package identifier; Path its import path (or a synthetic
+	// one for ad-hoc loads, e.g. analysistest directories).
+	Name string
+	Path string
+	Dir  string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Types and TypesInfo are nil when the package was loaded without
+	// type-checking. TypeErrors collects type-checker complaints; analysis
+	// proceeds best-effort when it is non-empty.
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages. One Loader shares a FileSet and
+// an importer cache across all packages it loads, so common dependencies
+// (internal/gui, internal/core, ...) are type-checked once.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// resolves import paths through go/build — module-aware via the go command,
+// so packages of this module and the standard library import without any
+// third-party machinery.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// newInfo allocates the full types.Info the passes consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadFiles parses the given files as one package and type-checks them.
+func (l *Loader) LoadFiles(dir, importPath string, filenames []string) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files for %s", importPath)
+	}
+	sort.Strings(filenames)
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset}
+	for _, name := range filenames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := newInfo()
+	tpkg, _ := conf.Check(importPath, l.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// LoadDir loads the non-test Go files of one directory as a package (the
+// analysistest entry point: testdata directories are invisible to the go
+// command, so they are loaded by path).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	return l.LoadFiles(dir, importPath, files)
+}
+
+// ParseFiles parses the named files as one package WITHOUT type-checking —
+// the entry point for single-file drivers (pjc -vet) that must lint a
+// source before it even compiles. Types and TypesInfo are left nil, so
+// RunPackage skips every RequiresTypes pass and the type-optional passes
+// (directivelint, waitgraph) fall back to their syntactic matching.
+func ParseFiles(filenames []string) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files")
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Path: "command-line-arguments", Fset: fset}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	return pkg, nil
+}
+
+// goListPackage is the subset of `go list -json` output the loader needs.
+type goListPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// LoadPatterns expands go-command package patterns (e.g. "./...") relative
+// to dir and loads every matched package. Only GoFiles are analyzed: test
+// files exercise deliberate violations (off-EDT mutation tests, blocking
+// drills) and would drown the signal.
+func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var m goListPackage
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.LoadFiles(m.Dir, m.ImportPath, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

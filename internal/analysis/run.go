@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression comment: a line comment of the form
+//
+//	//ompvet:ignore <pass> [reason]
+//
+// placed either on the same line as the offending code or on the line
+// directly above it. One ignore silences exactly one diagnostic of the
+// named pass; an ignore that silences nothing is itself reported (pass
+// "ompvet"), so the repo cannot accumulate dead ignores.
+const IgnorePrefix = "ompvet:ignore"
+
+// RunPackage runs the analyzers over pkg, applies //ompvet:ignore
+// suppression, and returns the surviving findings sorted by position.
+//
+// strict controls how an ignore naming a pass outside this run is treated:
+// the full multichecker (cmd/ompvet) passes true so a typo'd pass name is
+// reported; partial drivers (pjc -vet runs only two passes) pass false so
+// ignores aimed at the passes they don't run are left alone.
+func RunPackage(pkg *Package, analyzers []*Analyzer, strict bool) ([]Finding, error) {
+	var findings []Finding
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if a.RequiresTypes && pkg.TypesInfo == nil {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: pass %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			findings = append(findings, Finding{Pass: a.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	findings = applyIgnores(pkg, findings, ran, strict)
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}
+
+// ignore is one parsed //ompvet:ignore comment.
+type ignore struct {
+	pass string
+	file string
+	line int
+	pos  Finding // position info for the unused-ignore report
+}
+
+// applyIgnores removes, for each ignore comment, the first finding of the
+// named pass on the ignore's line or the line below. Unused ignores become
+// findings themselves.
+func applyIgnores(pkg *Package, findings []Finding, ran map[string]bool, strict bool) []Finding {
+	var ignores []ignore
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				p := pkg.Fset.Position(c.Pos())
+				ign := ignore{pass: name, file: p.Filename, line: p.Line,
+					pos: Finding{Pass: "ompvet", Pos: p}}
+				if name == "" {
+					ign.pos.Message = "ompvet:ignore requires a pass name"
+					findings = append(findings, ign.pos)
+					continue
+				}
+				if !ran[name] {
+					if strict {
+						ign.pos.Message = fmt.Sprintf("ompvet:ignore names unknown pass %q", name)
+						findings = append(findings, ign.pos)
+					}
+					continue
+				}
+				ignores = append(ignores, ign)
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return findings
+	}
+	// Match in position order so "exactly one diagnostic" is deterministic.
+	sortFindings(findings)
+	suppressed := make([]bool, len(findings))
+	for _, ign := range ignores {
+		used := false
+		for i, f := range findings {
+			if suppressed[i] || f.Pass != ign.pass || f.Pos.Filename != ign.file {
+				continue
+			}
+			if f.Pos.Line == ign.line || f.Pos.Line == ign.line+1 {
+				suppressed[i] = true
+				used = true
+				break
+			}
+		}
+		if !used {
+			ign.pos.Message = fmt.Sprintf("unused ompvet:ignore for pass %q (no diagnostic on this or the next line)", ign.pass)
+			findings = append(findings, ign.pos)
+		}
+	}
+	out := findings[:0]
+	for i, f := range findings {
+		if i < len(suppressed) && suppressed[i] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

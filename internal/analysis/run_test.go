@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSource drops one file into a temp dir and parses it (no types).
+func writeSource(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ParseFiles([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// reportCalls is a toy pass reporting every call expression by callee name.
+var reportCalls = &Analyzer{
+	Name: "callspy",
+	Doc:  "report every call (test helper)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						p.Reportf(call.Pos(), "call to %s", id.Name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func run(t *testing.T, pkg *Package, strict bool) []Finding {
+	t.Helper()
+	fs, err := RunPackage(pkg, []*Analyzer{reportCalls}, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestIgnoreSilencesExactlyOne(t *testing.T) {
+	pkg := writeSource(t, `package main
+
+func f()
+
+func main() {
+	f() //ompvet:ignore callspy demo
+	f()
+}
+`)
+	fs := run(t, pkg, true)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed call", fs)
+	}
+	if fs[0].Pos.Line != 7 {
+		t.Fatalf("surviving finding at line %d, want 7", fs[0].Pos.Line)
+	}
+}
+
+func TestIgnoreOnLineAbove(t *testing.T) {
+	pkg := writeSource(t, `package main
+
+func f()
+
+func main() {
+	//ompvet:ignore callspy the next line is fine
+	f()
+}
+`)
+	if fs := run(t, pkg, true); len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	pkg := writeSource(t, `package main
+
+//ompvet:ignore callspy nothing here
+
+func main() {}
+`)
+	fs := run(t, pkg, true)
+	if len(fs) != 1 || fs[0].Pass != "ompvet" || !strings.Contains(fs[0].Message, "unused") {
+		t.Fatalf("findings = %v, want one unused-ignore report", fs)
+	}
+}
+
+func TestUnknownPassStrictVsLenient(t *testing.T) {
+	const src = `package main
+
+//ompvet:ignore edtconfine aimed at a pass this driver does not run
+
+func main() {}
+`
+	pkg := writeSource(t, src)
+	if fs := run(t, pkg, false); len(fs) != 0 {
+		t.Fatalf("lenient findings = %v, want none", fs)
+	}
+	pkg = writeSource(t, src)
+	fs := run(t, pkg, true)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, `unknown pass "edtconfine"`) {
+		t.Fatalf("strict findings = %v, want one unknown-pass report", fs)
+	}
+}
+
+func TestFindingsSortedAndRendered(t *testing.T) {
+	pkg := writeSource(t, `package main
+
+func f()
+
+func main() { f(); f() }
+`)
+	fs := run(t, pkg, true)
+	if len(fs) != 2 || fs[0].Pos.Column >= fs[1].Pos.Column {
+		t.Fatalf("findings not in column order: %v", fs)
+	}
+	s := fs[0].String()
+	if !strings.HasSuffix(s, "call to f (callspy)") || !strings.Contains(s, "main.go:5:") {
+		t.Fatalf("Finding.String = %q", s)
+	}
+}
+
+func TestWalkStackStacksAndPruning(t *testing.T) {
+	pkg := writeSource(t, `package main
+
+func main() {
+	func() {
+		_ = 1
+	}()
+	_ = 2
+}
+`)
+	sawLitChild := false
+	WalkStack(pkg.Files[0], func(n ast.Node, stack []ast.Node) bool {
+		for _, a := range stack {
+			if _, ok := a.(*ast.FuncLit); ok {
+				sawLitChild = true
+			}
+		}
+		return true
+	})
+	if !sawLitChild {
+		t.Fatal("never saw a node with a FuncLit ancestor")
+	}
+
+	// Pruning a FuncLit must hide its body but keep traversal balanced.
+	visited := 0
+	WalkStack(pkg.Files[0], func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		for _, a := range stack {
+			if _, ok := a.(*ast.FuncLit); ok {
+				t.Fatal("visited a node inside a pruned subtree")
+			}
+		}
+		visited++
+		return true
+	})
+	if visited == 0 {
+		t.Fatal("pruned walk visited nothing")
+	}
+}
+
+func TestParseFilesErrors(t *testing.T) {
+	if _, err := ParseFiles(nil); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.go")
+	if err := os.WriteFile(path, []byte("package main\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFiles([]string{path}); err == nil {
+		t.Fatal("syntax error not surfaced")
+	}
+}

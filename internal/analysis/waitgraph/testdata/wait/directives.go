@@ -1,0 +1,28 @@
+package wait
+
+import "repro/internal/core"
+
+// directiveSelfWait seeds the same self-loop through //#omp comments: the
+// wait(chunks) directive executes inside the very block that name_as(chunks)
+// schedules on encoder.
+func directiveSelfWait(rt *core.Runtime) {
+	//#omp target virtual(encoder) name_as(chunks)
+	{
+		//#omp wait(chunks) // want `target "encoder" waits on tag "chunks" whose blocks are scheduled on "encoder" itself`
+		_ = rt
+	}
+}
+
+// directiveClean is the legitimate pipeline shape: compute waits on a tag
+// scheduled on a different target, and no target ever waits back.
+func directiveClean(rt *core.Runtime) {
+	//#omp target virtual(io) name_as(load)
+	{
+		_ = rt
+	}
+	//#omp target virtual(compute)
+	{
+		//#omp wait(load)
+		_ = rt
+	}
+}

@@ -1,0 +1,31 @@
+// Package wait seeds waitgraph violations: wait cycles between virtual
+// targets, self-waits, and waits on tags nothing defines.
+package wait
+
+import "repro/internal/core"
+
+// cycle: alpha's blocks wait on a tag scheduled on beta while beta's blocks
+// wait on a tag scheduled on alpha — both pools can park with nobody left
+// to run the tagged work.
+func cycle(rt *core.Runtime) {
+	rt.InvokeNamed("alpha", "tagA", func() {
+		rt.WaitTag("tagB") // want `potential deadlock: wait cycle among virtual targets`
+	})
+	rt.InvokeNamed("beta", "tagB", func() {
+		rt.WaitTag("tagA")
+	})
+}
+
+// selfLoop: a member of render's pool suspends waiting for work only that
+// same pool can run.
+func selfLoop(rt *core.Runtime) {
+	rt.InvokeNamed("render", "frame", func() {
+		rt.WaitTag("frame") // want `target "render" waits on tag "frame" whose blocks are scheduled on "render" itself`
+	})
+}
+
+// undefined: WaitTag on an unknown tag returns immediately — a silent no-op
+// that is almost certainly a typo.
+func undefined(rt *core.Runtime) {
+	rt.WaitTag("nosuch") // want `wait on tag "nosuch", but no name_as\(nosuch\) directive or InvokeNamed/TargetBlock site defines it`
+}

@@ -1,0 +1,499 @@
+// Package waitgraph implements the ompvet pass that builds the static
+// wait-for graph of a package and reports cycles — the deadlocks the
+// paper's Algorithm 1 cannot side-step. Thread-context awareness makes a
+// target block *self*-dispatch safe, and the await logical barrier keeps an
+// awaiting thread useful, but a plain wait(tag) is a suspension: if target
+// A's blocks wait on a tag scheduled on target B while B's blocks wait on a
+// tag scheduled on A, both pools can end up entirely parked in WaitTag with
+// nobody left to run the tagged blocks.
+//
+// Nodes are virtual-target names. The pass gathers:
+//
+//   - tag definitions: `//#omp target virtual(T) name_as(tag)` directives,
+//     Runtime.InvokeNamed(T, tag, ...) and pyjama.TargetBlock(T, NameAs,
+//     tag, ...) call sites with constant arguments;
+//   - waits: `//#omp wait(tag)` directives, Runtime.WaitTag/Wait and
+//     pyjama.WaitFor call sites, attributed to the innermost enclosing
+//     target block (directive block or dispatched function literal);
+//
+// and reports (1) wait cycles, including a target waiting on a tag
+// scheduled on itself, and (2) waits on tags no site ever defines —
+// Runtime.WaitTag returns immediately on an unknown tag, so such a wait is
+// a silent no-op and almost certainly a typo.
+//
+// The pass is purely syntactic (type information sharpens call-site
+// matching but is optional), so `pjc -vet` can run it on a single
+// un-type-checked file.
+package waitgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/directive"
+)
+
+// Analyzer is the waitgraph pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "waitgraph",
+	Doc:  "report cycles and undefined tags in the static name_as/wait dependency graph",
+	Run:  run,
+}
+
+// region is a source range whose statements execute on a named target.
+type region struct {
+	target     string
+	start, end token.Pos
+}
+
+// waitSite is one wait occurrence.
+type waitSite struct {
+	pos  token.Pos
+	tags []string
+}
+
+// edge is one wait-for dependency: from's blocks wait on a tag scheduled on
+// to.
+type edge struct {
+	from, to string
+	tag      string
+	pos      token.Pos
+}
+
+// graph accumulates the package-wide wait-for structure.
+type graph struct {
+	pass    *analysis.Pass
+	defines map[string]map[string]bool // tag -> defining targets
+	regions []region
+	waits   []waitSite
+}
+
+func run(pass *analysis.Pass) error {
+	g := &graph{pass: pass, defines: map[string]map[string]bool{}}
+	for _, f := range pass.Files {
+		g.collectDirectives(f)
+		g.collectCalls(f)
+	}
+	g.report()
+	return nil
+}
+
+// define records that tag's blocks are scheduled on target.
+func (g *graph) define(tag, target string) {
+	if tag == "" {
+		return
+	}
+	m := g.defines[tag]
+	if m == nil {
+		m = map[string]bool{}
+		g.defines[tag] = m
+	}
+	if target != "" {
+		m[target] = true
+	}
+}
+
+// --- directive comments --------------------------------------------------
+
+// collectDirectives parses //#omp comments, associating each target
+// directive with the block starting on the next line (the same binding rule
+// the pjc compiler uses).
+func (g *graph) collectDirectives(f *ast.File) {
+	type pending struct {
+		d   *directive.Directive
+		pos token.Pos
+	}
+	byLine := map[int]pending{}
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !directive.IsDirectiveComment(text) {
+				continue
+			}
+			d, err := directive.Parse(text)
+			if err != nil {
+				continue // directivelint's department
+			}
+			line := g.pass.Fset.Position(c.End()).Line
+			switch d.Kind {
+			case directive.KindTarget:
+				byLine[line] = pending{d: d, pos: c.Pos()}
+			case directive.KindWait:
+				if c := d.Clause(directive.ClauseWait); c != nil {
+					g.waits = append(g.waits, waitSite{pos: grp.Pos(), tags: append([]string(nil), c.Args...)})
+				}
+			}
+		}
+	}
+	if len(byLine) == 0 {
+		return
+	}
+	bind := func(list []ast.Stmt) {
+		for _, st := range list {
+			p, ok := byLine[g.pass.Fset.Position(st.Pos()).Line-1]
+			if !ok {
+				continue
+			}
+			name := p.d.TargetName()
+			if name == "" {
+				continue // device target: no virtual wait-for semantics
+			}
+			g.regions = append(g.regions, region{target: name, start: st.Pos(), end: st.End()})
+			if mode, tag := p.d.SchedulingMode(); mode == directive.ClauseNameAs {
+				g.define(tag, name)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			bind(v.List)
+		case *ast.CaseClause:
+			bind(v.Body)
+		case *ast.CommClause:
+			bind(v.Body)
+		}
+		return true
+	})
+}
+
+// --- call sites ----------------------------------------------------------
+
+// collectCalls records InvokeNamed/TargetBlock definitions, WaitTag/WaitFor
+// waits, and dispatched-literal regions.
+func (g *graph) collectCalls(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch name {
+		case "InvokeNamed":
+			if !g.isRuntimeMethod(call, "InvokeNamed") {
+				return true
+			}
+			target, ok1 := g.stringArg(call, 0)
+			tag, ok2 := g.stringArg(call, 1)
+			if ok1 && ok2 {
+				g.define(tag, target)
+				g.litRegion(call, 2, target)
+			}
+		case "Invoke":
+			if !g.isRuntimeMethod(call, "Invoke") {
+				return true
+			}
+			if target, ok := g.stringArg(call, 0); ok {
+				g.litRegion(call, 2, target)
+			}
+		case "TargetBlock", "TargetBlockIf":
+			if !g.isPyjamaFunc(call, name) {
+				return true
+			}
+			base := 0
+			if name == "TargetBlockIf" {
+				base = 1
+			}
+			target, ok1 := g.stringArg(call, base)
+			if !ok1 {
+				return true
+			}
+			g.litRegion(call, base+3, target)
+			if g.isNameAsMode(call.Args[base+1]) {
+				if tag, ok := g.stringArg(call, base+2); ok {
+					g.define(tag, target)
+				}
+			}
+		case "WaitTag":
+			if !g.isRuntimeMethod(call, "WaitTag") {
+				return true
+			}
+			if tag, ok := g.stringArg(call, 0); ok {
+				g.waits = append(g.waits, waitSite{pos: call.Pos(), tags: []string{tag}})
+			}
+		case "WaitFor", "Wait":
+			if name == "WaitFor" && !g.isPyjamaFunc(call, "WaitFor") {
+				return true
+			}
+			if name == "Wait" && !g.isRuntimeMethodStrict(call, "Wait") {
+				// ".Wait" is too common (WaitGroup, Completion) to match
+				// without type information.
+				return true
+			}
+			var tags []string
+			for i := range call.Args {
+				if tag, ok := g.stringArg(call, i); ok {
+					tags = append(tags, tag)
+				}
+			}
+			if len(tags) > 0 {
+				g.waits = append(g.waits, waitSite{pos: call.Pos(), tags: tags})
+			}
+		}
+		return true
+	})
+}
+
+// litRegion records the function-literal argument of a dispatch call as a
+// region executing on target.
+func (g *graph) litRegion(call *ast.CallExpr, argIndex int, target string) {
+	if argIndex >= len(call.Args) {
+		return
+	}
+	if lit, ok := call.Args[argIndex].(*ast.FuncLit); ok {
+		g.regions = append(g.regions, region{target: target, start: lit.Pos(), end: lit.End()})
+	}
+}
+
+// calleeName returns the bare selector/identifier name of the called
+// function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isRuntimeMethod checks (when types are available) that the call's
+// receiver is *core.Runtime; without types any selector of that name
+// matches.
+func (g *graph) isRuntimeMethod(call *ast.CallExpr, name string) bool {
+	if g.pass.TypesInfo == nil {
+		_, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return isSel
+	}
+	return g.isRuntimeMethodStrict(call, name)
+}
+
+// isRuntimeMethodStrict requires type information and a *core.Runtime
+// receiver.
+func (g *graph) isRuntimeMethodStrict(call *ast.CallExpr, name string) bool {
+	if g.pass.TypesInfo == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := g.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Name() == name && recvIsRuntime(fn)
+}
+
+// recvIsRuntime reports whether fn's receiver is (*)core.Runtime.
+func recvIsRuntime(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Runtime" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/core"
+}
+
+// isPyjamaFunc checks (when types are available) that a call resolves to
+// the pyjama facade; without types the bare name is accepted.
+func (g *graph) isPyjamaFunc(call *ast.CallExpr, name string) bool {
+	if g.pass.TypesInfo == nil {
+		return true
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, _ := g.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == "repro/internal/pyjama"
+}
+
+// isNameAsMode reports whether the mode argument is the NameAs constant —
+// by value when types are available, by spelling otherwise.
+func (g *graph) isNameAsMode(arg ast.Expr) bool {
+	if g.pass.TypesInfo != nil {
+		if tv, ok := g.pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			v, _ := constant.Int64Val(tv.Value)
+			return v == 2 // core.NameAs
+		}
+		return false
+	}
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		return e.Name == "NameAs"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "NameAs"
+	}
+	return false
+}
+
+// stringArg extracts a constant string argument: through the type checker
+// when available, or a string literal otherwise.
+func (g *graph) stringArg(call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	arg := call.Args[i]
+	if g.pass.TypesInfo != nil {
+		if tv, ok := g.pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+		return "", false
+	}
+	if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// --- reporting -----------------------------------------------------------
+
+// enclosingTarget returns the innermost region containing pos ("" when the
+// wait happens outside any target block — the encountering thread is then
+// an application goroutine, which may suspend freely).
+func (g *graph) enclosingTarget(pos token.Pos) string {
+	best := ""
+	bestSize := token.Pos(-1)
+	for _, r := range g.regions {
+		if r.start <= pos && pos < r.end {
+			if size := r.end - r.start; bestSize < 0 || size < bestSize {
+				best, bestSize = r.target, size
+			}
+		}
+	}
+	return best
+}
+
+func (g *graph) report() {
+	var edges []edge
+	for _, w := range g.waits {
+		from := g.enclosingTarget(w.pos)
+		for _, tag := range w.tags {
+			defs := g.defines[tag]
+			if len(defs) == 0 {
+				g.pass.Reportf(w.pos,
+					"wait on tag %q, but no name_as(%s) directive or InvokeNamed/TargetBlock site defines it; the wait is a silent no-op",
+					tag, tag)
+				continue
+			}
+			if from == "" {
+				continue
+			}
+			for to := range defs {
+				edges = append(edges, edge{from: from, to: to, tag: tag, pos: w.pos})
+			}
+		}
+	}
+	reportCycles(g.pass, edges)
+}
+
+// reportCycles finds every elementary cycle reachable in the edge set and
+// reports each once, at the position of its lexically first wait.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := map[string][]edge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	seen := map[string]bool{} // canonical cycle key -> reported
+	var path []edge
+	onPath := map[string]bool{}
+	var dfs func(string)
+	dfs = func(n string) {
+		onPath[n] = true
+		for _, e := range adj[n] {
+			if onPath[e.to] {
+				// Unwind to the start of the cycle.
+				start := 0
+				for i, pe := range path {
+					if pe.from == e.to {
+						start = i
+						break
+					}
+				}
+				cycle := append(append([]edge(nil), path[start:]...), e)
+				if e.to == n {
+					cycle = []edge{e} // self-loop
+				}
+				key := cycleKey(cycle)
+				if !seen[key] {
+					seen[key] = true
+					reportCycle(pass, cycle)
+				}
+				continue
+			}
+			path = append(path, e)
+			dfs(e.to)
+			path = path[:len(path)-1]
+		}
+		onPath[n] = false
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+}
+
+// cycleKey canonicalizes a cycle (rotation-invariant) for deduplication.
+func cycleKey(cycle []edge) string {
+	parts := make([]string, len(cycle))
+	for i, e := range cycle {
+		parts[i] = e.from + "→" + e.to + ":" + e.tag
+	}
+	// Rotate so the smallest part comes first.
+	min := 0
+	for i := range parts {
+		if parts[i] < parts[min] {
+			min = i
+		}
+	}
+	return strings.Join(append(parts[min:], parts[:min]...), ";")
+}
+
+func reportCycle(pass *analysis.Pass, cycle []edge) {
+	first := cycle[0]
+	for _, e := range cycle[1:] {
+		if e.pos < first.pos {
+			first = e
+		}
+	}
+	if len(cycle) == 1 && cycle[0].from == cycle[0].to {
+		e := cycle[0]
+		pass.Reportf(e.pos,
+			"target %q waits on tag %q whose blocks are scheduled on %q itself: WaitTag suspends a member of the very pool that must run them (deadlock when the pool saturates; use await instead)",
+			e.from, e.tag, e.to)
+		return
+	}
+	var b strings.Builder
+	for i, e := range cycle {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s waits on %q (tag %q)", e.from, e.to, e.tag)
+	}
+	pass.Reportf(first.pos, "potential deadlock: wait cycle among virtual targets: %s", b.String())
+}

@@ -1,0 +1,12 @@
+package waitgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waitgraph"
+)
+
+func TestWaitgraph(t *testing.T) {
+	analysistest.Run(t, waitgraph.Analyzer, "testdata/wait")
+}

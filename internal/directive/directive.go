@@ -324,13 +324,17 @@ func (d *Directive) Validate() error {
 		}
 		seen[c.Kind]++
 	}
-	for k, n := range seen {
-		// wait, shared, private, firstprivate, map may repeat; others may not.
-		switch k {
+	// Report duplicates in the deterministic order clauses were written.
+	// wait, shared, private, firstprivate, map may repeat; others may not.
+	reported := map[ClauseKind]bool{}
+	for _, c := range d.Clauses {
+		switch c.Kind {
 		case ClauseWait, ClauseShared, ClausePrivate, ClauseFirstprivate, ClauseMap:
 		default:
-			if n > 1 {
-				return fmt.Errorf("directive: clause %q given %d times", k, n)
+			if seen[c.Kind] > 1 && !reported[c.Kind] {
+				reported[c.Kind] = true
+				return fmt.Errorf("directive: duplicate clause %q (written %d times; it may appear at most once on a %q directive)",
+					c.Kind, seen[c.Kind], d.Kind)
 			}
 		}
 	}
@@ -338,9 +342,21 @@ func (d *Directive) Validate() error {
 		if seen[ClauseDevice] > 0 && seen[ClauseVirtual] > 0 {
 			return fmt.Errorf("directive: target has both device and virtual clauses")
 		}
-		sched := seen[ClauseNowait] + seen[ClauseNameAs] + seen[ClauseAwait]
-		if sched > 1 {
-			return fmt.Errorf("directive: target has %d scheduling-property clauses, at most 1 allowed", sched)
+		// At most one scheduling-property clause (Figure 5): name the exact
+		// conflicting pair, the way a reader wrote them.
+		var sched []ClauseKind
+		for _, k := range []ClauseKind{ClauseNowait, ClauseNameAs, ClauseAwait} {
+			if seen[k] > 0 {
+				sched = append(sched, k)
+			}
+		}
+		if len(sched) > 1 {
+			names := make([]string, len(sched))
+			for i, k := range sched {
+				names[i] = fmt.Sprintf("%q", k.String())
+			}
+			return fmt.Errorf("directive: conflicting scheduling clauses %s on one target: a block is either fire-and-forget (nowait), tagged for a later wait (name_as), or awaited in the logical barrier (await) — pick one",
+				strings.Join(names, " and "))
 		}
 		// Data mapping is an accelerator concept; a virtual target shares
 		// host memory, so map clauses are meaningless there (Section III.B,

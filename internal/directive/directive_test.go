@@ -133,6 +133,74 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestSchedulingConflictMessages pins the hardened Validate errors: a
+// conflicting pair is named exactly, and a duplicated clause reports its
+// count, so directivelint diagnostics read like a human explanation.
+func TestSchedulingConflictMessages(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"#omp target virtual(w) nowait await",
+			`conflicting scheduling clauses "nowait" and "await"`},
+		{"#omp target virtual(w) name_as(t) await",
+			`conflicting scheduling clauses "name_as" and "await"`},
+		{"#omp target virtual(w) nowait name_as(t)",
+			`conflicting scheduling clauses "nowait" and "name_as"`},
+		{"#omp target virtual(w) nowait name_as(t) await",
+			`conflicting scheduling clauses "nowait" and "name_as" and "await"`},
+		{"#omp target virtual(a) virtual(b)",
+			`duplicate clause "virtual" (written 2 times`},
+		{"#omp target virtual(w) await await await",
+			`duplicate clause "await" (written 3 times`},
+		{"#omp parallel num_threads(2) num_threads(3)",
+			`duplicate clause "num_threads"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want it to contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestTrailingCommentStripped checks the C-pragma convention: a directive
+// line may carry a trailing // comment, cut only outside parentheses.
+func TestTrailingCommentStripped(t *testing.T) {
+	d, err := Parse("//#omp target virtual(worker) name_as(job) // schedule the render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetName() != "worker" {
+		t.Fatalf("TargetName = %q, want worker", d.TargetName())
+	}
+	if mode, tag := d.SchedulingMode(); mode != ClauseNameAs || tag != "job" {
+		t.Fatalf("SchedulingMode = %v %q, want name_as job", mode, tag)
+	}
+	if strings.Contains(d.Raw, "schedule the render") {
+		t.Fatalf("Raw %q still carries the trailing comment", d.Raw)
+	}
+
+	// Inside parentheses "//" is clause text, not a comment.
+	d, err = Parse("#omp target virtual(worker) if(a // b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Clause(ClauseIf); c == nil || c.Args[0] != "a // b" {
+		t.Fatalf("if clause = %+v, want args [a // b]", c)
+	}
+
+	// A line that is only a trailing comment after the prefix is an error
+	// (no directive name survives the strip).
+	if _, err := Parse("#omp // nothing here"); err == nil {
+		t.Fatal("comment-only directive accepted")
+	}
+}
+
 func TestIsDirectiveComment(t *testing.T) {
 	if !IsDirectiveComment("#omp target virtual(w)") {
 		t.Fatal("plain prefix not detected")

@@ -23,6 +23,7 @@ func Parse(text string) (*Directive, error) {
 		return nil, fmt.Errorf("directive: missing %q prefix in %q", Prefix, text)
 	}
 	s = strings.TrimSpace(strings.TrimPrefix(s, Prefix))
+	s = stripTrailingComment(s)
 	p := &parser{src: s}
 	d, err := p.parse()
 	if err != nil {
@@ -33,6 +34,30 @@ func Parse(text string) (*Directive, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// stripTrailingComment cuts an embedded trailing comment off a directive
+// line — `//#omp wait(frames) // joins the renders` — matching C, where a
+// #pragma line may carry a trailing comment. The cut happens only outside
+// parentheses so clause arguments containing "//" (e.g. an if() expression
+// with a division-ish string) survive.
+func stripTrailingComment(s string) string {
+	depth := 0
+	for i := 0; i+1 < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case '/':
+			if depth == 0 && s[i+1] == '/' {
+				return strings.TrimSpace(s[:i])
+			}
+		}
+	}
+	return s
 }
 
 // parser is a hand-written scanner/parser over one directive line.

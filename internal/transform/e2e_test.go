@@ -168,3 +168,74 @@ func TestAnnotatedExampleEquivalence(t *testing.T) {
 			strings.Join(seqOut, "\n"), strings.Join(pjOut, "\n"))
 	}
 }
+
+// TestPjcVetFlag runs the real pjc binary with -vet: a file carrying a
+// clause conflict and a static self-wait must stop translation with a
+// non-zero exit, and a clean file must translate as usual.
+func TestPjcVetFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	root := repoRoot(t)
+	dir, err := os.MkdirTemp(root, "pjc-vet-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	bad := filepath.Join(dir, "bad.go")
+	const badSrc = `package main
+
+func main() {
+	//#omp target virtual(render) name_as(frame)
+	{
+		//#omp wait(frame)
+	}
+	//#omp target virtual(edt) nowait await
+	{
+	}
+}
+`
+	if err := os.WriteFile(bad, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/pjc", "-vet", bad)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("pjc -vet accepted a file with vet findings:\n%s", out)
+	}
+	for _, want := range []string{
+		"conflicting scheduling clauses",
+		`scheduled on "render" itself`,
+		"not translating",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("pjc -vet output missing %q:\n%s", want, out)
+		}
+	}
+
+	good := filepath.Join(dir, "good.go")
+	const goodSrc = `package main
+
+func main() {
+	//#omp target virtual(worker) name_as(job)
+	{
+		println("work")
+	}
+	//#omp wait(job)
+}
+`
+	if err := os.WriteFile(good, []byte(goodSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command("go", "run", "./cmd/pjc", "-vet", good)
+	cmd.Dir = root
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("pjc -vet rejected a clean file: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "pyjama.TargetBlock") {
+		t.Fatalf("clean file was not translated:\n%s", out)
+	}
+}
