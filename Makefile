@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet chaos cover bench bench-baseline bench-smoke report examples lint ci clean
+.PHONY: all build test race vet chaos cover fuzz bench bench-baseline bench-smoke report examples lint ci clean
 
 all: build test race
 
@@ -39,8 +39,22 @@ lint:
 # ci runs exactly what .github/workflows/ci.yml runs.
 ci: build lint test race
 
+# cover enforces the coverage floor CI gates on: the seed baseline is
+# ~84.8% over ./internal/..., the gate trips below COVER_MIN so genuine
+# coverage regressions fail while normal churn doesn't.
+COVER_MIN ?= 80.0
 cover:
-	$(GO) test -cover ./internal/...
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor" >&2; exit 1; }
+
+# fuzz runs the directive-parser fuzzer live; the committed seed corpus
+# under internal/directive/testdata/fuzz/ replays in every normal `go test`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/directive/
 
 # bench runs the scheduler benchmark suite and writes BENCH_sched.json: the
 # fresh numbers merged with the pinned pre-overhaul baseline in

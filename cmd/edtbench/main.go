@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/evaluation"
 	"repro/internal/kernels"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -38,8 +39,15 @@ func main() {
 		pattern      = flag.String("pattern", "constant", "arrival pattern: constant|poisson|burst")
 		timeout      = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		figure1      = flag.Bool("figure1", false, "print the Figure 1 timelines (single- vs multi-threaded event processing) and exit")
+		traceOut     = flag.String("trace", "", "capture causal spans and write a Chrome/Perfetto trace-event JSON file here")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		buf := trace.NewBuffer(1 << 18)
+		trace.SetGlobal(buf)
+		defer writeTrace(*traceOut, buf)
+	}
 
 	if *figure1 {
 		printFigure1()
@@ -116,6 +124,24 @@ func printFigure1() {
 		fail(err)
 	}
 	fmt.Print(evaluation.RenderTimeline(recs, 60))
+}
+
+// writeTrace exports the captured span ring as trace-event JSON (open at
+// https://ui.perfetto.dev) with a one-line summary on stderr.
+func writeTrace(path string, buf *trace.Buffer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edtbench: trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.ExportTraceEventBuffer(f, buf); err != nil {
+		fmt.Fprintf(os.Stderr, "edtbench: trace export: %v\n", err)
+		return
+	}
+	tree := trace.BuildTree(buf.Snapshot())
+	fmt.Fprintf(os.Stderr, "edtbench: wrote %d events (%d spans, depth %d, %d overwritten) to %s — open at https://ui.perfetto.dev\n",
+		buf.Len(), len(tree.ByID), tree.Depth(), buf.Overwritten(), path)
 }
 
 func joinApproaches(as []evaluation.Approach) string {

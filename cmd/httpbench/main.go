@@ -34,6 +34,7 @@ import (
 	"repro/internal/evaluation"
 	"repro/internal/httpserver"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -62,8 +63,18 @@ func main() {
 		chRate     = flag.Float64("chaos-rate", 0.1, "probability a task kills its worker")
 		chKills    = flag.Int("chaos-kills", 20, "cap on injected kills per series")
 		chTimeout  = flag.Duration("chaos-timeout", 2*time.Second, "client timeout (bounds each wedged request)")
+
+		traceOut = flag.String("trace", "", "capture causal spans and write a Chrome/Perfetto trace-event JSON file here")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		// The span ring sits under the servers' own metrics sinks (they
+		// chain to it), so one capture spans every series of the run.
+		buf := trace.NewBuffer(1 << 18)
+		trace.SetGlobal(buf)
+		defer writeTrace(*traceOut, buf)
+	}
 
 	if *overload {
 		runOverload(*olCapacity, *olUsers, *olReqs, *kbytes*1024, *olQueue, *olTimeout, *olCoDel)
@@ -279,6 +290,24 @@ func runChaos(capacity, users, reqs, kernelBytes int, rate float64, kills int, t
 	fmt.Printf("wedge until the client gives up, and the watchdog reports the stall. With\n")
 	fmt.Printf("supervision each death is repaired within the restart budget and the same\n")
 	fmt.Printf("schedule ends with the drill served and /healthz back to ok.\n")
+}
+
+// writeTrace exports the captured span ring as trace-event JSON (open at
+// https://ui.perfetto.dev) and prints a one-line capture summary to stderr.
+func writeTrace(path string, buf *trace.Buffer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httpbench: trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.ExportTraceEventBuffer(f, buf); err != nil {
+		fmt.Fprintf(os.Stderr, "httpbench: trace export: %v\n", err)
+		return
+	}
+	tree := trace.BuildTree(buf.Snapshot())
+	fmt.Fprintf(os.Stderr, "httpbench: wrote %d events (%d spans, depth %d, %d overwritten) to %s — open at https://ui.perfetto.dev\n",
+		buf.Len(), len(tree.ByID), tree.Depth(), buf.Overwritten(), path)
 }
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

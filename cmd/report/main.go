@@ -16,10 +16,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/evaluation"
+	"repro/internal/gid"
 	"repro/internal/httpserver"
 	"repro/internal/kernels"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -71,6 +74,7 @@ func main() {
 	figures78(sc)
 	figure9(sc)
 	evalC(sc)
+	spanTrees()
 }
 
 func figure1() {
@@ -186,6 +190,49 @@ func evalC(sc scaleCfg) {
 			res.RoundTrip.P90.Round(time.Microsecond),
 			res.DispatchBusy.Mean.Round(time.Microsecond))
 	}
+}
+
+// spanTrees demonstrates the causal-span tracer: a small two-target scenario
+// (nested invoke, inline fast path, await barrier with helping) is captured
+// into a trace ring and rendered as the reconstructed span tree plus its
+// aggregate summary — the same data `httpbench -trace` exports for Perfetto.
+func spanTrees() {
+	fmt.Println("\n## Extension — causal span trace of one dispatch chain")
+	buf := trace.NewBuffer(4096)
+	defer trace.Use(buf)()
+
+	var reg gid.Registry
+	rt := core.NewRuntime(&reg)
+	defer rt.Shutdown()
+	alpha, err := rt.CreateWorker("alpha", 1)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := rt.CreateWorker("beta", 2); err != nil {
+		fail(err)
+	}
+
+	_, err = rt.Invoke("alpha", core.Wait, func() {
+		// Inline fast path: we are already on alpha.
+		_, _ = rt.Invoke("alpha", core.Wait, func() {}) //ompvet:ignore blockguard same-target wait is the Algorithm 1 inline fast path, it cannot block
+		// Await barrier: help a queued alpha task while beta computes.
+		helped := make(chan struct{})
+		go func() { alpha.Post(func() { close(helped) }) }()
+		_, _ = rt.Invoke("beta", core.Await, func() {
+			<-helped
+			time.Sleep(2 * time.Millisecond)
+		})
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	tree := trace.BuildTree(buf.Snapshot())
+	fmt.Printf("\n```\n%s```\n", tree.String())
+	fmt.Printf("\n```\n%s```\n", tree.Summarize())
+	fmt.Println("\nCapture the same data from a live run with `httpbench -trace out.json`")
+	fmt.Println("and open it at https://ui.perfetto.dev; scrape per-target histograms from")
+	fmt.Println("the server's `/metrics` endpoint in Prometheus text format.")
 }
 
 func fail(err error) {

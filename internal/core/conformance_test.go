@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/eventloop"
+	"repro/internal/gid"
+	"repro/internal/trace"
+)
+
+// TestScheduleConformance is the Algorithm 1 conformance table: every
+// scheduling mode (wait, nowait, name_as, await) crossed with every caller
+// context the paper distinguishes — the target's own EDT thread, a member of
+// the target's worker pool, a worker of a *different* pool, and a plain
+// unregistered goroutine. Each cell asserts the inline-vs-post decision and
+// the mode's barrier behaviour from the reconstructed span tree, not from
+// timing: the trace ring records OpInline/OpPost/OpWait/OpAwait* on the
+// invoke span, and the run span's goroutine id proves where the block ran.
+func TestScheduleConformance(t *testing.T) {
+	type confCase struct {
+		caller     string // who encounters the directive
+		target     string // which virtual target it names
+		wantInline bool   // Algorithm 1 lines 6-7 vs line 8
+	}
+	contexts := []confCase{
+		{caller: "unregistered", target: "pool", wantInline: false},
+		{caller: "unregistered", target: "edt", wantInline: false},
+		{caller: "edt-thread", target: "pool", wantInline: false},
+		{caller: "edt-thread", target: "edt", wantInline: true},
+		{caller: "pool-member", target: "pool", wantInline: true},
+		{caller: "sibling-worker", target: "pool", wantInline: false},
+	}
+	modes := []Mode{Wait, Nowait, NameAs, Await}
+
+	for _, mode := range modes {
+		for _, cc := range contexts {
+			cc, mode := cc, mode
+			t.Run(fmt.Sprintf("%s/%s->%s", mode, cc.caller, cc.target), func(t *testing.T) {
+				buf := trace.NewBuffer(4096)
+				defer trace.Use(buf)()
+
+				var reg gid.Registry
+				rt := NewRuntime(&reg)
+				defer rt.Shutdown()
+				pool, err := rt.CreateWorker("pool", 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src, err := rt.CreateWorker("src", 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				loop := eventloop.New("edt", &reg)
+				loop.Start()
+				defer loop.Stop()
+				if err := rt.RegisterEDT("edt", loop); err != nil {
+					t.Fatal(err)
+				}
+
+				// The block waits for release so an awaited posted block is
+				// provably unfinished when the encountering thread reaches
+				// the barrier. Only the cells that must observe the barrier
+				// gate the release on the OpAwaitEnter event; everywhere
+				// else it is pre-closed (an inline block runs on the
+				// encountering goroutine and must not wait for anyone).
+				wantBarrier := mode == Await && !cc.wantInline && cc.caller != "unregistered"
+				release := make(chan struct{})
+				if wantBarrier {
+					go func() {
+						deadline := time.Now().Add(5 * time.Second)
+						for buf.CountOp(trace.OpAwaitEnter) == 0 && time.Now().Before(deadline) {
+							time.Sleep(100 * time.Microsecond)
+						}
+						close(release)
+					}()
+				} else {
+					close(release)
+				}
+				block := func() { <-release }
+
+				// doInvoke runs the directive under test and joins it, so
+				// that by the time it returns the whole span tree is closed.
+				errc := make(chan error, 1)
+				doInvoke := func() {
+					switch mode {
+					case NameAs:
+						if _, err := rt.InvokeNamed(cc.target, "conf", block); err != nil {
+							errc <- err
+							return
+						}
+						errc <- rt.WaitTag("conf")
+					case Nowait:
+						comp, err := rt.Invoke(cc.target, Nowait, block)
+						if err != nil {
+							errc <- err
+							return
+						}
+						comp.Wait()
+						errc <- comp.Err()
+					default: // Wait, Await both join before returning.
+						_, err := rt.Invoke(cc.target, mode, block)
+						errc <- err
+					}
+				}
+
+				// Run doInvoke in the encountering context. Contexts other
+				// than "unregistered" reach it via a bare executor post so
+				// the wrapper leaves no invoke events of its own in the ring.
+				switch cc.caller {
+				case "unregistered":
+					doInvoke()
+				case "edt-thread":
+					loop.Post(doInvoke).Wait()
+				case "pool-member":
+					pool.Post(doInvoke).Wait()
+				case "sibling-worker":
+					src.Post(doInvoke).Wait()
+				default:
+					t.Fatalf("unknown caller context %q", cc.caller)
+				}
+				if err := <-errc; err != nil {
+					t.Fatalf("invoke: %v", err)
+				}
+
+				tree := trace.BuildTree(buf.Snapshot())
+				node := findInvokeSpan(t, tree, cc.target, mode)
+
+				// The scheduling decision (Algorithm 1 lines 6-8).
+				if cc.wantInline {
+					if !node.HasOp(trace.OpInline) {
+						t.Errorf("want inline execution, ops missing OpInline:\n%s", tree.String())
+					}
+					if node.HasOp(trace.OpPost) {
+						t.Errorf("inline cell must not post:\n%s", tree.String())
+					}
+					if run := node.Child("run", cc.target); run != nil {
+						t.Errorf("inline cell produced a run span on %q:\n%s", cc.target, tree.String())
+					}
+				} else {
+					if !node.HasOp(trace.OpPost) {
+						t.Errorf("want posted execution, ops missing OpPost:\n%s", tree.String())
+					}
+					if node.HasOp(trace.OpInline) {
+						t.Errorf("posted cell must not inline:\n%s", tree.String())
+					}
+					run := node.Child("run", cc.target)
+					if run == nil {
+						t.Fatalf("posted block's run span not parented to invoke:\n%s", tree.String())
+					}
+					if run.Gid == node.Gid {
+						t.Errorf("posted block ran on the encountering goroutine %d:\n%s", node.Gid, tree.String())
+					}
+					if run.Enqueued.IsZero() || run.QueueDelay() < 0 {
+						t.Errorf("posted run span lacks a sane enqueue timestamp: enq=%v delay=%v",
+							run.Enqueued, run.QueueDelay())
+					}
+				}
+
+				// Mode-specific barrier semantics.
+				switch mode {
+				case Wait:
+					if !node.HasOp(trace.OpWait) {
+						t.Errorf("wait mode must record the blocking join:\n%s", tree.String())
+					}
+				case Await:
+					if wantBarrier {
+						if !node.HasOp(trace.OpAwaitEnter) || !node.HasOp(trace.OpAwaitExit) {
+							t.Errorf("await from a registered context must enter and exit the logical barrier:\n%s", tree.String())
+						}
+					} else if node.HasOp(trace.OpAwaitEnter) {
+						// Inline execution finished before the barrier; an
+						// unregistered goroutine has no executor to help.
+						t.Errorf("await cell must skip the helping barrier:\n%s", tree.String())
+					}
+				}
+			})
+		}
+	}
+}
+
+// findInvokeSpan locates the single invoke span for the directive under
+// test: the span on target whose annotations carry an OpInvoke with the
+// tested mode spelling.
+func findInvokeSpan(t *testing.T, tree *trace.Tree, target string, mode Mode) *trace.SpanNode {
+	t.Helper()
+	var match *trace.SpanNode
+	for _, n := range tree.FindAll("invoke", target) {
+		for _, ev := range n.Events {
+			if ev.Op == trace.OpInvoke && ev.Mode == mode.String() {
+				if match != nil {
+					t.Fatalf("two invoke spans match %s on %q:\n%s", mode, target, tree.String())
+				}
+				match = n
+			}
+		}
+	}
+	if match == nil {
+		t.Fatalf("no invoke span for mode %s on target %q:\n%s", mode, target, tree.String())
+	}
+	return match
+}

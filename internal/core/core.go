@@ -319,6 +319,19 @@ func (r *Runtime) invoke(target string, mode Mode, tag string, block func()) (*e
 	if err != nil {
 		return nil, err
 	}
+	if sink := r.traceSink(); sink != nil {
+		// Open an "invoke" span covering this whole scheduling decision and
+		// make it the goroutine's current span: the executor's enqueue path
+		// reads it as the spawn parent, so the block's eventual run span —
+		// inline, posted, or helped inside an await barrier — links back here.
+		span := trace.NewSpanID()
+		prev := trace.Swap(span)
+		trace.BeginSpanID(sink, span, "invoke", e.Name(), prev)
+		defer func() {
+			trace.Swap(prev)
+			trace.EndSpan(sink, span, "invoke", e.Name())
+		}()
+	}
 	r.emit(trace.OpInvoke, e.Name(), mode)
 
 	var comp *executor.Completion
@@ -542,13 +555,24 @@ func (r *Runtime) SetTraceSink(s trace.Sink) {
 	r.sink.Store(&s)
 }
 
-// emit records a trace event if a sink is installed.
+// traceSink returns the sink scheduling events should go to: the runtime's
+// own sink when one is installed (SetTraceSink), otherwise the process-global
+// sink (trace.SetGlobal), otherwise nil.
+func (r *Runtime) traceSink() trace.Sink {
+	if p := r.sink.Load(); p != nil {
+		return *p
+	}
+	return trace.ActiveSink()
+}
+
+// emit records a trace event if a sink is installed, tagged with the calling
+// goroutine's current span so scheduling decisions attach to span trees.
 func (r *Runtime) emit(op trace.Op, target string, mode Mode) {
-	p := r.sink.Load()
-	if p == nil {
+	s := r.traceSink()
+	if s == nil {
 		return
 	}
-	(*p).Record(trace.Event{Op: op, Target: target, Mode: mode.String(), Gid: uint64(gid.Current())})
+	s.Record(trace.Event{Op: op, Target: target, Mode: mode.String(), Gid: uint64(gid.Current()), Span: trace.Current()})
 }
 
 // PoolStats returns per-target executor statistics for every registered

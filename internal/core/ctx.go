@@ -56,6 +56,17 @@ func (r *Runtime) InvokeCtx(ctx context.Context, target string, mode Mode, block
 	if err != nil {
 		return nil, err
 	}
+	if sink := r.traceSink(); sink != nil {
+		// Same span bracket as invoke (see core.go): the block's run span
+		// parents here even when the watcher goroutine mediates completion.
+		span := trace.NewSpanID()
+		prev := trace.Swap(span)
+		trace.BeginSpanID(sink, span, "invoke", e.Name(), prev)
+		defer func() {
+			trace.Swap(prev)
+			trace.EndSpan(sink, span, "invoke", e.Name())
+		}()
+	}
 	r.emit(trace.OpInvoke, e.Name(), mode)
 
 	var comp *executor.Completion

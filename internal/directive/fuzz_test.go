@@ -1,0 +1,104 @@
+package directive
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary comment text through the directive parser and
+// checks its structural invariants: no panics; a successful parse yields a
+// directive that re-validates, whose accessors are total, and whose
+// canonical String() form round-trips through Parse to a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The tutorial's and transformer testdata's directive vocabulary.
+		"//#omp target virtual(worker) nowait",
+		"//#omp target virtual(worker) name_as(render) firstprivate(i)",
+		"//#omp wait(render)",
+		"//#omp target virtual(worker) await",
+		"//#omp target virtual(edt)",
+		"//#omp parallel num_threads(4)",
+		"//#omp for schedule(dynamic, 8) nowait",
+		"//#omp parallel for num_threads(4) schedule(dynamic, 1)",
+		"//#omp parallel for num_threads(2) schedule(static)",
+		"//#omp parallel sections",
+		"//#omp barrier",
+		"//#omp single nowait",
+		"//#omp critical(tail)",
+		"//#omp master",
+		"//#omp target virtual(worker) name_as(flush)",
+		"//#omp wait(flush, render)",
+		"//#omp target device(0) map(to: a, b) map(from: c)",
+		"//#omp target data map(tofrom: buf)",
+		"//#omp target update map(to: x)",
+		"//#omp task if(len(q) > 0) firstprivate(q)",
+		"//#omp taskwait",
+		"//#omp sections nowait",
+		"//#omp section",
+		"//#omp target virtual(worker) if(f(x, y) > 0) // trailing comment",
+		"#omp target virtual(worker), nowait",
+		// Malformed inputs the parser must reject without panicking.
+		"//#omp target virtual(worker) nowait await",
+		"//#omp unknown thing",
+		"//#omp critical(a, b)",
+		"//#omp wait()",
+		"#omp target virtual(",
+		"#omp target device(0) virtual(w)",
+		"#omp",
+		"",
+		"not a directive",
+		"//#omp target nowait nowait",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		_ = IsDirectiveComment(text)
+		d, err := Parse(text)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("Parse(%q) returned both a directive and an error %v", text, err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatalf("Parse(%q) returned nil, nil", text)
+		}
+		if d.Kind == KindInvalid {
+			t.Fatalf("Parse(%q) accepted an invalid kind", text)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a directive its own Validate rejects: %v", text, err)
+		}
+		// Accessors are total on a validated directive.
+		_ = d.TargetName()
+		_, _ = d.SchedulingMode()
+		for _, c := range d.Clauses {
+			if c.Kind == ClauseMap {
+				_, _ = c.MapSpec()
+			}
+			_ = c.Arg(0)
+		}
+		// The canonical rendering must round-trip to a fixed point.
+		s := d.String()
+		d2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok, but its String %q does not re-parse: %v", text, s, err)
+		}
+		if d2.Kind != d.Kind {
+			t.Fatalf("round-trip changed kind: %v -> %v (input %q, canonical %q)", d.Kind, d2.Kind, text, s)
+		}
+		if len(d2.Clauses) != len(d.Clauses) {
+			t.Fatalf("round-trip changed clause count: %d -> %d (input %q, canonical %q)",
+				len(d.Clauses), len(d2.Clauses), text, s)
+		}
+		for i := range d.Clauses {
+			if d2.Clauses[i].Kind != d.Clauses[i].Kind {
+				t.Fatalf("round-trip changed clause %d: %v -> %v (canonical %q)",
+					i, d.Clauses[i].Kind, d2.Clauses[i].Kind, s)
+			}
+		}
+		if s2 := d2.String(); s2 != s {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", s, s2, text)
+		}
+	})
+}

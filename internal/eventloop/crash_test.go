@@ -8,9 +8,12 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 func TestEDTCrashFailsEventAndMarksLoop(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	l := New("edt", &reg)
 	l.Start()

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/poll"
 )
 
 func TestPostDelayedAfterStop(t *testing.T) {
@@ -58,13 +60,7 @@ func TestConcurrentPosters(t *testing.T) {
 	wg.Wait()
 	// Flush: one more event after all posts.
 	l.Post(func() {}).Wait()
-	deadline := time.Now().Add(10 * time.Second)
-	for ran.Load() < posters*per {
-		if time.Now().After(deadline) {
-			t.Fatalf("ran %d/%d", ran.Load(), posters*per)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	poll.Until(t, "every posted event to run", func() bool { return ran.Load() == posters*per })
 }
 
 func TestPumpUntilAlreadyDone(t *testing.T) {

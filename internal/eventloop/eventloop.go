@@ -20,13 +20,16 @@
 package eventloop
 
 import (
+	"context"
 	"errors"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/trace"
 )
 
 // ErrNotOnEDT is returned by operations that are confined to the loop's own
@@ -63,6 +66,11 @@ type item struct {
 	complete func(error)
 	enqueued time.Time
 	label    string
+	// span/spawn carry causal tracing across the post boundary (see
+	// executor.task): span is the event's pre-allocated run-span id and
+	// spawn the poster's current span. Zero when tracing was off at post.
+	span  trace.SpanID
+	spawn trace.SpanID
 }
 
 // Loop is a single-goroutine event dispatcher. Create with New, then Start.
@@ -143,7 +151,11 @@ func (l *Loop) run() {
 	}()
 	l.registry.Register(l)
 	close(l.ready)
-	l.runLoop()
+	// Label the dispatch goroutine with the loop's target name so CPU
+	// profiles attribute EDT samples per target (go tool pprof -tags).
+	pprof.Do(context.Background(), pprof.Labels("target", l.name), func(context.Context) {
+		l.runLoop()
+	})
 	normal = true
 }
 
@@ -267,6 +279,23 @@ func (l *Loop) dispatch(it *item) {
 			complete(executor.ErrWorkerCrashed)
 		}
 	}()
+	if span := it.span; span != 0 {
+		if sink := trace.ActiveSink(); sink != nil {
+			prev := trace.Swap(span)
+			parent := it.spawn
+			if parent == 0 {
+				// Untraced poster: attribute the run to whatever span the
+				// dispatching goroutine is inside (re-entrant pumping makes
+				// nested dispatches children of the awaiting handler).
+				parent = prev
+			}
+			trace.BeginSpanID(sink, span, "run", l.name, parent)
+			defer func() {
+				trace.Swap(prev)
+				trace.EndSpan(sink, span, "run", l.name)
+			}()
+		}
+	}
 	l.depth.Add(1)
 	err := executor.RunCaptured(fn)
 	l.depth.Add(-1)
@@ -308,16 +337,28 @@ func (l *Loop) Post(fn func()) *executor.Completion { return l.PostLabeled("", f
 // PostLabeled enqueues fn with a label used in DispatchInfo instrumentation.
 func (l *Loop) PostLabeled(label string, fn func()) *executor.Completion {
 	comp, complete := executor.NewPendingCompletion()
-	l.postItem(label, fn, complete)
+	var spawn trace.SpanID
+	if trace.ActiveSink() != nil {
+		spawn = trace.Current()
+	}
+	l.postItem(label, fn, complete, spawn)
 	return comp
 }
 
 // postItem is the shared enqueue path of PostLabeled and fired PostDelayed
 // timers: push a pooled node, publish length and peak off the lock, and
-// wake the dispatch goroutine only if it is parked.
-func (l *Loop) postItem(label string, fn func(), complete func(error)) {
+// wake the dispatch goroutine only if it is parked. spawn is the poster's
+// span at the original call site — PostDelayed captures it before the timer
+// fires, since the timer goroutine itself carries no span.
+func (l *Loop) postItem(label string, fn func(), complete func(error), spawn trace.SpanID) {
 	it := l.itemPool.Get().(*item)
 	it.fn, it.complete, it.enqueued, it.label = fn, complete, time.Now(), label
+	it.span, it.spawn = 0, 0
+	if sink := trace.ActiveSink(); sink != nil {
+		it.span = trace.NewSpanID()
+		it.spawn = spawn
+		trace.Enqueue(sink, it.span, l.name, spawn)
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -350,6 +391,10 @@ func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
 		complete(executor.ErrShutdown)
 		return comp
 	}
+	var spawn trace.SpanID
+	if trace.ActiveSink() != nil {
+		spawn = trace.Current()
+	}
 	var tm *time.Timer
 	tm = time.AfterFunc(d, func() {
 		l.mu.Lock()
@@ -359,7 +404,7 @@ func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
 		// completion always finishes exactly once: Stop only completes
 		// timers it successfully cancelled (tm.Stop() == true), and a
 		// cancelled timer never runs this callback.
-		l.postItem("", fn, complete)
+		l.postItem("", fn, complete, spawn)
 	})
 	l.delayed[tm] = complete
 	l.mu.Unlock()

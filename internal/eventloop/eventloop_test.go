@@ -10,6 +10,10 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
+
+	"repro/internal/testutil/poll"
 )
 
 func newLoop(t *testing.T) *Loop {
@@ -204,6 +208,7 @@ func TestObserver(t *testing.T) {
 }
 
 func TestStopDrainsQueuedEvents(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	l := New("edt", &reg)
 	l.Start()
@@ -258,7 +263,7 @@ func TestWaitPending(t *testing.T) {
 	done := make(chan bool, 1)
 	c2 := make(chan struct{})
 	go func() { done <- l.WaitPending(c2) }()
-	time.Sleep(5 * time.Millisecond)
+	poll.UntilBlockedIn(t, "(*Loop).WaitPending")
 	close(c2)
 	select {
 	case v := <-done:
@@ -308,6 +313,7 @@ func BenchmarkPostDispatch(b *testing.B) {
 // finished — a Wait on it hung forever. Stop must now cancel pending timers
 // and fail their completions with ErrShutdown.
 func TestPostDelayedCancelledOnStop(t *testing.T) {
+	defer leakcheck.Check(t)()
 	reg := &gid.Registry{}
 	l := New("edt", reg)
 	l.Start()
@@ -355,6 +361,7 @@ func TestPostDelayedNoGoroutinePerPost(t *testing.T) {
 // must finish exactly once, either nil (fired) or ErrShutdown (cancelled or
 // rejected by the closed loop), never hang.
 func TestPostDelayedStopRace(t *testing.T) {
+	defer leakcheck.Check(t)()
 	for round := 0; round < 20; round++ {
 		reg := &gid.Registry{}
 		l := New("edt", reg)

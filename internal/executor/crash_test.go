@@ -9,18 +9,16 @@ import (
 	"time"
 
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
+
+	"repro/internal/testutil/poll"
 )
 
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	poll.Until(t, what, cond)
 }
 
 func TestWorkerCrashFailsTaskTyped(t *testing.T) {
@@ -100,6 +98,7 @@ func TestFailPending(t *testing.T) {
 }
 
 func TestResizeGrowsAndShrinks(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	p := NewWorkerPool("resize", 2, &reg)
 	defer p.Shutdown()
@@ -127,6 +126,7 @@ func TestResizeAfterShutdownIsNoop(t *testing.T) {
 }
 
 func TestConcurrentResizeShutdown(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// Regression for the Grow wg.Add / Shutdown wg.Wait race: hammer
 	// Resize from several goroutines while Shutdown runs. Run with -race.
 	for round := 0; round < 20; round++ {

@@ -21,7 +21,7 @@ func (d *DirectExecutor) Name() string { return d.name }
 // Completion (capturing a panic, if any, like the asynchronous executors).
 func (d *DirectExecutor) Post(fn func()) *Completion {
 	c := newCompletion()
-	runTask(&task{fn: fn, comp: c}, nil)
+	runTask(&task{fn: fn, comp: c}, d.name, nil)
 	return c
 }
 

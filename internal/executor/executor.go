@@ -19,13 +19,16 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/gid"
+	"repro/internal/trace"
 )
 
 // ErrShutdown is returned (via Completion.Err) for tasks submitted to an
@@ -223,6 +226,24 @@ type task struct {
 	// cancel race a new task's state machine.
 	recycle bool
 	state   atomic.Int32 // taskQueued -> taskRunning | taskCancelled
+	// span and spawn carry causal tracing across the dispatch boundary:
+	// span is the task's pre-allocated run-span id (0 when tracing was off
+	// at post time) and spawn the submitter's current span. They are set
+	// only while a trace sink is installed.
+	span  trace.SpanID
+	spawn trace.SpanID
+}
+
+// prepareSpan allocates the task's run span and records its enqueue against
+// the active sink, if any. The OpEnqueue event and the eventual run span
+// share one id: exporters use the pair as the cross-goroutine flow edge and
+// metrics as the queue-sojourn measurement.
+func prepareSpan(t *task, target string) {
+	if s := trace.ActiveSink(); s != nil {
+		t.span = trace.NewSpanID()
+		t.spawn = trace.Current()
+		trace.Enqueue(s, t.span, target, t.spawn)
+	}
 }
 
 // runTask executes t.fn with panic capture and completes t.comp, reporting
@@ -231,7 +252,14 @@ type task struct {
 // goroutine dies mid-task (runtime.Goexit, or a panic that defeats the
 // recovery wrapper) the completion is still finished — with
 // ErrWorkerCrashed — so waiters never hang on a dead worker.
-func runTask(t *task, onPanic func(any)) bool {
+//
+// When the task carries a span, the run is bracketed with begin/end events
+// and the span is made current for the body's duration, so blocks that
+// invoke further targets parent their spans here. The run span's parent is
+// the submitter's span when one was active at post time; otherwise it is
+// the runner's current span — which is exactly the awaiting invoke's span
+// when the task is executed by a helping thread inside a logical barrier.
+func runTask(t *task, target string, onPanic func(any)) bool {
 	if !t.state.CompareAndSwap(taskQueued, taskRunning) {
 		return false // cancelled while queued
 	}
@@ -242,6 +270,20 @@ func runTask(t *task, onPanic func(any)) bool {
 			comp.complete(ErrWorkerCrashed)
 		}
 	}()
+	if span := t.span; span != 0 {
+		if sink := trace.ActiveSink(); sink != nil {
+			prev := trace.Swap(span)
+			parent := t.spawn
+			if parent == 0 {
+				parent = prev
+			}
+			trace.BeginSpanID(sink, span, "run", target, parent)
+			defer func() {
+				trace.Swap(prev)
+				trace.EndSpan(sink, span, "run", target)
+			}()
+		}
+	}
 	var err error
 	func() {
 		defer func() {
@@ -379,7 +421,11 @@ func (p *WorkerPool) spawnWorker(onStarted func()) {
 		if onStarted != nil {
 			onStarted()
 		}
-		p.workerLoop()
+		// Label the worker goroutine with its virtual-target name so CPU
+		// profiles attribute samples per target (pprof -tags).
+		pprof.Do(context.Background(), pprof.Labels("target", p.name), func(context.Context) {
+			p.workerLoop()
+		})
 		normal = true
 	}()
 }
@@ -481,6 +527,7 @@ func (p *WorkerPool) releaseTask(t *task) {
 		return
 	}
 	t.fn, t.comp = nil, nil
+	t.span, t.spawn = 0, 0
 	p.taskPool.Put(t)
 }
 
@@ -516,7 +563,7 @@ func (p *WorkerPool) workerLoop() {
 			p.qlen.Store(int64(p.q.Len()))
 			p.mu.Unlock()
 			spun = false
-			if runTask(t, p.panicWrap) {
+			if runTask(t, p.name, p.panicWrap) {
 				p.completed.Add(1)
 			}
 			p.releaseTask(t)
@@ -587,7 +634,9 @@ func (p *WorkerPool) Post(fn func()) *Completion {
 	c := newCompletion()
 	t := p.taskPool.Get().(*task)
 	t.fn, t.comp, t.recycle = fn, c, true
+	t.span, t.spawn = 0, 0
 	t.state.Store(taskQueued)
+	prepareSpan(t, p.name)
 	p.enqueue(t, c)
 	return c
 }
@@ -644,7 +693,7 @@ func (p *WorkerPool) TryRunPending() bool {
 	}
 	p.qlen.Store(int64(p.q.Len()))
 	p.mu.Unlock()
-	ran := runTask(t, p.panicWrap)
+	ran := runTask(t, p.name, p.panicWrap)
 	if ran {
 		p.completed.Add(1)
 		p.helped.Add(1)
@@ -795,6 +844,7 @@ var ErrCanceled = errors.New("executor: task canceled")
 func (p *WorkerPool) PostCancellable(fn func()) (*Completion, func() bool) {
 	c := newCompletion()
 	t := &task{fn: fn, comp: c} // not pooled: the cancel closure keeps t alive
+	prepareSpan(t, p.name)
 	if !p.enqueue(t, c) {
 		return c, func() bool { return false }
 	}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 func TestWorkerPoolRunsTasks(t *testing.T) {
@@ -114,6 +116,7 @@ func TestPanicCaptured(t *testing.T) {
 }
 
 func TestShutdownDrainsQueueAndRejectsNew(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	p := NewWorkerPool("worker", 1, &reg)
 	var n atomic.Int64

@@ -1,0 +1,14 @@
+package executor
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain sweeps the whole suite for leaked goroutines: after the last
+// test, every pool worker and parker must have exited.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

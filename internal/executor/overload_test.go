@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/poll"
 )
 
 // TestBoundedPoolAtCapacity drives a bounded pool to its queue limit and
@@ -78,10 +80,7 @@ func TestPostCancellableCancelVsRunRace(t *testing.T) {
 	}
 	wg.Wait()
 	// Give in-flight bodies a moment to finish bumping the counter.
-	deadline := time.Now().Add(2 * time.Second)
-	for ran.Load()+cancelled.Load() != rounds && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	poll.Wait(2*time.Second, func() bool { return ran.Load()+cancelled.Load() == rounds })
 	if got := ran.Load() + cancelled.Load(); got != rounds {
 		t.Fatalf("ran(%d) + cancelled(%d) = %d, want exactly %d",
 			ran.Load(), cancelled.Load(), got, rounds)
@@ -106,9 +105,7 @@ func TestStatsPanicCount(t *testing.T) {
 	p.Post(func() { close(busy); <-gate })
 	<-busy
 	helped := p.Post(func() { panic("helped boom") })
-	for !p.TryRunPending() {
-		time.Sleep(time.Millisecond)
-	}
+	poll.Until(t, "queued task to become helpable", p.TryRunPending)
 	close(gate)
 	if err := helped.Wait(); !errors.As(err, &pe) {
 		t.Fatalf("helped Err = %v, want *PanicError", err)

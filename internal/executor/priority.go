@@ -115,7 +115,7 @@ func (p *PriorityPool) workerLoop() {
 			return // shutdown with empty queues
 		}
 		p.mu.Unlock()
-		runTask(t, nil)
+		runTask(t, p.name, nil)
 	}
 }
 
@@ -132,6 +132,7 @@ func (p *PriorityPool) PostPriority(fn func(), prio Priority) *Completion {
 	}
 	c := newCompletion()
 	t := &task{fn: fn, comp: c}
+	prepareSpan(t, p.name)
 	p.mu.Lock()
 	if p.shutdown {
 		p.mu.Unlock()
@@ -159,7 +160,7 @@ func (p *PriorityPool) TryRunPending() bool {
 	if t == nil {
 		return false
 	}
-	runTask(t, nil)
+	runTask(t, p.name, nil)
 	return true
 }
 

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 func TestPriorityOrdering(t *testing.T) {
@@ -99,6 +101,7 @@ func TestPriorityTryRunPendingTakesHighestFirst(t *testing.T) {
 }
 
 func TestPriorityShutdown(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	p := NewPriorityPool("prio", 2, &reg)
 	var n atomic.Int64

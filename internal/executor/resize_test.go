@@ -4,9 +4,12 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
+
+	"repro/internal/testutil/poll"
 )
 
 func TestGrowAddsCapacity(t *testing.T) {
@@ -38,6 +41,7 @@ func TestGrowAddsCapacity(t *testing.T) {
 }
 
 func TestShrinkRetiresIdleWorkers(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	p := NewWorkerPool("shrink", 4, &reg)
 	defer p.Shutdown()
@@ -45,13 +49,7 @@ func TestShrinkRetiresIdleWorkers(t *testing.T) {
 		t.Fatalf("Shrink(2) = %d", got)
 	}
 	// Idle workers retire promptly.
-	deadline := time.Now().Add(5 * time.Second)
-	for p.Workers() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("Workers = %d, want 2", p.Workers())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	poll.Until(t, "idle workers to retire to 2", func() bool { return p.Workers() == 2 })
 	// The pool still works.
 	if err := p.Post(func() {}).Wait(); err != nil {
 		t.Fatal(err)
@@ -60,12 +58,7 @@ func TestShrinkRetiresIdleWorkers(t *testing.T) {
 	if got := p.Shrink(99); got != 1 {
 		t.Fatalf("Shrink(99) = %d, want clamped 1", got)
 	}
-	for p.Workers() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("Workers = %d, want 1", p.Workers())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	poll.Until(t, "workers to retire to the floor of 1", func() bool { return p.Workers() == 1 })
 	if got := p.Shrink(1); got != 0 {
 		t.Fatalf("Shrink below 1 = %d, want 0", got)
 	}
@@ -170,6 +163,7 @@ func TestCancelledTaskSkippedByHelper(t *testing.T) {
 }
 
 func TestGrowShrinkStormProperty(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// Property: under any interleaving of Grow/Shrink/Post, every accepted
 	// task runs exactly once and the pool never reports fewer than one
 	// worker.

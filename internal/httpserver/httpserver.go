@@ -37,6 +37,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/supervise"
+	"repro/internal/trace"
 )
 
 // Mode selects the server organization.
@@ -182,6 +183,9 @@ type Server struct {
 	sup    *supervise.Supervisor // nil unless Supervise.Restart
 	dog    *supervise.Watchdog   // nil without Supervise
 
+	spans    *metrics.SpanSink // /metrics aggregation, installed globally by Start
+	prevSink trace.Sink        // global sink before Start, chained and restored
+
 	served atomic.Int64
 	errors atomic.Int64
 	shed   atomic.Int64
@@ -219,9 +223,16 @@ func (s *Server) Start() (string, error) {
 		return "", err
 	}
 	s.ln = ln
+	// Install the span-to-metrics aggregator as the process-global trace
+	// sink, chained to whatever was there before (a bench's Buffer keeps
+	// seeing every event). Stop restores the previous sink.
+	s.prevSink = trace.ActiveSink()
+	s.spans = metrics.NewSpanSink(s.prevSink)
+	trace.SetGlobal(s.spans)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/encrypt", s.handleEncrypt)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		_ = s.srv.Serve(ln)
@@ -333,6 +344,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// handleMetrics serves the per-target span metrics in the Prometheus text
+// exposition format (histograms of invoke/run latency and queue sojourn,
+// scheduling and incident counters).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.spans == nil {
+		return
+	}
+	_ = s.spans.WritePrometheus(w)
+}
+
+// traceRequest opens a "request" span for one HTTP request and returns the
+// closer. The worker invocation made while handling parents to it, so a
+// Perfetto capture shows request → invoke → run chains end to end.
+func (s *Server) traceRequest() func() {
+	sink := trace.ActiveSink()
+	if sink == nil {
+		return func() {}
+	}
+	span := trace.NewSpanID()
+	prev := trace.Swap(span)
+	trace.BeginSpanID(sink, span, "request", "http", prev)
+	return func() {
+		trace.Swap(prev)
+		trace.EndSpan(sink, span, "request", "http")
+	}
+}
+
 // compute runs the encryption kernel for one request and returns the
 // ciphertext checksum.
 func (s *Server) compute(size int) int64 {
@@ -346,6 +385,7 @@ func (s *Server) compute(size int) int64 {
 }
 
 func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
+	defer s.traceRequest()()
 	size := s.cfg.KernelBytes
 	if q := r.URL.Query().Get("size"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -492,10 +532,18 @@ func (s *Server) Supervisor() *supervise.Supervisor { return s.sup }
 // Watchdog returns the stall watchdog (nil unless Supervise is configured).
 func (s *Server) Watchdog() *supervise.Watchdog { return s.dog }
 
+// Spans returns the server's span-metrics aggregator (nil before Start).
+func (s *Server) Spans() *metrics.SpanSink { return s.spans }
+
 // Stop shuts the server down and releases its worker pool.
 func (s *Server) Stop() {
 	if s.dog != nil {
 		s.dog.Stop()
+	}
+	if s.spans != nil && trace.ActiveSink() == trace.Sink(s.spans) {
+		// Restore the pre-Start global sink — but only if ours is still
+		// installed; a later server's chained sink stays untouched.
+		trace.SetGlobal(s.prevSink)
 	}
 	if s.srv != nil {
 		_ = s.srv.Close()

@@ -1,0 +1,146 @@
+package httpserver
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// scrapeMetrics fetches /metrics and parses the Prometheus text exposition
+// into series values, failing the test on any malformed line.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q, want text exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string]float64)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		key, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[family] && !typed[name] {
+			t.Fatalf("line %d: series %q lacks a TYPE header", ln+1, name)
+		}
+		series[key] = val
+	}
+	return series
+}
+
+// TestMetricsEndpoint drives a Pyjama server and asserts the /metrics scrape
+// exposes the span-derived per-target histograms and counters.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{Mode: Pyjama, Workers: 2, KernelBytes: 4 * 1024})
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	client := NewClient(base)
+	const requests = 8
+	for i := 0; i < requests; i++ {
+		if _, err := client.Encrypt(0); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	got := scrapeMetrics(t, base)
+	if v := got[`repro_run_duration_seconds_count{target="worker"}`]; v != requests {
+		t.Fatalf("run count = %v, want %d\nseries: %v", v, requests, got)
+	}
+	if v := got[`repro_invoke_duration_seconds_count{target="worker"}`]; v != requests {
+		t.Fatalf("invoke count = %v, want %d", v, requests)
+	}
+	if v := got[`repro_invoke_duration_seconds_count{target="http"}`]; v != requests {
+		t.Fatalf("request-span count = %v, want %d", v, requests)
+	}
+	if v := got[`repro_queue_sojourn_seconds_count{target="worker"}`]; v != requests {
+		t.Fatalf("sojourn count = %v, want %d", v, requests)
+	}
+	if v := got[`repro_posts_total{target="worker"}`]; v != requests {
+		t.Fatalf("posts = %v, want %d", v, requests)
+	}
+	if sum := got[`repro_run_duration_seconds_sum{target="worker"}`]; sum <= 0 {
+		t.Fatalf("run duration sum = %v, want > 0", sum)
+	}
+	if _, ok := got["repro_spans_open"]; !ok {
+		t.Fatal("spans_open gauge missing")
+	}
+}
+
+// TestMetricsSinkChainAndRestore: Start installs the aggregator as the global
+// sink chained to the previous one, Stop restores it — and a pre-installed
+// Buffer keeps receiving events while the server runs.
+func TestMetricsSinkChainAndRestore(t *testing.T) {
+	buf := trace.NewBuffer(4096)
+	restore := trace.Use(buf)
+	defer restore()
+
+	srv := New(Config{Mode: Pyjama, Workers: 1, KernelBytes: 1024})
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.ActiveSink() == trace.Sink(buf) {
+		t.Fatal("Start did not install the span sink globally")
+	}
+	client := NewClient(base)
+	if _, err := client.Encrypt(0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+	if trace.ActiveSink() != trace.Sink(buf) {
+		t.Fatal("Stop did not restore the previous global sink")
+	}
+	// The chained buffer captured the full request chain.
+	tree := trace.BuildTree(buf.Snapshot())
+	req := tree.Find("request", "http")
+	if req == nil {
+		t.Fatalf("no request span reached the chained buffer:\n%s", tree.String())
+	}
+	if req.Child("invoke", "worker") == nil {
+		t.Fatalf("invoke not parented to request:\n%s", tree.String())
+	}
+	if tree.Find("run", "worker") == nil {
+		t.Fatalf("run span missing:\n%s", tree.String())
+	}
+}

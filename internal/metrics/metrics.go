@@ -192,6 +192,15 @@ func (h *Histogram) Retained() int {
 	return len(h.samples)
 }
 
+// Sum returns the running total of all observed samples. Exact: maintained
+// as an aggregate, independent of reservoir retention. (Prometheus export
+// needs the true _sum even after sampling kicks in.)
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.sum)
+}
+
 // Mean returns the arithmetic mean of all observed samples (0 if empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()

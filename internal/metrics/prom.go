@@ -1,0 +1,165 @@
+// Prometheus text-format (version 0.0.4) encoding for the measurement
+// primitives in this package. No client library: the exposition format is a
+// dozen lines of text framing, and the container must not grow dependencies.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Labels is one series' label set. Encoded sorted by key for deterministic
+// output.
+type Labels map[string]string
+
+// DefaultPromBuckets are the latency bucket upper bounds used when a
+// histogram family is written without explicit buckets: exponential decades
+// with a 1-2.5-5 ladder from 10µs to 10s — wide enough for inline dispatch
+// (~µs) and stalled-target timeouts (~s) on one axis.
+var DefaultPromBuckets = []time.Duration{
+	10 * time.Microsecond, 25 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// PromEncoder streams metric families in the Prometheus text exposition
+// format. Emit every series of one family (same metric name) consecutively —
+// the format requires it; the encoder writes the # HELP / # TYPE header the
+// first time it sees each name, so interleaving families would produce an
+// exposition parsers reject.
+type PromEncoder struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewPromEncoder returns an encoder writing to w. Errors are sticky; check
+// Err once at the end.
+func NewPromEncoder(w io.Writer) *PromEncoder {
+	return &PromEncoder{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (e *PromEncoder) Err() error { return e.err }
+
+func (e *PromEncoder) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *PromEncoder) header(name, help, typ string) {
+	if e.seen[name] {
+		return
+	}
+	e.seen[name] = true
+	e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// series renders `name{labels} value`, labels sorted for determinism; an
+// optional extra label (the histogram `le`) is appended last, matching the
+// convention of prometheus/client_golang output.
+func (e *PromEncoder) series(name string, labels Labels, extraKey, extraVal string, value float64) {
+	var b strings.Builder
+	b.WriteString(name)
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		first := true
+		for _, k := range keys {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		}
+		if extraKey != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	e.printf("%s %s\n", b.String(), formatPromValue(value))
+}
+
+// Counter writes one counter series. name should end in _total by convention.
+func (e *PromEncoder) Counter(name, help string, labels Labels, value float64) {
+	e.header(name, help, "counter")
+	e.series(name, labels, "", "", value)
+}
+
+// Gauge writes one gauge series.
+func (e *PromEncoder) Gauge(name, help string, labels Labels, value float64) {
+	e.header(name, help, "gauge")
+	e.series(name, labels, "", "", value)
+}
+
+// Histogram writes one histogram series (cumulative _bucket ladder, _sum,
+// _count) from h's current contents, with durations converted to seconds.
+// buckets nil means DefaultPromBuckets.
+//
+// Past the reservoir capacity the retained samples are a uniform subsample of
+// the stream, so bucket counts are scaled by seen/retained to estimate the
+// full-stream distribution; _count and _sum stay exact (running aggregates),
+// and the +Inf bucket is forced to the exact count so the ladder always tops
+// out consistently.
+func (e *PromEncoder) Histogram(name, help string, labels Labels, h *Histogram, buckets []time.Duration) {
+	if buckets == nil {
+		buckets = DefaultPromBuckets
+	}
+	e.header(name, help, "histogram")
+	samples := h.Snapshot() // sorted ascending
+	seen := float64(h.Count())
+	scale := 1.0
+	if n := len(samples); n > 0 && seen > float64(n) {
+		scale = seen / float64(n)
+	}
+	idx := 0
+	for _, ub := range buckets {
+		for idx < len(samples) && samples[idx] <= ub {
+			idx++
+		}
+		est := roundCount(float64(idx) * scale)
+		if est > seen {
+			est = seen
+		}
+		e.series(name+"_bucket", labels, "le", formatPromValue(ub.Seconds()), est)
+	}
+	e.series(name+"_bucket", labels, "le", "+Inf", seen)
+	e.series(name+"_sum", labels, "", "", h.Sum().Seconds())
+	e.series(name+"_count", labels, "", "", seen)
+}
+
+// roundCount clamps a scaled bucket estimate to a whole sample count.
+func roundCount(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return float64(int64(v + 0.5))
+}
+
+// formatPromValue renders a float the way Prometheus expects: the shortest
+// representation that round-trips.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

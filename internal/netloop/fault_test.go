@@ -10,18 +10,15 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
+
+	"repro/internal/testutil/poll"
 )
 
 func waitCond(t *testing.T, d time.Duration, cond func() bool, msg string) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", msg)
+	poll.UntilFor(t, d, msg, cond)
 }
 
 // TestClientDisconnectMidMessage: a client that vanishes after a partial
@@ -137,6 +134,7 @@ func TestNoHandlerAfterOnCloseUnderLoad(t *testing.T) {
 // (accept loop, read loops, dispatch loop) must all exit — checked by
 // goroutine counting since the repo carries no leak detector.
 func TestStopWithQueuedHandlersNoLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
 	before := runtime.NumGoroutine()
 
 	reg := &gid.Registry{}
@@ -178,7 +176,7 @@ func TestStopWithQueuedHandlersNoLeak(t *testing.T) {
 	// opens — open it from the side once Stop is observably in flight.
 	stopDone := make(chan struct{})
 	go func() { s.Stop(); close(stopDone) }()
-	time.Sleep(20 * time.Millisecond)
+	poll.UntilBlockedIn(t, "netloop.(*Server).Stop")
 	close(gate)
 	select {
 	case <-stopDone:
@@ -190,19 +188,19 @@ func TestStopWithQueuedHandlersNoLeak(t *testing.T) {
 	stopped = true
 	mu.Unlock()
 
-	// No handler may run once Stop has returned, and the goroutine count
-	// must settle back to where it started.
-	time.Sleep(50 * time.Millisecond)
+	// The goroutine count must settle back to where it started — and once
+	// every server goroutine has exited, nothing is left that could run a
+	// handler, so the late-handler check after the drain is exhaustive.
+	waitCond(t, 2*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	}, "goroutines to drain")
 	mu.Lock()
 	late := lateHandlers
 	mu.Unlock()
 	if late != 0 {
 		t.Fatalf("%d handlers ran after Stop returned", late)
 	}
-	waitCond(t, 2*time.Second, func() bool {
-		runtime.GC()
-		return runtime.NumGoroutine() <= before
-	}, "goroutines to drain")
 }
 
 // TestChaosInterceptorDropsAndDelays wires the fault injector into the

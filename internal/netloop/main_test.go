@@ -1,0 +1,15 @@
+package netloop
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain sweeps the whole suite for leaked goroutines: after the last
+// test, every reader, dispatcher, worker, and client connection goroutine
+// must have exited.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -18,12 +18,14 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/eventloop"
 	"repro/internal/gid"
 	"repro/internal/qos"
+	"repro/internal/trace"
 )
 
 // Handler processes one line-delimited message on the dispatch loop.
@@ -159,10 +161,40 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// postMessage queues one received line's handler on the dispatch loop. When
+// tracing is active the enqueue is bracketed by a "recv" span on the read
+// goroutine, so the handler's run span on the loop parents to the network
+// receive that caused it (the cross-boundary edge of the message path).
+func (s *Server) postMessage(handler func()) {
+	post := func() {
+		s.loop.PostLabeled("msg", func() {
+			defer s.limiter.Release()
+			handler()
+		})
+	}
+	sink := trace.ActiveSink()
+	if sink == nil {
+		post()
+		return
+	}
+	span := trace.NewSpanID()
+	prev := trace.Swap(span)
+	trace.BeginSpanID(sink, span, "recv", s.name, prev)
+	post()
+	trace.Swap(prev)
+	trace.EndSpan(sink, span, "recv", s.name)
+}
+
 // readLoop turns each received line into a dispatch-loop event — the
 // inversion of control of Section I: the framework invokes the handler.
 func (s *Server) readLoop(c *Client) {
 	defer s.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("target", s.name), func(context.Context) {
+		s.readLines(c)
+	})
+}
+
+func (s *Server) readLines(c *Client) {
 	scanner := bufio.NewScanner(c.conn)
 	for scanner.Scan() {
 		line := scanner.Text()
@@ -184,10 +216,7 @@ func (s *Server) readLoop(c *Client) {
 			s.shed.Add(1)
 			continue
 		}
-		s.loop.PostLabeled("msg", func() {
-			defer s.limiter.Release()
-			handler()
-		})
+		s.postMessage(handler)
 	}
 	s.mu.Lock()
 	delete(s.clients, c.id)

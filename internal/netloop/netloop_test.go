@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 func dial(t *testing.T, addr string) (net.Conn, *bufio.Scanner) {
@@ -99,6 +101,7 @@ func TestDispatchLoopAsVirtualTarget(t *testing.T) {
 }
 
 func TestMultipleClients(t *testing.T) {
+	defer leakcheck.Check(t)()
 	reg := &gid.Registry{}
 	s := New("dispatch", reg)
 	defer s.Stop()
@@ -175,6 +178,7 @@ func TestConnectCloseCallbacks(t *testing.T) {
 }
 
 func TestStopIdempotentAndRejectsLateClients(t *testing.T) {
+	defer leakcheck.Check(t)()
 	reg := &gid.Registry{}
 	s := New("dispatch", reg)
 	s.HandleFunc(func(c *Client, line string) {})
@@ -185,9 +189,13 @@ func TestStopIdempotentAndRejectsLateClients(t *testing.T) {
 	}
 	s.Stop()
 	s.Stop() // no-op
-	if _, err := net.Dial("tcp", addr); err == nil {
+	if late, err := net.Dial("tcp", addr); err == nil {
 		// A dial may succeed momentarily in the accept backlog; the
-		// connection must at least be closed immediately.
-		time.Sleep(10 * time.Millisecond)
+		// connection must then be closed without ever being serviced.
+		_ = late.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := late.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("stopped server wrote to a late connection")
+		}
+		late.Close()
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/qos"
+
+	"repro/internal/testutil/poll"
 )
 
 // TestLimiterShedsDispatchQueueOverflow wedges the dispatch loop with a
@@ -44,10 +46,8 @@ func TestLimiterShedsDispatchQueueOverflow(t *testing.T) {
 		fmt.Fprintf(conn, "flood%d\n", i)
 	}
 	// Wait until the reader consumed the burst (shed or queued).
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Messages() < burst+1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	poll.UntilFor(t, 5*time.Second, "reader to consume the burst",
+		func() bool { return s.Messages() >= burst+1 })
 	if s.Shed() == 0 {
 		t.Fatalf("Shed = 0 after flooding a wedged loop (messages=%d)", s.Messages())
 	}

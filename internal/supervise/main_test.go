@@ -1,0 +1,15 @@
+package supervise
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain sweeps the whole suite for leaked goroutines: after the last
+// test, every supervisor, watchdog ticker, and supervised target must have
+// exited.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

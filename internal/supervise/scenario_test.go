@@ -9,6 +9,8 @@ import (
 	"repro/internal/executor"
 	"repro/internal/gid"
 	"repro/internal/trace"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 // TestSupervisedSurvivesKillStorm is the acceptance scenario: worker kills
@@ -16,6 +18,7 @@ import (
 // within its budget, health degrades and then recovers, and no invocation
 // hangs — every one completes or fails with a typed error.
 func TestSupervisedSurvivesKillStorm(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	inj := chaos.New(chaos.SeedFromEnv(1337),
 		chaos.Rule{Action: chaos.Kill, Rate: 0.10, Count: 8})

@@ -16,9 +16,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/gid"
+
+	"repro/internal/testutil/leakcheck"
 )
 
 func TestSupervisedRuntimeUnderMixedFaultStorm(t *testing.T) {
+	defer leakcheck.Check(t)()
 	if !chaos.TagEnabled {
 		t.Fatal("storm test compiled without the chaos tag")
 	}

@@ -9,18 +9,15 @@ import (
 	"repro/internal/executor"
 	"repro/internal/gid"
 	"repro/internal/trace"
+
+	"repro/internal/testutil/leakcheck"
+
+	"repro/internal/testutil/poll"
 )
 
 func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", msg)
+	poll.UntilFor(t, d, msg, cond)
 }
 
 func poolFactory(t *testing.T, reg *gid.Registry, workers int) Factory {
@@ -185,6 +182,7 @@ func TestBackoffDoublesAndCaps(t *testing.T) {
 }
 
 func TestShutdownStopsSupervision(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var reg gid.Registry
 	s, err := New("w", poolFactory(t, &reg, 1), Options{})
 	if err != nil {

@@ -1,0 +1,196 @@
+// Package leakcheck detects goroutines leaked by a test. The runtime under
+// test is all long-lived goroutines — worker pools, event loops, network
+// dispatchers, supervisors — so the single most common lifecycle bug is a
+// Stop/Shutdown path that strands one. The checker is a snapshot diff over
+// runtime.Stack: record the live goroutines when the test starts, and at
+// test end require every goroutine not in that snapshot (and not on the
+// allowlist of runtime/testing infrastructure) to exit within a grace
+// period. Two entry points:
+//
+//	func TestSomething(t *testing.T) {
+//		defer leakcheck.Check(t)()   // per-test diff
+//		...
+//	}
+//
+//	func TestMain(m *testing.M) {
+//		os.Exit(leakcheck.Main(m))   // whole-package sweep after the last test
+//	}
+//
+// The retry loop makes the check deterministic in the presence of benign
+// in-flight teardown (a worker observing its stop flag, a timer firing):
+// a goroutine only counts as leaked if it is still running after the full
+// grace period, not if it merely hasn't been scheduled yet.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gracePeriod is how long a goroutine that appeared during the test may
+// take to exit after the test body returns before it is declared leaked.
+// A variable so the package's own tests can shorten it.
+var gracePeriod = 5 * time.Second
+
+// allowlist matches goroutines that are infrastructure, not ours: anything
+// whose stack contains one of these substrings is never reported. The
+// entries are deliberately narrow — "created by" lines and fully qualified
+// functions — so a leak in repro code cannot hide behind them.
+var allowlist = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.(*F).Fuzz(",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.goexit",
+	"runtime/trace.Start",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"net/http.(*Server).Serve", // the test's own server, torn down by its defer after ours runs
+	"leakcheck.stacks",         // our own snapshot machinery
+}
+
+// goroutineDump is one goroutine's entry in a runtime.Stack dump.
+type goroutineDump struct {
+	id    int64
+	stack string // full block including the "goroutine N [state]:" header
+}
+
+// stacks captures and parses the all-goroutine stack dump.
+func stacks() []goroutineDump {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutineDump
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		id, ok := parseHeader(block)
+		if !ok {
+			continue
+		}
+		out = append(out, goroutineDump{id: id, stack: block})
+	}
+	return out
+}
+
+// parseHeader extracts N from a "goroutine N [state]:" header line.
+func parseHeader(block string) (int64, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return 0, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	return id, err == nil
+}
+
+func allowed(stack string) bool {
+	for _, pat := range allowlist {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the goroutines live now that are neither in the baseline
+// snapshot nor allowlisted.
+func leaked(baseline map[int64]bool) []goroutineDump {
+	var out []goroutineDump
+	for _, g := range stacks() {
+		if baseline[g.id] || allowed(g.stack) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// settle polls until no new non-allowlisted goroutines remain or the grace
+// period expires, and returns the survivors.
+func settle(baseline map[int64]bool) []goroutineDump {
+	deadline := time.Now().Add(gracePeriod)
+	wait := 500 * time.Microsecond
+	for {
+		left := leaked(baseline)
+		if len(left) == 0 || time.Now().After(deadline) {
+			return left
+		}
+		time.Sleep(wait)
+		if wait < 50*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+func report(leaks []goroutineDump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leakcheck: %d goroutine(s) leaked after %v grace:\n", len(leaks), gracePeriod)
+	for _, g := range leaks {
+		b.WriteString("\n")
+		b.WriteString(g.stack)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Check snapshots the live goroutines and returns the verifier to defer:
+//
+//	defer leakcheck.Check(t)()
+//
+// The verifier fails t if any goroutine created during the test outlives
+// the grace period. Not meaningful under t.Parallel (a sibling test's
+// legitimate goroutines would be blamed on this one); none of this repo's
+// runtime suites use it.
+func Check(t testing.TB) func() {
+	t.Helper()
+	baseline := make(map[int64]bool)
+	for _, g := range stacks() {
+		baseline[g.id] = true
+	}
+	return func() {
+		if t.Failed() {
+			return // don't pile a leak report onto a real failure
+		}
+		if leaks := settle(baseline); len(leaks) > 0 {
+			t.Error(report(leaks))
+		}
+	}
+}
+
+// Main wraps m.Run with a whole-package sweep: after the last test, every
+// non-infrastructure goroutine in the process must exit within the grace
+// period. Use from TestMain as os.Exit(leakcheck.Main(m)). Unlike Check,
+// the baseline is empty — at package exit nothing of ours may survive.
+func Main(m *testing.M) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if leaks := settle(map[int64]bool{}); len(leaks) > 0 {
+		fmt.Print(report(leaks))
+		return 1
+	}
+	return code
+}

@@ -1,0 +1,101 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder satisfies testing.TB by embedding the real t but swallows
+// Error calls so the detector's positive path can be exercised without
+// failing the suite.
+type recorder struct {
+	testing.TB
+	errored bool
+}
+
+func (r *recorder) Error(args ...any) { r.errored = true }
+func (r *recorder) Failed() bool      { return false }
+func (r *recorder) Helper()           {}
+
+func shortGrace(t *testing.T, d time.Duration) {
+	t.Helper()
+	old := gracePeriod
+	gracePeriod = d
+	t.Cleanup(func() { gracePeriod = old })
+}
+
+func TestParseHeader(t *testing.T) {
+	id, ok := parseHeader("goroutine 42 [chan receive]:\nmain.f()")
+	if !ok || id != 42 {
+		t.Fatalf("parseHeader = %d, %v", id, ok)
+	}
+	if _, ok := parseHeader("not a goroutine"); ok {
+		t.Fatal("accepted garbage header")
+	}
+}
+
+// TestCheckCleanPass: a goroutine that exits before the verifier's grace
+// period elapses is not a leak.
+func TestCheckCleanPass(t *testing.T) {
+	rec := &recorder{TB: t}
+	verify := Check(rec)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	verify()
+	<-done
+	if rec.errored {
+		t.Fatal("clean test reported a leak")
+	}
+}
+
+// TestCheckDetectsLeak: a goroutine still parked after the grace period is
+// reported.
+func TestCheckDetectsLeak(t *testing.T) {
+	shortGrace(t, 50*time.Millisecond)
+	rec := &recorder{TB: t}
+	verify := Check(rec)
+	block := make(chan struct{})
+	go func() { <-block }()
+	verify()
+	close(block) // release it so the leak doesn't outlive this test
+	if !rec.errored {
+		t.Fatal("leaked goroutine not detected")
+	}
+}
+
+// TestCheckBaselinesPreexisting: goroutines alive before Check are the
+// caller's business, not this test's.
+func TestCheckBaselinesPreexisting(t *testing.T) {
+	shortGrace(t, 50*time.Millisecond)
+	block := make(chan struct{})
+	go func() { <-block }()
+	time.Sleep(time.Millisecond) // let it park so the snapshot sees it
+	rec := &recorder{TB: t}
+	verify := Check(rec)
+	verify()
+	close(block)
+	if rec.errored {
+		t.Fatal("pre-existing goroutine blamed on the checked region")
+	}
+}
+
+// TestCheckSkipsOnFailure: a test that already failed gets no leak pile-on.
+func TestCheckSkipsOnFailure(t *testing.T) {
+	shortGrace(t, 50*time.Millisecond)
+	rec := &failedRecorder{recorder{TB: t}}
+	verify := Check(rec)
+	block := make(chan struct{})
+	go func() { <-block }()
+	verify()
+	close(block)
+	if rec.errored {
+		t.Fatal("leak reported despite prior test failure")
+	}
+}
+
+type failedRecorder struct{ recorder }
+
+func (r *failedRecorder) Failed() bool { return true }

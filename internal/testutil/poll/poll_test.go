@@ -1,0 +1,38 @@
+package poll
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUntilReturnsOnceTrue(t *testing.T) {
+	var n atomic.Int64
+	Until(t, "counter to reach 3", func() bool { return n.Add(1) >= 3 })
+	if got := n.Load(); got < 3 {
+		t.Fatalf("cond evaluated %d times, want >= 3", got)
+	}
+}
+
+func TestWaitReportsTimeout(t *testing.T) {
+	start := time.Now()
+	if Wait(20*time.Millisecond, func() bool { return false }) {
+		t.Fatal("Wait = true for a never-true condition")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("Wait returned before the deadline")
+	}
+	if !Wait(time.Millisecond, func() bool { return true }) {
+		t.Fatal("Wait = false for an immediately-true condition")
+	}
+}
+
+func TestUntilBlockedInSeesParkedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	go func() { parkHere(block) }()
+	UntilBlockedIn(t, "poll.parkHere")
+	close(block)
+}
+
+//go:noinline
+func parkHere(c chan struct{}) { <-c }

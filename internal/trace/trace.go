@@ -58,6 +58,18 @@ const (
 	// budget: it is declared failed and invocations fail fast from then
 	// on with supervise.ErrTargetDown.
 	OpTargetDown
+	// OpSpanBegin and OpSpanEnd bracket a causal span (see SpanID): the
+	// event's Span, Parent and Name fields identify the span, its causal
+	// parent, and its kind ("invoke", "run", "request", ...). Begin and
+	// end carry the span's timestamps; every other op recorded while the
+	// span is current is an annotation on it.
+	OpSpanBegin
+	OpSpanEnd
+	// OpEnqueue marks a task entering an executor's queue. It shares its
+	// Span with the eventual run span, so exporters can draw the
+	// producer→consumer flow arrow and metrics can derive queue sojourn
+	// (run begin minus enqueue).
+	OpEnqueue
 )
 
 // String names the op.
@@ -91,6 +103,12 @@ func (o Op) String() string {
 		return "stall"
 	case OpTargetDown:
 		return "target-down"
+	case OpSpanBegin:
+		return "span-begin"
+	case OpSpanEnd:
+		return "span-end"
+	case OpEnqueue:
+		return "enqueue"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -104,17 +122,29 @@ type Event struct {
 	Target string // virtual target name, when applicable
 	Mode   string // scheduling mode spelling, when applicable
 	Gid    uint64 // goroutine id of the actor
+	Span   SpanID // span this event belongs to (0 = none)
+	Parent SpanID // causal parent span (begin/enqueue events only)
+	Name   string // span kind ("invoke", "run", ...) on span-lifecycle events
 }
 
 // String renders the event as one log line.
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%6d %s g%-5d %-12s", e.Seq, e.Time.Format("15:04:05.000000"), e.Gid, e.Op)
+	if e.Name != "" {
+		fmt.Fprintf(&b, " name=%s", e.Name)
+	}
 	if e.Target != "" {
 		fmt.Fprintf(&b, " target=%s", e.Target)
 	}
 	if e.Mode != "" {
 		fmt.Fprintf(&b, " mode=%s", e.Mode)
+	}
+	if e.Span != 0 {
+		fmt.Fprintf(&b, " span=%d", e.Span)
+	}
+	if e.Parent != 0 {
+		fmt.Fprintf(&b, " parent=%d", e.Parent)
 	}
 	return b.String()
 }
