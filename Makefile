@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet chaos cover fuzz bench bench-baseline bench-smoke report examples lint ci clean
+.PHONY: all build test race vet chaos cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
 
 all: build test race
 
@@ -75,6 +75,17 @@ bench-baseline:
 # keeps the suite from rotting without paying benchmark wall-clock.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-net runs the reactor fan-out drill (cmd/chatbench): a chat
+# broadcast storm over the readiness-driven transport, clamped to the fd
+# limit, written to BENCH_net.json and compared against the pinned
+# bench/net_baseline.json. bench-net-baseline re-pins the comparison point.
+NET_CONNS ?= 100000
+bench-net:
+	$(GO) run ./cmd/chatbench -conns $(NET_CONNS)
+
+bench-net-baseline:
+	$(GO) run ./cmd/chatbench -conns $(NET_CONNS) -out bench/net_baseline.json -baseline -
 
 # Regenerate the experimental report (quick scale; use SCALE=full for the
 # paper-scale sweep).

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package main
+
+// clampConns is a no-op where the reactor (and so the bench) cannot run
+// anyway; main exits before dialing.
+func clampConns(requested int) int { return requested }

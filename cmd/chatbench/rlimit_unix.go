@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package main
+
+import "syscall"
+
+// clampConns bounds the connection count by RLIMIT_NOFILE: each in-process
+// connection costs two descriptors (client end + accepted server end),
+// plus slack for listeners, pollers, pipes, and the runtime's own files.
+func clampConns(requested int) int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return requested
+	}
+	usable := (int(rl.Cur) - 256) / 2
+	if usable < 1 {
+		usable = 1
+	}
+	if requested > usable {
+		return usable
+	}
+	return requested
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eventloop"
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/testutil/leakcheck"
 )
 
 type fixture struct {
@@ -26,6 +27,9 @@ type fixture struct {
 
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
+	// Registered before the shutdown cleanup below, so it runs after it
+	// (cleanups are LIFO): every worker and loop must be gone by then.
+	t.Cleanup(leakcheck.Check(t))
 	reg := &gid.Registry{}
 	rt := core.NewRuntime(reg)
 	edt := eventloop.New("edt", reg)
@@ -140,6 +144,9 @@ func TestFetch(t *testing.T) {
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
+	// The default transport keeps idle connections (and their goroutines)
+	// alive long after the test; drop them so the leak sweep stays strict.
+	defer http.DefaultTransport.(*http.Transport).CloseIdleConnections()
 	base := "http://" + ln.Addr().String()
 
 	body, err := f.io.Fetch(base + "/data").Await()

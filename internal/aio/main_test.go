@@ -1,0 +1,15 @@
+package aio
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain sweeps the whole suite for leaked goroutines: after the last
+// test, every I/O worker, event loop, reactor poll goroutine, and test
+// server must have exited.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

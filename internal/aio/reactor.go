@@ -1,0 +1,114 @@
+package aio
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/executor"
+	"repro/internal/reactor"
+)
+
+// ReactorIO is the readiness-driven submission path: instead of parking an
+// I/O thread inside a blocking read or write, each operation registers its
+// descriptor with a reactor and completes from readiness callbacks. The
+// descriptor becomes a virtual target bound to an FD for the lifetime of
+// the operation; no goroutine or worker thread is occupied while the
+// kernel has nothing to deliver. Futures returned here are the same
+// Future[T] as the thread-pool path, so Get and Await work unchanged.
+type ReactorIO struct {
+	io *IO
+	r  *reactor.Reactor
+}
+
+// ViaReactor derives a readiness-driven submitter from o. The reactor is
+// borrowed, not owned: the caller stops it. On platforms without a poller
+// callers never get a *reactor.Reactor to pass in (reactor.New fails), so
+// this path is naturally linux/darwin-gated while remaining portable API.
+func (o *IO) ViaReactor(r *reactor.Reactor) *ReactorIO {
+	return &ReactorIO{io: o, r: r}
+}
+
+// Reactor returns the reactor operations are submitted to.
+func (o *ReactorIO) Reactor() *reactor.Reactor { return o.r }
+
+// ReadAll reads fd to EOF without dedicating a thread: bytes accumulate on
+// readability edges and the future completes when the peer closes (EOF is
+// success) or the descriptor errors. The reactor takes ownership of fd and
+// closes it when the operation finishes.
+func (o *ReactorIO) ReadAll(fd int) *Future[[]byte] {
+	var val []byte
+	var err error
+	comp, complete := executor.NewPendingCompletion()
+	f := &Future[[]byte]{rt: o.io.rt, comp: comp, val: &val, err: &err}
+	var buf []byte // poll-goroutine confined until OnClose publishes it
+	_, rerr := o.r.Register(fd, reactor.HandlerFuncs{
+		OnReadable: func(c *reactor.Conn, data []byte) {
+			buf = append(buf, data...)
+		},
+		OnClose: func(c *reactor.Conn, cerr error) {
+			if cerr != nil && !errors.Is(cerr, io.EOF) {
+				err = cerr
+			} else {
+				val = buf
+			}
+			complete(nil)
+		},
+	})
+	if rerr != nil {
+		err = rerr
+		complete(nil)
+	}
+	return f
+}
+
+// WriteAll writes b to fd without blocking: as much as the kernel accepts
+// goes out synchronously, the remainder spills into the connection's
+// pending queue and drains on writability edges. The future completes with
+// len(b) once every byte is written (the close flushes first), or with the
+// write error. The reactor takes ownership of fd.
+func (o *ReactorIO) WriteAll(fd int, b []byte) *Future[int] {
+	var val int
+	var err error
+	comp, complete := executor.NewPendingCompletion()
+	f := &Future[int]{rt: o.io.rt, comp: comp, val: &val, err: &err}
+	done := false // poll-goroutine confined
+	c, rerr := o.r.Register(fd, reactor.HandlerFuncs{
+		OnClose: func(c *reactor.Conn, cerr error) {
+			done = true
+			switch {
+			case err != nil:
+				// The submitted write already failed; keep its error.
+			case cerr == nil || errors.Is(cerr, reactor.ErrConnClosed):
+				// Orderly close: Close flushed the pending queue first, so
+				// every byte reached the kernel.
+				val = len(b)
+			case errors.Is(cerr, io.EOF):
+				err = io.ErrClosedPipe // peer vanished before we finished
+			default:
+				err = cerr // write error, or reactor stopped mid-flush
+			}
+			complete(nil)
+		},
+	})
+	if rerr != nil {
+		err = rerr
+		complete(nil)
+		return f
+	}
+	// Submit on the poll goroutine so the write, any failure, and OnClose
+	// all run confined — no shared state races with spontaneous closes.
+	o.r.Post(func() {
+		if done {
+			return // closed (reactor stop, peer error) before we got here
+		}
+		if werr := c.Write(b); werr != nil {
+			err = werr
+		}
+		// Close flushes the spilled remainder on writability edges before
+		// the descriptor is released, then OnClose completes the future.
+		c.Close()
+	})
+	// A failed Post means the reactor is stopping; its teardown closes the
+	// registered conn, which fires OnClose and completes the future.
+	return f
+}

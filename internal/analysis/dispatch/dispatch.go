@@ -150,20 +150,32 @@ func (c *Classifier) ClassifyLit(lit *ast.FuncLit, stack []ast.Node) (Kind, stri
 		}
 		return c.classifyCallArg(parent, lit)
 	case *ast.KeyValueExpr:
-		// SwingWorker{DoInBackground: ..., Process: ..., Done: ...}
+		// SwingWorker{DoInBackground: ...} and reactor.HandlerFuncs{OnReadable: ...}
 		if key, ok := parent.Key.(*ast.Ident); ok && len(stack) >= 2 {
-			if comp, ok := stack[len(stack)-2].(*ast.CompositeLit); ok && c.isSwingWorkerType(comp) {
-				return swingWorkerField(key.Name)
+			if comp, ok := stack[len(stack)-2].(*ast.CompositeLit); ok {
+				switch {
+				case c.isSwingWorkerType(comp):
+					return swingWorkerField(key.Name)
+				case c.isHandlerFuncsType(comp):
+					return reactorHandlerField(key.Name)
+				}
 			}
 		}
 	case *ast.AssignStmt:
-		// w.DoInBackground = func(...) {...}
+		// w.DoInBackground = func(...) {...} / h.OnReadable = func(...) {...}
 		for i, rhs := range parent.Rhs {
 			if rhs != lit || i >= len(parent.Lhs) {
 				continue
 			}
-			if sel, ok := parent.Lhs[i].(*ast.SelectorExpr); ok && c.isSwingWorkerExpr(sel.X) {
+			sel, ok := parent.Lhs[i].(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			switch {
+			case c.isSwingWorkerExpr(sel.X):
 				return swingWorkerField(sel.Sel.Name)
+			case c.isHandlerFuncsExpr(sel.X):
+				return reactorHandlerField(sel.Sel.Name)
 			}
 		}
 	}
@@ -177,6 +189,18 @@ func swingWorkerField(name string) (Kind, string) {
 		return Worker, "SwingWorker.DoInBackground"
 	case "Process", "Done":
 		return EDT, "SwingWorker." + name
+	}
+	return Unknown, ""
+}
+
+// reactorHandlerField maps a reactor.HandlerFuncs field to where it runs:
+// every readiness callback is confined to the reactor's poll goroutine,
+// which the never-block rule covers exactly like an EDT — a blocked
+// callback stalls every registered connection at once.
+func reactorHandlerField(name string) (Kind, string) {
+	switch name {
+	case "OnReadable", "OnDrained", "OnClose":
+		return EDT, "reactor.HandlerFuncs." + name
 	}
 	return Unknown, ""
 }
@@ -235,6 +259,14 @@ func (c *Classifier) dispatchByCallee(call *ast.CallExpr, fn *types.Func) (strin
 		c.isMethod(fn, "repro/internal/gui", "Toolkit", "NewTimer"):
 		// Click handlers and timer actions are dispatched on the EDT.
 		return fn.Name() + " handler", EDT, true
+	case c.isMethod(fn, "repro/internal/reactor", "Reactor", "Post"),
+		c.isMethod(fn, "repro/internal/reactor", "Conn", "Post"):
+		// Posts hop onto the reactor's poll goroutine — a serial confined
+		// context with EDT blocking rules.
+		return "reactor " + fn.Name(), EDT, true
+	case c.isMethod(fn, "repro/internal/reactor", "Reactor", "Listen"):
+		// The accept callback runs on the poll goroutine.
+		return "Reactor.Listen accept callback", EDT, true
 
 	// --- worker deliveries ----------------------------------------------
 	case c.isMethod(fn, "repro/internal/executor", "WorkerPool", "Post"),
@@ -351,6 +383,25 @@ func (c *Classifier) isSwingWorkerExpr(expr ast.Expr) bool {
 	}
 	tv, ok := c.pass.TypesInfo.Types[expr]
 	return ok && isNamed(tv.Type, "repro/internal/gui", "SwingWorker")
+}
+
+// isHandlerFuncsType reports whether a composite literal builds a
+// reactor.HandlerFuncs.
+func (c *Classifier) isHandlerFuncsType(comp *ast.CompositeLit) bool {
+	if c.pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[comp]
+	return ok && isNamed(tv.Type, "repro/internal/reactor", "HandlerFuncs")
+}
+
+// isHandlerFuncsExpr reports whether expr has type (*)reactor.HandlerFuncs.
+func (c *Classifier) isHandlerFuncsExpr(expr ast.Expr) bool {
+	if c.pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	return ok && isNamed(tv.Type, "repro/internal/reactor", "HandlerFuncs")
 }
 
 // stringArg returns the constant string value of call argument i.

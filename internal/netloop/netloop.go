@@ -25,6 +25,7 @@ import (
 	"repro/internal/eventloop"
 	"repro/internal/gid"
 	"repro/internal/qos"
+	"repro/internal/reactor"
 	"repro/internal/trace"
 )
 
@@ -40,9 +41,14 @@ type Handler func(c *Client, line string)
 type Interceptor func(event string, fn func()) (func(), bool)
 
 // Server is a line-oriented message server with single-threaded dispatch.
+// Two transports feed the same dispatch loop: the portable default spawns
+// one reader goroutine per connection; EnableReactor replaces those readers
+// with a single readiness-driven poll goroutine (see internal/reactor).
 type Server struct {
-	name string
-	loop *eventloop.Loop
+	name     string
+	loop     *eventloop.Loop
+	registry *gid.Registry
+	reactor  *reactor.Reactor // nil on the goroutine-per-connection transport
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -61,6 +67,9 @@ type Server struct {
 	shed     atomic.Int64
 	dropped  atomic.Int64
 	wg       sync.WaitGroup
+
+	stopOnce sync.Once
+	stopDone chan struct{}
 }
 
 // New creates a server whose dispatch loop is named name and registered in
@@ -72,7 +81,13 @@ func New(name string, reg *gid.Registry) *Server {
 	}
 	l := eventloop.New(name, reg)
 	l.Start()
-	return &Server{name: name, loop: l, clients: make(map[int64]*Client)}
+	return &Server{
+		name:     name,
+		loop:     l,
+		registry: reg,
+		clients:  make(map[int64]*Client),
+		stopDone: make(chan struct{}),
+	}
 }
 
 // Loop returns the dispatch loop (the server's EDT analogue).
@@ -124,6 +139,9 @@ func (s *Server) intercept(event string, fn func()) (func(), bool) {
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
 // accepting. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
+	if s.reactor != nil {
+		return s.reactor.Listen(addr, s.reactorAccept)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -197,33 +215,53 @@ func (s *Server) readLoop(c *Client) {
 func (s *Server) readLines(c *Client) {
 	scanner := bufio.NewScanner(c.conn)
 	for scanner.Scan() {
-		line := scanner.Text()
-		s.messages.Add(1)
-		handler, keep := s.intercept("msg", func() {
-			if s.onMessage != nil {
-				s.onMessage(c, line)
-			}
-		})
-		if !keep {
-			// Suppressed by fault injection before it took a limiter slot
-			// or a queue position.
-			s.dropped.Add(1)
-			continue
-		}
-		if err := s.limiter.Acquire(context.Background()); err != nil {
-			// Shed at the edge: the dispatch queue is protected and the
-			// reader moves on to the next line.
-			s.shed.Add(1)
-			continue
-		}
-		s.postMessage(handler)
+		s.handleLine(c, scanner.Text())
 	}
+	c.conn.Close()
+	s.clientGone(c)
+}
+
+// handleLine runs one received line through the interception and admission
+// pipeline and posts its handler to the dispatch loop. Shared by both
+// transports (per-connection reader goroutines and the reactor's poll
+// goroutine).
+func (s *Server) handleLine(c *Client, line string) {
+	s.messages.Add(1)
+	handler, keep := s.intercept("msg", func() {
+		if s.onMessage != nil {
+			s.onMessage(c, line)
+		}
+	})
+	if !keep {
+		// Suppressed by fault injection before it took a limiter slot
+		// or a queue position.
+		s.dropped.Add(1)
+		return
+	}
+	if err := s.limiter.Acquire(context.Background()); err != nil {
+		// Shed at the edge: the dispatch queue is protected and the
+		// reader moves on to the next line. On the reactor transport a
+		// Block policy stalls the poll goroutine itself — kernel-style
+		// backpressure on every connection at once.
+		s.shed.Add(1)
+		return
+	}
+	s.postMessage(handler)
+}
+
+// clientGone removes c from the table and fires the user OnClose at most
+// once per client — and never once Stop has begun. Both transports funnel
+// every disconnect path through here (reader EOF, reactor close, handler
+// Close racing Stop), so close-during-read cannot double-fire OnClose.
+func (s *Server) clientGone(c *Client) {
 	s.mu.Lock()
 	delete(s.clients, c.id)
 	closed := s.closed
 	s.mu.Unlock()
-	c.conn.Close()
-	if s.onClose != nil && !closed {
+	if closed || !c.closeFired.CompareAndSwap(false, true) {
+		return
+	}
+	if s.onClose != nil {
 		s.loop.Post(func() { s.onClose(c) })
 	}
 }
@@ -241,48 +279,77 @@ func (s *Server) ClientCount() int {
 	return len(s.clients)
 }
 
-// Stop closes the listener, all connections, and the dispatch loop.
+// Stop closes the listener, all connections, and the dispatch loop. Safe
+// to call repeatedly and concurrently: the first caller tears down, later
+// callers block until that teardown has finished instead of returning
+// while readers may still be posting handlers.
 func (s *Server) Stop() {
-	s.mu.Lock()
-	if s.closed {
+	s.stopOnce.Do(func() {
+		defer close(s.stopDone)
+		s.mu.Lock()
+		s.closed = true
+		ln := s.ln
+		conns := make([]*Client, 0, len(s.clients))
+		for _, c := range s.clients {
+			conns = append(conns, c)
+		}
 		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	ln := s.ln
-	conns := make([]*Client, 0, len(s.clients))
-	for _, c := range s.clients {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	if ln != nil {
-		ln.Close()
-	}
-	for _, c := range conns {
-		c.conn.Close()
-	}
-	s.wg.Wait()
-	s.loop.Stop()
+		if ln != nil {
+			ln.Close()
+		}
+		if s.reactor != nil {
+			// Fires each connection's reactor OnClose (ErrClosed) on the
+			// poll goroutine; clientGone sees closed and stays silent.
+			s.reactor.Stop()
+		} else {
+			for _, c := range conns {
+				c.conn.Close()
+			}
+		}
+		s.wg.Wait()
+		s.loop.Stop()
+	})
+	<-s.stopDone
 }
 
-// Client is one connection.
+// Client is one connection on either transport: exactly one of conn
+// (goroutine-per-connection) and rc (reactor) is non-nil.
 type Client struct {
 	server *Server
 	conn   net.Conn
+	rc     *reactor.Conn
 	id     int64
 
-	writeMu sync.Mutex
+	// partial holds a line fragment spanning readiness events; it is only
+	// touched on the reactor's poll goroutine, so it needs no lock.
+	partial []byte
+
+	closeFired atomic.Bool
+	writeMu    sync.Mutex
 }
 
 // ID returns the connection's server-unique id.
 func (c *Client) ID() int64 { return c.id }
 
 // RemoteAddr returns the peer address.
-func (c *Client) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+func (c *Client) RemoteAddr() string {
+	if c.rc != nil {
+		return c.rc.RemoteAddr()
+	}
+	return c.conn.RemoteAddr().String()
+}
 
 // Send writes one line to the client. Safe from any goroutine (writes are
-// serialized per connection), so offloaded blocks may reply directly.
+// serialized per connection), so offloaded blocks may reply directly. On
+// the reactor transport it never blocks: what the socket refuses is
+// queued and flushed on writability edges.
 func (c *Client) Send(line string) error {
+	if c.rc != nil {
+		buf := make([]byte, 0, len(line)+1)
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		return c.rc.Write(buf)
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	_, err := fmt.Fprintf(c.conn, "%s\n", line)
@@ -290,4 +357,9 @@ func (c *Client) Send(line string) error {
 }
 
 // Close disconnects the client.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.rc != nil {
+		return c.rc.Close()
+	}
+	return c.conn.Close()
+}

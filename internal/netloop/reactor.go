@@ -1,0 +1,92 @@
+package netloop
+
+import (
+	"bytes"
+	"errors"
+
+	"repro/internal/reactor"
+)
+
+// EnableReactor switches the server's transport from goroutine-per-
+// connection readers to the readiness-driven reactor: one edge-triggered
+// poll goroutine owns every socket and feeds the same dispatch loop, so a
+// connection costs a registration instead of a goroutine. Must be called
+// before Start. On platforms without an epoll/kqueue poller it returns
+// reactor.ErrUnsupported and the server keeps its portable default
+// transport — gate on the error, not the platform.
+func (s *Server) EnableReactor() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil || s.closed {
+		return errors.New("netloop: EnableReactor must be called before Start")
+	}
+	if s.reactor != nil {
+		return nil
+	}
+	r, err := reactor.New(s.name+"/reactor", s.registry)
+	if err != nil {
+		return err
+	}
+	s.reactor = r
+	return nil
+}
+
+// Reactor returns the readiness reactor, or nil on the fallback transport.
+// Use it to install a readiness-layer chaos interceptor or read poll-loop
+// stats; the message-level seams (SetInterceptor, UseLimiter) apply to
+// both transports unchanged.
+func (s *Server) Reactor() *reactor.Reactor { return s.reactor }
+
+// reactorAccept wires one accepted connection into the server. Runs on the
+// poll goroutine.
+func (s *Server) reactorAccept(rc *reactor.Conn) reactor.HandlerFuncs {
+	c := &Client{server: s, rc: rc, id: s.nextID.Add(1)}
+	rc.SetContext(c)
+	s.accepted.Add(1)
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		s.clients[c.id] = c
+	}
+	s.mu.Unlock()
+	if closed {
+		rc.Close()
+		return reactor.HandlerFuncs{}
+	}
+	if s.onConnect != nil {
+		s.loop.Post(func() { s.onConnect(c) })
+	}
+	return reactor.HandlerFuncs{
+		OnReadable: func(_ *reactor.Conn, data []byte) { s.reactorData(c, data) },
+		OnClose:    func(_ *reactor.Conn, err error) { s.clientGone(c) },
+	}
+}
+
+// reactorData reassembles line-delimited messages from raw readiness
+// payloads. data aliases the reactor's scratch buffer, so any fragment that
+// survives this call is copied into the client's partial buffer; a line
+// split across readiness events (short reads) is delivered whole once its
+// terminator arrives. Poll-goroutine confined.
+func (s *Server) reactorData(c *Client, data []byte) {
+	buf := data
+	if len(c.partial) > 0 {
+		c.partial = append(c.partial, data...)
+		buf = c.partial
+	}
+	for {
+		i := bytes.IndexByte(buf, '\n')
+		if i < 0 {
+			break
+		}
+		line := buf[:i]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		s.handleLine(c, string(line))
+		buf = buf[i+1:]
+	}
+	// Keep (only) the unterminated tail. When buf aliases c.partial this is
+	// an in-place shift; when it aliases the scratch buffer it is the copy
+	// that lets the fragment outlive the event.
+	c.partial = append(c.partial[:0], buf...)
+}

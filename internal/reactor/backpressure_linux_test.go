@@ -1,0 +1,91 @@
+//go:build linux
+
+package reactor
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
+)
+
+// TestSendBufferFullBackpressure fills a deliberately tiny kernel send
+// buffer while the peer refuses to read: writes must spill into the
+// per-connection pending queue instead of blocking, drain on writability
+// edges once the peer resumes, and fire OnDrained when the queue empties.
+// The client is a plain blocking net.Conn (not reactor-registered) so the
+// test controls exactly when the peer reads.
+func TestSendBufferFullBackpressure(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "bp")
+	defer r.Stop()
+
+	drained := make(chan struct{}, 1)
+	accepted := make(chan *Conn, 1)
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		accepted <- c
+		return HandlerFuncs{
+			OnDrained: func(c *Conn) {
+				select {
+				case drained <- struct{}{}:
+				default:
+				}
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+
+	// Shrink the server's send buffer so a few tens of KB jams it while the
+	// idle client's receive buffer fills.
+	if err := setSndbuf(srv.Fd(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("x", 32<<10))
+	total := 0
+	for i := 0; i < 256 && srv.PendingWrites() == 0; i++ {
+		if err := srv.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		total += len(payload)
+	}
+	if srv.PendingWrites() == 0 {
+		t.Fatal("kernel buffers swallowed everything; backpressure never engaged")
+	}
+	if r.Stats().PartialWrites == 0 {
+		t.Fatal("PartialWrites counter not incremented")
+	}
+
+	// Resume the reader; the pending queue must drain through writability
+	// edges and every byte must arrive intact.
+	got := make(chan error, 1)
+	go func() {
+		_, err := io.CopyN(io.Discard, cli, int64(total))
+		got <- err
+	}()
+	poll.Until(t, "pending queue drained", func() bool { return srv.PendingWrites() == 0 })
+	poll.Until(t, "OnDrained fired", func() bool {
+		select {
+		case <-drained:
+			return true
+		default:
+			return false
+		}
+	})
+	if err := <-got; err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if r.Stats().WriteEvents == 0 {
+		t.Fatal("no writability edges dispatched")
+	}
+}

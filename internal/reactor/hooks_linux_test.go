@@ -1,0 +1,19 @@
+//go:build linux
+
+package reactor
+
+import "syscall"
+
+// testPipe opens a non-blocking pipe for arbitrary-FD registration tests.
+func testPipe() (r, w int, err error) {
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		return -1, -1, err
+	}
+	return p[0], p[1], nil
+}
+
+// setSndbuf shrinks a socket's kernel send buffer to force partial writes.
+func setSndbuf(fd, size int) error {
+	return syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, size)
+}

@@ -1,0 +1,14 @@
+package reactor
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain sweeps the whole suite for leaked goroutines: the reactor is
+// one long-lived poll goroutine per instance, so every Stop must join it.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

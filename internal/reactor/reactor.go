@@ -1,0 +1,701 @@
+// Package reactor is the readiness-driven dispatch core under the
+// networking layers: an edge-triggered epoll (linux) / kqueue (darwin) poll
+// loop that turns file-descriptor readiness into handler invocations on a
+// single confined goroutine — the libevent archetype the paper positions
+// EDT-style runtimes against, implemented as a first-class layer of this
+// runtime instead of being imitated on top of goroutine-per-connection
+// net I/O.
+//
+// Shape of the machine:
+//
+//   - one poll goroutine owns every registered descriptor; it blocks in
+//     epoll_wait/kevent and never anywhere else;
+//   - registration is edge-triggered: each readiness event is drained to
+//     EAGAIN (reads into a single shared scratch buffer, writes out of the
+//     per-connection pending queue), so an edge is never lost;
+//   - a wakeup pipe lets any goroutine Post work onto the poll goroutine —
+//     the cross-thread ingress every single-threaded event loop needs;
+//   - each connection is a *virtual target bound to an FD*: its callbacks
+//     (HandlerFuncs) are confined to the poll goroutine exactly as EDT
+//     handlers are confined to the event-dispatch thread, so connection
+//     state needs no locks; Conn.Post hops back onto that context from
+//     anywhere, and from a callback the usual directives offload to worker
+//     targets and hop back;
+//   - Conn.Write is safe from any goroutine: it writes straight to the
+//     socket while the kernel buffer has room and spills the remainder into
+//     a per-connection pending queue that the poll loop drains on the next
+//     writability edge (backpressure becomes memory, never a blocked
+//     goroutine).
+//
+// The hot path allocates nothing per event: readiness events land in a
+// reused event array, reads go through one scratch buffer, and callbacks
+// are pre-bound at registration. Only payload copies (and spans, when
+// tracing is on) allocate.
+//
+// Cross-cutting integration mirrors the rest of the runtime: an
+// Interceptor seam compatible with chaos.NetInterceptor injects Delay/Drop
+// faults at the readiness layer, trace spans parent handler work to the
+// readiness event that caused it ("ready" → "recv" → "run"), and callers
+// apply qos admission per message (see netloop) — on a reactor, a Block
+// policy backpressures the whole loop, which is kernel-style global
+// backpressure: every socket stops being read and TCP receive windows fill.
+//
+// Platforms without a poller (anything but linux/darwin) compile against
+// the same API; New returns ErrUnsupported and callers fall back to the
+// portable goroutine-per-connection transport (netloop's default).
+package reactor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gid"
+	"repro/internal/trace"
+)
+
+// ErrUnsupported is returned by New on platforms without an epoll/kqueue
+// poller. Gate reactor use on Supported.
+var ErrUnsupported = errors.New("reactor: no poller on this platform")
+
+// ErrClosed is returned by operations on a stopped reactor.
+var ErrClosed = errors.New("reactor: stopped")
+
+// ErrConnClosed is returned by writes to a closed connection.
+var ErrConnClosed = errors.New("reactor: connection closed")
+
+// HandlerFuncs are one connection's readiness callbacks. Every callback
+// runs on the poll goroutine — the reactor's EDT-confined context: never
+// block in one (ompvet's blockguard pass enforces this); offload to a
+// worker target and hop back with Conn.Post instead.
+type HandlerFuncs struct {
+	// OnReadable delivers freshly read bytes. data is only valid for the
+	// duration of the call (it aliases the shared scratch buffer); copy
+	// what must outlive it.
+	OnReadable func(c *Conn, data []byte)
+	// OnDrained fires when a previously spilled write queue empties — the
+	// moment backpressure released.
+	OnDrained func(c *Conn)
+	// OnClose fires exactly once when the connection leaves the reactor:
+	// peer EOF (err == io.EOF), a socket error, Conn.Close, or reactor
+	// shutdown (err == ErrClosed).
+	OnClose func(c *Conn, err error)
+}
+
+// Interceptor sits between a readiness event and its handler dispatch,
+// same shape as netloop.Interceptor so chaos.NetInterceptor plugs into
+// both: it may replace the dispatch (Delay) or suppress it (keep=false;
+// with edge-triggered registration a dropped read edge stalls the
+// connection until more bytes arrive — exactly the fault being modelled).
+type Interceptor func(event string, fn func()) (func(), bool)
+
+// Stats is a snapshot of the reactor's counters.
+type Stats struct {
+	Conns         int   // currently registered connections
+	Accepted      int64 // connections accepted by listeners
+	Dialed        int64 // connections established by Dial
+	ReadEvents    int64 // readability edges dispatched
+	WriteEvents   int64 // writability edges dispatched
+	BytesRead     int64
+	BytesWritten  int64
+	PartialWrites int64 // writes that spilled into a pending queue
+	Posts         int64 // cross-thread Post/Conn.Post functions run
+	Wakeups       int64 // wakeup-pipe interrupts of the poll wait
+	Dropped       int64 // events suppressed by the interceptor
+}
+
+// Reactor is an edge-triggered readiness dispatcher. Create with New,
+// tear down with Stop.
+type Reactor struct {
+	name     string
+	registry *gid.Registry
+	p        poller
+
+	mu        sync.Mutex
+	conns     map[int]*Conn
+	listeners map[int]*listener
+	posted    []func()
+	closed    bool
+
+	wakePending atomic.Bool
+	interceptor atomic.Pointer[Interceptor]
+
+	accepted      atomic.Int64
+	dialed        atomic.Int64
+	readEvents    atomic.Int64
+	writeEvents   atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	partialWrites atomic.Int64
+	posts         atomic.Int64
+	wakeups       atomic.Int64
+	dropped       atomic.Int64
+
+	readBuf []byte // poll-goroutine-only scratch
+	events  []pollEvent
+	wg      sync.WaitGroup
+	ready   chan struct{}
+}
+
+type listener struct {
+	fd       int
+	onAccept func(*Conn) HandlerFuncs
+}
+
+// New creates a reactor named name whose poll goroutine registers itself
+// in reg (nil means gid.Default) and starts it. On platforms without a
+// poller it returns ErrUnsupported.
+func New(name string, reg *gid.Registry) (*Reactor, error) {
+	if reg == nil {
+		reg = &gid.Default
+	}
+	p, err := newPoller()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reactor{
+		name:      name,
+		registry:  reg,
+		p:         p,
+		conns:     make(map[int]*Conn),
+		listeners: make(map[int]*listener),
+		readBuf:   make([]byte, 64<<10),
+		events:    make([]pollEvent, 256),
+		ready:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.run()
+	<-r.ready
+	return r, nil
+}
+
+// Name returns the reactor's virtual-target name.
+func (r *Reactor) Name() string { return r.name }
+
+// Owns reports whether the calling goroutine is the poll goroutine.
+func (r *Reactor) Owns() bool { return r.registry.IsOwnedBy(r) }
+
+// SetInterceptor installs (or, with nil, removes) the readiness
+// interceptor — the chaos seam.
+func (r *Reactor) SetInterceptor(fn Interceptor) {
+	if fn == nil {
+		r.interceptor.Store(nil)
+		return
+	}
+	r.interceptor.Store(&fn)
+}
+
+// intercept applies the installed interceptor, defaulting to pass-through.
+func (r *Reactor) intercept(event string, fn func()) (func(), bool) {
+	p := r.interceptor.Load()
+	if p == nil || *p == nil {
+		return fn, true
+	}
+	return (*p)(event, fn)
+}
+
+// Stats returns a snapshot of the reactor's counters.
+func (r *Reactor) Stats() Stats {
+	r.mu.Lock()
+	conns := len(r.conns)
+	r.mu.Unlock()
+	return Stats{
+		Conns:         conns,
+		Accepted:      r.accepted.Load(),
+		Dialed:        r.dialed.Load(),
+		ReadEvents:    r.readEvents.Load(),
+		WriteEvents:   r.writeEvents.Load(),
+		BytesRead:     r.bytesRead.Load(),
+		BytesWritten:  r.bytesWritten.Load(),
+		PartialWrites: r.partialWrites.Load(),
+		Posts:         r.posts.Load(),
+		Wakeups:       r.wakeups.Load(),
+		Dropped:       r.dropped.Load(),
+	}
+}
+
+// Post runs fn on the poll goroutine — the cross-thread ingress. Returns
+// ErrClosed after Stop. Posts from the poll goroutine itself are also
+// queued (they run after the current event batch), preserving FIFO order
+// with posts from other goroutines.
+func (r *Reactor) Post(fn func()) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.posted = append(r.posted, fn)
+	r.mu.Unlock()
+	r.wake()
+	return nil
+}
+
+// wake interrupts the poll wait once; coalesces with pending wakeups.
+func (r *Reactor) wake() {
+	if r.wakePending.CompareAndSwap(false, true) {
+		r.p.wake()
+	}
+}
+
+// Listen binds a listening socket on addr ("127.0.0.1:0" for an ephemeral
+// port), registers it, and returns the bound address. Each accepted
+// connection is wrapped in a Conn and onAccept (poll goroutine) returns
+// its callbacks.
+func (r *Reactor) Listen(addr string, onAccept func(*Conn) HandlerFuncs) (string, error) {
+	fd, bound, err := sysListen(addr)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		sysClose(fd)
+		return "", ErrClosed
+	}
+	r.listeners[fd] = &listener{fd: fd, onAccept: onAccept}
+	r.mu.Unlock()
+	if err := r.p.add(fd, false); err != nil {
+		r.mu.Lock()
+		delete(r.listeners, fd)
+		r.mu.Unlock()
+		sysClose(fd)
+		return "", fmt.Errorf("reactor: register listener: %w", err)
+	}
+	return bound, nil
+}
+
+// Dial connects to addr (blocking connect, then non-blocking registration)
+// and registers the connection with h.
+func (r *Reactor) Dial(addr string, h HandlerFuncs) (*Conn, error) {
+	fd, err := sysDial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.Register(fd, h)
+	if err != nil {
+		sysClose(fd)
+		return nil, err
+	}
+	r.dialed.Add(1)
+	return c, nil
+}
+
+// Register places an already-open descriptor (socket, pipe, ...) under the
+// reactor. The descriptor is set non-blocking and the reactor takes
+// ownership: it will be closed when the connection leaves the reactor.
+func (r *Reactor) Register(fd int, h HandlerFuncs) (*Conn, error) {
+	if err := sysSetNonblock(fd); err != nil {
+		return nil, fmt.Errorf("reactor: set nonblocking: %w", err)
+	}
+	c := &Conn{r: r, fd: fd, h: h}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.conns[fd] = c
+	r.mu.Unlock()
+	if err := r.p.add(fd, false); err != nil {
+		r.mu.Lock()
+		delete(r.conns, fd)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("reactor: register fd %d: %w", fd, err)
+	}
+	return c, nil
+}
+
+// run is the poll loop: wait for readiness, dispatch edges, drain posts.
+func (r *Reactor) run() {
+	defer func() {
+		r.registry.Deregister()
+		r.wg.Done()
+	}()
+	r.registry.Register(r)
+	close(r.ready)
+	pprof.Do(context.Background(), pprof.Labels("target", r.name), func(context.Context) {
+		r.pollLoop()
+	})
+}
+
+func (r *Reactor) pollLoop() {
+	for {
+		n, woken, err := r.p.wait(r.events)
+		if err != nil {
+			return // poller closed: Stop tore us down
+		}
+		if woken {
+			r.wakeups.Add(1)
+			r.wakePending.Store(false)
+			if !r.drainPosted() {
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			r.dispatchEvent(&r.events[i])
+		}
+	}
+}
+
+// drainPosted runs the queued cross-thread posts; reports false when the
+// reactor is stopping (the poll goroutine must exit).
+func (r *Reactor) drainPosted() bool {
+	r.mu.Lock()
+	fns := r.posted
+	r.posted = nil
+	closed := r.closed
+	r.mu.Unlock()
+	for _, fn := range fns {
+		r.posts.Add(1)
+		fn()
+	}
+	return !closed
+}
+
+// dispatchEvent handles one readiness event on the poll goroutine.
+func (r *Reactor) dispatchEvent(ev *pollEvent) {
+	r.mu.Lock()
+	ln := r.listeners[ev.fd]
+	c := r.conns[ev.fd]
+	r.mu.Unlock()
+	switch {
+	case ln != nil:
+		r.acceptDrain(ln)
+	case c != nil:
+		r.connEvent(c, ev)
+	}
+}
+
+// acceptDrain accepts until EAGAIN (edge semantics on the listen socket).
+func (r *Reactor) acceptDrain(ln *listener) {
+	for {
+		fd, err := sysAccept(ln.fd)
+		if err != nil {
+			return // EAGAIN, or listener closed underneath us
+		}
+		c := &Conn{r: r, fd: fd}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			sysClose(fd)
+			return
+		}
+		r.conns[fd] = c
+		r.mu.Unlock()
+		c.h = ln.onAccept(c)
+		if err := r.p.add(fd, false); err != nil {
+			r.closeConn(c, err)
+			continue
+		}
+		r.accepted.Add(1)
+	}
+}
+
+// connEvent dispatches one connection's readiness, bracketed by the chaos
+// interceptor and, when tracing is on, a "ready" span that the handler's
+// downstream posts parent to (readiness → dispatch → handler causality).
+func (r *Reactor) connEvent(c *Conn, ev *pollEvent) {
+	fn, keep := r.intercept("ready", func() { r.connReady(c, ev) })
+	if !keep {
+		r.dropped.Add(1)
+		return
+	}
+	sink := trace.ActiveSink()
+	if sink == nil {
+		fn()
+		return
+	}
+	span := trace.BeginSpan(sink, "ready", r.name, 0)
+	prev := trace.Swap(span)
+	fn()
+	trace.Swap(prev)
+	trace.EndSpan(sink, span, "ready", r.name)
+}
+
+func (r *Reactor) connReady(c *Conn, ev *pollEvent) {
+	if ev.writable {
+		r.writeEvents.Add(1)
+		c.flush()
+	}
+	if ev.readable {
+		r.readEvents.Add(1)
+		r.readDrain(c)
+	}
+	if ev.hup && !c.dead() {
+		// Peer hung up and no data pending: epoll reported RDHUP/HUP
+		// without readable bytes (or the read drain already consumed
+		// them). A read would return 0 now; close eagerly.
+		r.closeConn(c, io.EOF)
+	}
+}
+
+// readDrain reads until EAGAIN or EOF — the edge-triggered contract.
+func (r *Reactor) readDrain(c *Conn) {
+	for !c.dead() {
+		n, err := sysRead(c.fd, r.readBuf)
+		switch {
+		case n > 0:
+			r.bytesRead.Add(int64(n))
+			if c.h.OnReadable != nil {
+				c.h.OnReadable(c, r.readBuf[:n])
+			}
+		case err == nil:
+			// n == 0: EOF.
+			r.closeConn(c, io.EOF)
+			return
+		case wouldBlock(err):
+			return
+		case isEINTR(err):
+			continue
+		default:
+			r.closeConn(c, err)
+			return
+		}
+	}
+}
+
+// closeConn removes c from the reactor, closes the descriptor, and fires
+// OnClose exactly once. Poll-goroutine only. The descriptor is closed
+// under the write mutex so a concurrent Conn.Write can never issue a
+// syscall on a closed (and possibly kernel-recycled) fd number.
+func (r *Reactor) closeConn(c *Conn, err error) {
+	if !c.closeState.CompareAndSwap(0, 1) {
+		return
+	}
+	r.mu.Lock()
+	delete(r.conns, c.fd)
+	r.mu.Unlock()
+	r.p.del(c.fd)
+	c.wmu.Lock()
+	c.closing = true
+	c.pending = nil
+	c.pendingLen = 0
+	sysClose(c.fd)
+	c.wmu.Unlock()
+	if c.h.OnClose != nil {
+		c.h.OnClose(c, err)
+	}
+}
+
+// Stop closes every listener and connection (firing their OnClose with
+// ErrClosed on the poll goroutine), rejects further posts, and joins the
+// poll goroutine. Safe to call more than once; concurrent callers wait
+// for the teardown to finish.
+func (r *Reactor) Stop() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	// Final post: runs on the poll goroutine after the queue drains, closes
+	// everything while still confined, then drainPosted sees closed and the
+	// loop exits.
+	r.posted = append(r.posted, func() {
+		r.mu.Lock()
+		lns := make([]*listener, 0, len(r.listeners))
+		for _, ln := range r.listeners {
+			lns = append(lns, ln)
+		}
+		conns := make([]*Conn, 0, len(r.conns))
+		for _, c := range r.conns {
+			conns = append(conns, c)
+		}
+		r.listeners = map[int]*listener{}
+		r.mu.Unlock()
+		for _, ln := range lns {
+			r.p.del(ln.fd)
+			sysClose(ln.fd)
+		}
+		for _, c := range conns {
+			r.closeConn(c, ErrClosed)
+		}
+	})
+	r.mu.Unlock()
+	r.wake()
+	r.wg.Wait()
+	r.p.close()
+}
+
+// Conn is one registered descriptor: a virtual target bound to an FD. Its
+// HandlerFuncs run confined to the poll goroutine; Write and Close are
+// safe from any goroutine.
+type Conn struct {
+	r  *Reactor
+	fd int
+	h  HandlerFuncs
+
+	ctx atomic.Value // user attachment
+
+	wmu        sync.Mutex
+	pending    [][]byte // spilled writes, drained on writability edges
+	pendingLen int
+	wantWrite  bool // fd registered for writability edges
+	closing    bool // Close requested; finish pending writes first
+
+	closeState atomic.Int32 // 0 open, 1 closed
+}
+
+// Fd returns the underlying descriptor (for diagnostics; the reactor owns
+// its lifecycle).
+func (c *Conn) Fd() int { return c.fd }
+
+// RemoteAddr returns the peer address ("" for non-socket descriptors or
+// closed connections).
+func (c *Conn) RemoteAddr() string {
+	if c.dead() {
+		return ""
+	}
+	return sysPeerAddr(c.fd)
+}
+
+// Reactor returns the owning reactor.
+func (c *Conn) Reactor() *Reactor { return c.r }
+
+// SetContext attaches an arbitrary per-connection value (the netloop
+// Client, a session, ...).
+func (c *Conn) SetContext(v any) { c.ctx.Store(v) }
+
+// Context returns the attached value (nil if none).
+func (c *Conn) Context() any { return c.ctx.Load() }
+
+// Post runs fn on the poll goroutine — the hop back into this
+// connection's confined context from a worker block. The connection may
+// close before fn runs; check Closed in fn if that matters.
+func (c *Conn) Post(fn func()) error { return c.r.Post(fn) }
+
+// Closed reports whether the connection has left the reactor.
+func (c *Conn) Closed() bool { return c.dead() }
+
+func (c *Conn) dead() bool { return c.closeState.Load() != 0 }
+
+// PendingWrites returns the number of spilled bytes awaiting a
+// writability edge — the live backpressure measure.
+func (c *Conn) PendingWrites() int {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.pendingLen
+}
+
+// Write sends p: straight to the socket while the kernel buffer accepts
+// it, with any remainder copied into the pending queue and flushed on
+// writability edges. It never blocks. Safe from any goroutine.
+func (c *Conn) Write(p []byte) error {
+	if c.dead() {
+		return ErrConnClosed
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closing {
+		return ErrConnClosed
+	}
+	if len(c.pending) == 0 {
+		for len(p) > 0 {
+			n, err := sysWrite(c.fd, p)
+			if n > 0 {
+				c.r.bytesWritten.Add(int64(n))
+				p = p[n:]
+				continue
+			}
+			if wouldBlock(err) {
+				break
+			}
+			if isEINTR(err) {
+				continue
+			}
+			// Write error: the read side will surface it as a readiness
+			// event and close; report it to the caller too.
+			return fmt.Errorf("reactor: write fd %d: %w", c.fd, err)
+		}
+		if len(p) == 0 {
+			return nil
+		}
+	}
+	// Spill: own a copy, ask for writability edges.
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	c.pending = append(c.pending, buf)
+	c.pendingLen += len(buf)
+	c.r.partialWrites.Add(1)
+	if !c.wantWrite {
+		c.wantWrite = true
+		c.r.p.mod(c.fd, true)
+	}
+	return nil
+}
+
+// flush drains the pending queue on a writability edge (poll goroutine).
+func (c *Conn) flush() {
+	c.wmu.Lock()
+	for len(c.pending) > 0 {
+		buf := c.pending[0]
+		n, err := sysWrite(c.fd, buf)
+		if n > 0 {
+			c.r.bytesWritten.Add(int64(n))
+			c.pendingLen -= n
+			if n < len(buf) {
+				c.pending[0] = buf[n:]
+				continue
+			}
+			c.pending[0] = nil
+			c.pending = c.pending[1:]
+			continue
+		}
+		if wouldBlock(err) {
+			c.wmu.Unlock()
+			return
+		}
+		if isEINTR(err) {
+			continue
+		}
+		c.wmu.Unlock()
+		c.r.closeConn(c, fmt.Errorf("reactor: flush fd %d: %w", c.fd, err))
+		return
+	}
+	c.pending = nil
+	drained := c.wantWrite
+	c.wantWrite = false
+	closing := c.closing
+	c.wmu.Unlock()
+	if drained {
+		c.r.p.mod(c.fd, false)
+		if c.h.OnDrained != nil && !c.dead() {
+			c.h.OnDrained(c)
+		}
+	}
+	if closing {
+		c.r.closeConn(c, ErrConnClosed)
+	}
+}
+
+// Close disconnects: pending writes are flushed first, then the
+// descriptor is closed and OnClose fires (with ErrConnClosed). Safe from
+// any goroutine; returns after the close has been scheduled, not
+// necessarily performed.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if c.closing {
+		c.wmu.Unlock()
+		return nil
+	}
+	c.closing = true
+	hasPending := len(c.pending) > 0
+	c.wmu.Unlock()
+	if hasPending {
+		return nil // flush() fires the close once the queue drains
+	}
+	if c.r.Owns() {
+		c.r.closeConn(c, ErrConnClosed)
+		return nil
+	}
+	err := c.r.Post(func() { c.r.closeConn(c, ErrConnClosed) })
+	if errors.Is(err, ErrClosed) {
+		// Reactor stopping: its final post closes every conn.
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,259 @@
+//go:build darwin
+
+package reactor
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+)
+
+// Supported reports whether this platform has a reactor poller.
+const Supported = true
+
+// kqueuePoller is the darwin backend: EV_CLEAR gives the same
+// edge-triggered contract as EPOLLET, and a non-blocking pipe provides the
+// cross-thread wakeup (EVFILT_USER would avoid the pipe but the pipe keeps
+// the backends symmetrical).
+type kqueuePoller struct {
+	kq     int
+	wakeR  int
+	wakeW  int
+	kevs   []syscall.Kevent_t // reused across waits: no per-wait allocation
+	closeO sync.Once
+}
+
+func newPoller() (poller, error) {
+	kq, err := syscall.Kqueue()
+	if err != nil {
+		return nil, fmt.Errorf("reactor: kqueue: %w", err)
+	}
+	var p [2]int
+	if err := syscall.Pipe(p[:]); err != nil {
+		syscall.Close(kq)
+		return nil, fmt.Errorf("reactor: pipe: %w", err)
+	}
+	syscall.SetNonblock(p[0], true)
+	syscall.SetNonblock(p[1], true)
+	kp := &kqueuePoller{kq: kq, wakeR: p[0], wakeW: p[1]}
+	ev := syscall.Kevent_t{
+		Ident:  uint64(kp.wakeR),
+		Filter: syscall.EVFILT_READ,
+		Flags:  syscall.EV_ADD,
+	}
+	if _, err := syscall.Kevent(kq, []syscall.Kevent_t{ev}, nil, nil); err != nil {
+		kp.close()
+		return nil, fmt.Errorf("reactor: register wakeup pipe: %w", err)
+	}
+	return kp, nil
+}
+
+func (p *kqueuePoller) change(fd int, filter int16, flags uint16) error {
+	ev := syscall.Kevent_t{Ident: uint64(fd), Filter: filter, Flags: flags}
+	_, err := syscall.Kevent(p.kq, []syscall.Kevent_t{ev}, nil, nil)
+	return err
+}
+
+func (p *kqueuePoller) add(fd int, w bool) error {
+	if err := p.change(fd, syscall.EVFILT_READ, syscall.EV_ADD|syscall.EV_CLEAR); err != nil {
+		return err
+	}
+	if w {
+		return p.change(fd, syscall.EVFILT_WRITE, syscall.EV_ADD|syscall.EV_CLEAR)
+	}
+	return nil
+}
+
+func (p *kqueuePoller) mod(fd int, w bool) error {
+	if w {
+		return p.change(fd, syscall.EVFILT_WRITE, syscall.EV_ADD|syscall.EV_CLEAR)
+	}
+	err := p.change(fd, syscall.EVFILT_WRITE, syscall.EV_DELETE)
+	if errors.Is(err, syscall.ENOENT) {
+		return nil
+	}
+	return err
+}
+
+func (p *kqueuePoller) del(fd int) error {
+	// Closing the descriptor removes its filters; deleting explicitly keeps
+	// events for a recycled fd number from leaking across connections.
+	p.change(fd, syscall.EVFILT_READ, syscall.EV_DELETE)
+	p.change(fd, syscall.EVFILT_WRITE, syscall.EV_DELETE)
+	return nil
+}
+
+func (p *kqueuePoller) wait(evs []pollEvent) (int, bool, error) {
+	if len(p.kevs) < len(evs) {
+		p.kevs = make([]syscall.Kevent_t, len(evs))
+	}
+	kevs := p.kevs
+	for {
+		n, err := syscall.Kevent(p.kq, nil, kevs, nil)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return 0, false, fmt.Errorf("reactor: kevent: %w", err)
+		}
+		out, woken := 0, false
+		for i := 0; i < n; i++ {
+			fd := int(kevs[i].Ident)
+			if fd == p.wakeR {
+				woken = true
+				p.drainWake()
+				continue
+			}
+			pe := pollEvent{fd: fd}
+			switch kevs[i].Filter {
+			case syscall.EVFILT_READ:
+				pe.readable = true
+			case syscall.EVFILT_WRITE:
+				pe.writable = true
+			}
+			if kevs[i].Flags&syscall.EV_EOF != 0 {
+				pe.hup = true
+			}
+			evs[out] = pe
+			out++
+		}
+		return out, woken, nil
+	}
+}
+
+func (p *kqueuePoller) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if n <= 0 || err != nil {
+			return
+		}
+	}
+}
+
+func (p *kqueuePoller) wake() {
+	var one = [1]byte{1}
+	for {
+		_, err := syscall.Write(p.wakeW, one[:])
+		if err == syscall.EINTR {
+			continue
+		}
+		return // success, or EAGAIN: a wakeup is already pending
+	}
+}
+
+func (p *kqueuePoller) close() {
+	p.closeO.Do(func() {
+		syscall.Close(p.kq)
+		syscall.Close(p.wakeR)
+		syscall.Close(p.wakeW)
+	})
+}
+
+// --- socket helpers -------------------------------------------------------
+
+func resolveIPv4(addr string) ([4]byte, int, error) {
+	var ip4 [4]byte
+	ta, err := net.ResolveTCPAddr("tcp4", addr)
+	if err != nil {
+		return ip4, 0, fmt.Errorf("reactor: resolve %q: %w", addr, err)
+	}
+	if ip := ta.IP.To4(); ip != nil {
+		copy(ip4[:], ip)
+	}
+	return ip4, ta.Port, nil
+}
+
+func sysListen(addr string) (int, string, error) {
+	ip4, port, err := resolveIPv4(addr)
+	if err != nil {
+		return -1, "", err
+	}
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return -1, "", fmt.Errorf("reactor: socket: %w", err)
+	}
+	syscall.CloseOnExec(fd)
+	syscall.SetNonblock(fd, true)
+	syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+	sa := &syscall.SockaddrInet4{Port: port, Addr: ip4}
+	if err := syscall.Bind(fd, sa); err != nil {
+		syscall.Close(fd)
+		return -1, "", fmt.Errorf("reactor: bind %s: %w", addr, err)
+	}
+	if err := syscall.Listen(fd, 4096); err != nil {
+		syscall.Close(fd)
+		return -1, "", fmt.Errorf("reactor: listen %s: %w", addr, err)
+	}
+	bound, err := syscall.Getsockname(fd)
+	if err != nil {
+		syscall.Close(fd)
+		return -1, "", fmt.Errorf("reactor: getsockname: %w", err)
+	}
+	b := bound.(*syscall.SockaddrInet4)
+	laddr := net.JoinHostPort(net.IP(b.Addr[:]).String(), fmt.Sprint(b.Port))
+	return fd, laddr, nil
+}
+
+func sysAccept(lfd int) (int, error) {
+	for {
+		fd, _, err := syscall.Accept(lfd)
+		if err == syscall.EINTR || err == syscall.ECONNABORTED {
+			continue
+		}
+		if err != nil {
+			return -1, err
+		}
+		syscall.CloseOnExec(fd)
+		syscall.SetNonblock(fd, true)
+		syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+		return fd, nil
+	}
+}
+
+func sysDial(addr string) (int, error) {
+	ip4, port, err := resolveIPv4(addr)
+	if err != nil {
+		return -1, err
+	}
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return -1, fmt.Errorf("reactor: socket: %w", err)
+	}
+	syscall.CloseOnExec(fd)
+	sa := &syscall.SockaddrInet4{Port: port, Addr: ip4}
+	if err := syscall.Connect(fd, sa); err != nil {
+		syscall.Close(fd)
+		return -1, fmt.Errorf("reactor: connect %s: %w", addr, err)
+	}
+	syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+	return fd, nil
+}
+
+func sysSetNonblock(fd int) error { return syscall.SetNonblock(fd, true) }
+
+func sysRead(fd int, p []byte) (int, error) { return syscall.Read(fd, p) }
+
+func sysWrite(fd int, p []byte) (int, error) { return syscall.Write(fd, p) }
+
+func sysClose(fd int) error { return syscall.Close(fd) }
+
+func wouldBlock(err error) bool {
+	return errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EWOULDBLOCK)
+}
+
+func isEINTR(err error) bool { return errors.Is(err, syscall.EINTR) }
+
+// sysPeerAddr formats the peer address of a connected socket.
+func sysPeerAddr(fd int) string {
+	sa, err := syscall.Getpeername(fd)
+	if err != nil {
+		return ""
+	}
+	if s4, ok := sa.(*syscall.SockaddrInet4); ok {
+		return net.JoinHostPort(net.IP(s4.Addr[:]).String(), fmt.Sprint(s4.Port))
+	}
+	return ""
+}
