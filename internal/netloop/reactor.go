@@ -62,6 +62,13 @@ func (s *Server) reactorAccept(rc *reactor.Conn) reactor.HandlerFuncs {
 	}
 }
 
+// maxLineLen bounds an unterminated line fragment buffered across
+// readiness events — the same cap bufio.Scanner imposes on the default
+// transport (bufio.MaxScanTokenSize). Without it a peer streaming bytes
+// with no newline grows c.partial without bound: a per-connection memory
+// DoS the goroutine-per-connection transport never had.
+const maxLineLen = 64 << 10
+
 // reactorData reassembles line-delimited messages from raw readiness
 // payloads. data aliases the reactor's scratch buffer, so any fragment that
 // survives this call is copied into the client's partial buffer; a line
@@ -84,6 +91,14 @@ func (s *Server) reactorData(c *Client, data []byte) {
 		}
 		s.handleLine(c, string(line))
 		buf = buf[i+1:]
+	}
+	if len(buf) > maxLineLen {
+		// Oversized unterminated line: drop the fragment and disconnect,
+		// mirroring the default transport's scanner giving up at its token
+		// cap rather than buffering indefinitely.
+		c.partial = nil
+		c.rc.Close()
+		return
 	}
 	// Keep (only) the unterminated tail. When buf aliases c.partial this is
 	// an in-place shift; when it aliases the scratch buffer it is the copy

@@ -1,8 +1,10 @@
 package netloop
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -290,6 +292,45 @@ func TestReactorSpanCausality(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no recv span recorded on the reactor transport")
+	}
+}
+
+// TestReactorOversizedLineDisconnects: an unterminated fragment past
+// maxLineLen must disconnect the peer instead of buffering it without
+// bound — the cap the default transport's bufio.Scanner already imposes.
+func TestReactorOversizedLineDisconnects(t *testing.T) {
+	defer leakcheck.Check(t)()
+	s := newReactorServer(t, "rcap")
+	defer s.Stop()
+	got := make(chan string, 4)
+	s.HandleFunc(func(c *Client, line string) { got <- line })
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A long-but-legal line is still delivered whole.
+	legal, _ := dial(t, addr)
+	line := strings.Repeat("a", 60<<10)
+	if _, err := legal.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if g := <-got; g != line {
+		t.Fatalf("long line mangled: got %d bytes, want %d", len(g), len(line))
+	}
+
+	// A fragment past the cap with no terminator gets the connection closed.
+	hog, _ := dial(t, addr)
+	if _, err := hog.Write(bytes.Repeat([]byte("b"), maxLineLen+(8<<10))); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "oversized-line client disconnected", func() bool {
+		return s.ClientCount() == 1 // only the legal client remains
+	})
+	select {
+	case g := <-got:
+		t.Fatalf("unterminated oversized fragment delivered as line (%d bytes)", len(g))
+	default:
 	}
 }
 

@@ -137,8 +137,16 @@ type Reactor struct {
 
 	readBuf []byte // poll-goroutine-only scratch
 	events  []pollEvent
+	targets []batchTarget // poll-goroutine-only scratch (see pollLoop)
 	wg      sync.WaitGroup
 	ready   chan struct{}
+}
+
+// batchTarget pins one readiness event to the registration it was
+// generated for, resolved before any event in the batch is dispatched.
+type batchTarget struct {
+	ln *listener
+	c  *Conn
 }
 
 type listener struct {
@@ -309,8 +317,11 @@ func (r *Reactor) Register(fd int, h HandlerFuncs) (*Conn, error) {
 }
 
 // run is the poll loop: wait for readiness, dispatch edges, drain posts.
+// The poller is closed here, on the way out, so Stop never has to touch it
+// while the loop might still be waiting on it.
 func (r *Reactor) run() {
 	defer func() {
+		r.p.close()
 		r.registry.Deregister()
 		r.wg.Done()
 	}()
@@ -334,8 +345,27 @@ func (r *Reactor) pollLoop() {
 				return
 			}
 		}
+		// Resolve the whole batch to its targets before dispatching any
+		// event: a handler may close a connection mid-batch and another
+		// goroutine may reuse its fd number via Register/Dial before later
+		// events in the same batch dispatch. Looking conns up lazily would
+		// deliver those stale events to the fresh connection (a stale hup
+		// would even close it); resolving up front pins each event to the
+		// registration that existed when the kernel reported it, and the
+		// dead() check in dispatchEvent drops events whose connection
+		// closed earlier in the batch.
+		if cap(r.targets) < n {
+			r.targets = make([]batchTarget, n)
+		}
+		targets := r.targets[:n]
+		r.mu.Lock()
 		for i := 0; i < n; i++ {
-			r.dispatchEvent(&r.events[i])
+			targets[i] = batchTarget{ln: r.listeners[r.events[i].fd], c: r.conns[r.events[i].fd]}
+		}
+		r.mu.Unlock()
+		for i := 0; i < n; i++ {
+			r.dispatchEvent(targets[i], &r.events[i])
+			targets[i] = batchTarget{} // release refs between batches
 		}
 	}
 }
@@ -355,17 +385,16 @@ func (r *Reactor) drainPosted() bool {
 	return !closed
 }
 
-// dispatchEvent handles one readiness event on the poll goroutine.
-func (r *Reactor) dispatchEvent(ev *pollEvent) {
-	r.mu.Lock()
-	ln := r.listeners[ev.fd]
-	c := r.conns[ev.fd]
-	r.mu.Unlock()
+// dispatchEvent handles one readiness event on the poll goroutine. The
+// target was resolved at batch start; a connection closed by an earlier
+// event in the batch is dropped here instead of reaching its (dead)
+// handlers or a reused fd's new owner.
+func (r *Reactor) dispatchEvent(t batchTarget, ev *pollEvent) {
 	switch {
-	case ln != nil:
-		r.acceptDrain(ln)
-	case c != nil:
-		r.connEvent(c, ev)
+	case t.ln != nil:
+		r.acceptDrain(t.ln)
+	case t.c != nil && !t.c.dead():
+		r.connEvent(t.c, ev)
 	}
 }
 
@@ -483,12 +512,17 @@ func (r *Reactor) closeConn(c *Conn, err error) {
 // Stop closes every listener and connection (firing their OnClose with
 // ErrClosed on the poll goroutine), rejects further posts, and joins the
 // poll goroutine. Safe to call more than once; concurrent callers wait
-// for the teardown to finish.
+// for the teardown to finish. Callable from a handler callback or Post fn
+// on the poll goroutine itself: in that case Stop cannot join the loop it
+// is running on, so it returns once the teardown is scheduled — the loop
+// exits after the current batch drains.
 func (r *Reactor) Stop() {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		r.wg.Wait()
+		if !r.Owns() {
+			r.wg.Wait()
+		}
 		return
 	}
 	r.closed = true
@@ -517,8 +551,10 @@ func (r *Reactor) Stop() {
 	})
 	r.mu.Unlock()
 	r.wake()
+	if r.Owns() {
+		return // joining our own goroutine would deadlock; see doc comment
+	}
 	r.wg.Wait()
-	r.p.close()
 }
 
 // Conn is one registered descriptor: a virtual target bound to an FD. Its
@@ -589,8 +625,8 @@ func (c *Conn) Write(p []byte) error {
 		return ErrConnClosed
 	}
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	if c.closing {
+		c.wmu.Unlock()
 		return ErrConnClosed
 	}
 	if len(c.pending) == 0 {
@@ -609,23 +645,53 @@ func (c *Conn) Write(p []byte) error {
 			}
 			// Write error: the read side will surface it as a readiness
 			// event and close; report it to the caller too.
+			c.wmu.Unlock()
 			return fmt.Errorf("reactor: write fd %d: %w", c.fd, err)
 		}
 		if len(p) == 0 {
+			c.wmu.Unlock()
 			return nil
 		}
 	}
-	// Spill: own a copy, ask for writability edges.
+	// Spill: own a copy, ask for writability edges. Arming happens under
+	// wmu so it serializes with flush's disarm — an arm can never be
+	// overwritten by a disarm decided against stale pending state.
 	buf := make([]byte, len(p))
 	copy(buf, p)
 	c.pending = append(c.pending, buf)
 	c.pendingLen += len(buf)
 	c.r.partialWrites.Add(1)
+	var armErr error
 	if !c.wantWrite {
-		c.wantWrite = true
-		c.r.p.mod(c.fd, true)
+		if armErr = c.r.p.mod(c.fd, true); armErr != nil {
+			// The spilled bytes would never flush: fail the write and tear
+			// the connection down instead of stalling it silently.
+			armErr = fmt.Errorf("reactor: arm write fd %d: %w", c.fd, armErr)
+			c.closing = true
+			c.pending = nil
+			c.pendingLen = 0
+		} else {
+			c.wantWrite = true
+		}
+	}
+	c.wmu.Unlock()
+	if armErr != nil {
+		c.closeFromAnywhere(armErr)
+		return armErr
 	}
 	return nil
+}
+
+// closeFromAnywhere routes a teardown onto the poll goroutine (OnClose is
+// confined there): directly when already on it, via Post otherwise. A
+// Post rejection means the reactor is stopping and will close every
+// connection itself.
+func (c *Conn) closeFromAnywhere(err error) {
+	if c.r.Owns() {
+		c.r.closeConn(c, err)
+		return
+	}
+	_ = c.r.Post(func() { c.r.closeConn(c, err) })
 }
 
 // flush drains the pending queue on a writability edge (poll goroutine).
@@ -658,14 +724,23 @@ func (c *Conn) flush() {
 	}
 	c.pending = nil
 	drained := c.wantWrite
-	c.wantWrite = false
+	var disarmErr error
+	if drained {
+		// Disarm while still holding wmu: a concurrent Write that spills
+		// new data serializes behind this mod, sees wantWrite == false,
+		// and re-arms — disarming after unlocking could clobber that arm
+		// and stall the connection's queued writes forever.
+		c.wantWrite = false
+		disarmErr = c.r.p.mod(c.fd, false)
+	}
 	closing := c.closing
 	c.wmu.Unlock()
-	if drained {
-		c.r.p.mod(c.fd, false)
-		if c.h.OnDrained != nil && !c.dead() {
-			c.h.OnDrained(c)
-		}
+	if disarmErr != nil {
+		c.r.closeConn(c, fmt.Errorf("reactor: disarm write fd %d: %w", c.fd, disarmErr))
+		return
+	}
+	if drained && c.h.OnDrained != nil && !c.dead() {
+		c.h.OnDrained(c)
 	}
 	if closing {
 		c.r.closeConn(c, ErrConnClosed)

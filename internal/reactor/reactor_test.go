@@ -184,6 +184,46 @@ func TestStopClosesEverything(t *testing.T) {
 	}
 }
 
+// TestStopFromCallback: Stop invoked on the poll goroutine itself (from a
+// readiness handler) cannot join the goroutine it is running on; it must
+// schedule the teardown and return instead of deadlocking.
+func TestStopFromCallback(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "selfstop")
+	stopReturned := make(chan struct{})
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return HandlerFuncs{
+			OnReadable: func(c *Conn, data []byte) {
+				r.Stop()
+				close(stopReturned)
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli collector
+	c, err := r.Dial(addr, cli.handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stopReturned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop called from a poll-goroutine callback deadlocked")
+	}
+	r.Stop() // from outside the loop: joins the finished teardown
+	if got := cli.closeCount(); got != 1 {
+		t.Fatalf("client OnClose fired %d times, want 1", got)
+	}
+	if err := cli.closeErr(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("close err = %v, want ErrClosed", err)
+	}
+}
+
 // TestPostStorm hammers the wakeup pipe from many goroutines at once: every
 // posted function must run on the poll goroutine, in submission order per
 // producer, without wedging the pipe (writes to a full pipe are coalesced).
