@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet chaos cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
+.PHONY: all build test race vet chaos chaos-net cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
 
 all: build test race
 
@@ -26,6 +26,13 @@ vet:
 CHAOS_SEED ?= 1337
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags=chaos ./...
+
+# chaos-net runs the network-edge survivability gate: the chaos-tagged
+# reactor/netloop storm tests plus the chatbench -chaos drill (kill storm,
+# fd faults, slowloris, admission burst, graceful drain, watchdog control).
+chaos-net:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags=chaos ./internal/reactor/... ./internal/netloop/...
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) run ./cmd/chatbench -chaos -conns 256 -rooms 8 -rounds 3 -out -
 
 # lint mirrors the CI formatting/vet gates, including ompvet.
 lint:

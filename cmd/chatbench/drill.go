@@ -1,0 +1,415 @@
+// The survivability drill (-chaos): where the default bench proves the
+// reactor's fan-out scale, this proves its failure posture. A supervised
+// chat server is measured healthy, then hit with a bounded storm — poll-
+// goroutine kills at the dispatch seam, fd-level faults (short writes,
+// spurious EAGAIN), slowloris connections, and an over-cap connection
+// burst — and measured again after recovering. The run ends with a
+// deadline-bounded graceful drain, and a control: the same kill against an
+// unsupervised server, which stays dead and is flagged by the watchdog.
+//
+// CHAOS_SEED pins the injector schedule (1337 by default in CI), so a
+// failing drill replays.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/gid"
+	"repro/internal/netloop"
+	"repro/internal/supervise"
+)
+
+// DrillReport is the JSON shape the -chaos run writes.
+type DrillReport struct {
+	Timestamp    string `json:"timestamp"`
+	Conns        int    `json:"conns"`
+	Rooms        int    `json:"rooms"`
+	Rounds       int    `json:"rounds"`
+	PayloadBytes int    `json:"payload_bytes"`
+
+	BeforeMsgsPerSec float64 `json:"before_msgs_per_sec"`
+	AfterMsgsPerSec  float64 `json:"after_msgs_per_sec"`
+	RecoveryRatio    float64 `json:"recovery_ratio"`
+
+	Kills           int64 `json:"kills_injected"`
+	LoopCrashes     int64 `json:"loop_crashes"`
+	FDFaults        int64 `json:"fd_faults_injected"`
+	SlowlorisOpened int   `json:"slowloris_opened"`
+	SlowlorisReaped int   `json:"slowloris_reaped"`
+	DeadlineCloses  int64 `json:"deadline_closes"`
+	ConnShed        int64 `json:"conn_shed"`
+
+	DrainSeconds float64 `json:"drain_seconds"`
+	ForceCloses  int64   `json:"force_closes"`
+
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+
+	BaselineWatchdogDown bool `json:"baseline_watchdog_down"`
+}
+
+// drillClients is one phase's cohort of plain blocking clients: a reader
+// goroutine per connection counts joins and deliveries.
+type drillClients struct {
+	conns     []net.Conn
+	joined    atomic.Int64
+	delivered atomic.Int64
+	wg        sync.WaitGroup
+}
+
+func connectClients(addr string, n int) (*drillClients, error) {
+	d := &drillClients{}
+	for i := 0; i < n; i++ {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("dial %d/%d: %w", i, n, err)
+		}
+		d.conns = append(d.conns, c)
+		d.wg.Add(1)
+		go func(c net.Conn) {
+			defer d.wg.Done()
+			sc := bufio.NewScanner(c)
+			for sc.Scan() {
+				switch {
+				case strings.HasPrefix(sc.Text(), "joined "):
+					d.joined.Add(1)
+				case strings.HasPrefix(sc.Text(), "say "):
+					d.delivered.Add(1)
+				}
+			}
+		}(c)
+	}
+	return d, nil
+}
+
+func (d *drillClients) close() {
+	for _, c := range d.conns {
+		c.Close()
+	}
+	d.wg.Wait()
+}
+
+// joinRooms spreads the cohort across rooms and waits for every ack.
+func (d *drillClients) joinRooms(nRooms int) ([][]net.Conn, error) {
+	members := make([][]net.Conn, nRooms)
+	for i, c := range d.conns {
+		r := i % nRooms
+		members[r] = append(members[r], c)
+		if _, err := fmt.Fprintf(c, "join room%d\n", r); err != nil {
+			return nil, err
+		}
+	}
+	want := int64(len(d.conns))
+	if err := waitFor("joins acknowledged", func() bool { return d.joined.Load() == want }); err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
+// measureRounds runs the broadcast rounds and returns delivered msgs/sec.
+func (d *drillClients) measureRounds(members [][]net.Conn, rounds, payload int) (float64, error) {
+	var expected int64
+	for _, m := range members {
+		expected += int64(len(m) * rounds)
+	}
+	base := d.delivered.Load()
+	pad := strings.Repeat("x", payload)
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		for r, m := range members {
+			if len(m) == 0 {
+				continue
+			}
+			speaker := m[round%len(m)]
+			if _, err := fmt.Fprintf(speaker, "say room%d %d %s\n", r, time.Now().UnixNano(), pad); err != nil {
+				return 0, fmt.Errorf("round %d speaker: %w", round, err)
+			}
+		}
+	}
+	if err := waitFor("broadcasts delivered", func() bool {
+		return d.delivered.Load()-base == expected
+	}); err != nil {
+		return 0, fmt.Errorf("%w (delivered %d/%d)", err, d.delivered.Load()-base, expected)
+	}
+	return float64(expected) / time.Since(start).Seconds(), nil
+}
+
+func runDrill(requested, nRooms, rounds, payload int) (*DrillReport, error) {
+	conns := clampConns(requested)
+	// The drill prices survivability, not fan-out records: cap the cohort
+	// so the storm phases stay fast and deterministic.
+	if conns > 1024 {
+		conns = 1024
+	}
+	if nRooms > conns {
+		nRooms = conns
+	}
+	const (
+		slowlorisConns = 16
+		capMargin      = 32 // admission headroom above the cohort
+	)
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		// Bounded kill storm at the readiness-dispatch seam: one kill per
+		// 40 events, three total, then the storm is spent.
+		chaos.Rule{Target: "poll", Action: chaos.Kill, Nth: 40, Count: 3},
+		// fd-level noise on its own target so its schedule is independent
+		// of the kill schedule.
+		chaos.Rule{Target: "fd", Action: chaos.ShortWrite, Rate: 0.05},
+		chaos.Rule{Target: "fd", Action: chaos.SpuriousEAGAIN, Rate: 0.01},
+	)
+
+	reg := &gid.Registry{}
+	srv := netloop.New("chat", reg)
+	if err := srv.EnableSupervisedReactor(supervise.Options{
+		MaxRestarts:    10,
+		Window:         2 * time.Second,
+		BackoffInitial: time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	}); err != nil {
+		return nil, fmt.Errorf("EnableSupervisedReactor: %w", err)
+	}
+	defer srv.Stop()
+	srv.SetIdleDeadline(time.Second) // drill-fast slowloris reaping
+	srv.SetMaxConns(conns+capMargin, "BUSY")
+
+	roomTable := make(map[string][]*netloop.Client, nRooms)
+	srv.HandleFunc(func(c *netloop.Client, line string) {
+		switch {
+		case strings.HasPrefix(line, "join "):
+			room := line[len("join "):]
+			roomTable[room] = append(roomTable[room], c)
+			c.Send("joined " + room)
+		case strings.HasPrefix(line, "say "):
+			room, _, _ := strings.Cut(line[len("say "):], " ")
+			for _, m := range roomTable[room] {
+				m.Send(line)
+			}
+		case line == "reset":
+			// Drop stale (crash-killed) members between phases so the
+			// recovered cohort is not fanning out to ghosts.
+			roomTable = make(map[string][]*netloop.Client, nRooms)
+			c.Send("resetok")
+		}
+	})
+	sup := srv.SupervisedReactor()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &DrillReport{
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		Conns:            conns,
+		Rooms:            nRooms,
+		Rounds:           rounds,
+		PayloadBytes:     payload,
+		SlowlorisOpened:  slowlorisConns,
+		GoroutinesBefore: runtime.NumGoroutine(),
+	}
+
+	// --- phase A: healthy throughput ---------------------------------------
+	fmt.Fprintf(os.Stderr, "drill: phase A — %d conns, %d rooms, healthy rounds\n", conns, nRooms)
+	cohortA, err := connectClients(addr, conns)
+	if err != nil {
+		return nil, err
+	}
+	membersA, err := cohortA.joinRooms(nRooms)
+	if err != nil {
+		return nil, err
+	}
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+	if rep.BeforeMsgsPerSec, err = cohortA.measureRounds(membersA, rounds, payload); err != nil {
+		return nil, fmt.Errorf("phase A: %w", err)
+	}
+
+	// --- phase B: the storm -------------------------------------------------
+	fmt.Fprintln(os.Stderr, "drill: phase B — kill storm, fd faults, slowloris")
+	sup.SetInterceptor(inj.NetInterceptor("poll"))
+	sup.SetIOInterceptor(inj.FDInterceptor("fd"))
+
+	var loris []net.Conn
+	for i := 0; i < slowlorisConns; i++ {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("slowloris dial: %w", err)
+		}
+		loris = append(loris, c)
+	}
+	// Drive readiness events until the bounded kill storm runs its course.
+	// Individual round trips may die mid-flight; that is the point.
+	stormDeadline := time.Now().Add(60 * time.Second)
+	for inj.Injected(chaos.Kill) < 3 {
+		if time.Now().After(stormDeadline) {
+			return nil, fmt.Errorf("storm stalled: %d/3 kills injected", inj.Injected(chaos.Kill))
+		}
+		if c, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+			fmt.Fprintln(c, "say room0 0 storm-probe")
+			c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			bufio.NewScanner(c).Scan()
+			c.Close()
+		}
+	}
+	// Every slowloris socket must be shed — reaped by the idle deadline or
+	// failed over a crash; either way it cannot hold its slot.
+	reaped := 0
+	for _, c := range loris {
+		c.SetReadDeadline(time.Now().Add(15 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err != nil {
+			reaped++
+		}
+		c.Close()
+	}
+	rep.SlowlorisReaped = reaped
+	if reaped < slowlorisConns {
+		return nil, fmt.Errorf("only %d/%d slowloris conns shed", reaped, slowlorisConns)
+	}
+
+	// --- recovery ------------------------------------------------------------
+	fmt.Fprintln(os.Stderr, "drill: storm spent — waiting for recovery")
+	inj.SetEnabled(false)
+	if err := waitFor("post-storm round trip", func() bool {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		fmt.Fprintln(c, "reset")
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		sc := bufio.NewScanner(c)
+		return sc.Scan() && sc.Text() == "resetok"
+	}); err != nil {
+		return nil, fmt.Errorf("server never recovered: %w", err)
+	}
+	if err := waitFor("supervision healthy", func() bool {
+		return sup.Health().StatusValue() == supervise.Healthy
+	}); err != nil {
+		return nil, err
+	}
+	cohortA.close() // crash-killed remnants; their goroutines exit on EOF
+
+	// --- phase C: recovered throughput ---------------------------------------
+	fmt.Fprintln(os.Stderr, "drill: phase C — recovered rounds")
+	cohortC, err := connectClients(addr, conns)
+	if err != nil {
+		return nil, fmt.Errorf("phase C reconnect: %w", err)
+	}
+	membersC, err := cohortC.joinRooms(nRooms)
+	if err != nil {
+		return nil, fmt.Errorf("phase C join: %w", err)
+	}
+	if rep.AfterMsgsPerSec, err = cohortC.measureRounds(membersC, rounds, payload); err != nil {
+		return nil, fmt.Errorf("phase C: %w", err)
+	}
+	rep.RecoveryRatio = rep.AfterMsgsPerSec / rep.BeforeMsgsPerSec
+
+	// --- admission probe: the cap sheds with a busy line ---------------------
+	fmt.Fprintf(os.Stderr, "drill: admission probe (live=%d cap=%d shed-so-far=%d)\n",
+		srv.ClientCount(), conns+capMargin, srv.ConnShed())
+	// Dial the whole burst first: the idle deadline reaps silent admitted
+	// conns after a second, so probing one-at-a-time would free each slot
+	// before the next dial and never cross the cap.
+	var burst []net.Conn
+	for i := 0; i < capMargin+1; i++ {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			break
+		}
+		burst = append(burst, c)
+	}
+	shedSeen := false
+	for _, c := range burst {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		sc := bufio.NewScanner(c)
+		if sc.Scan() && sc.Text() == "BUSY" {
+			shedSeen = true
+			break
+		}
+	}
+	for _, c := range burst {
+		c.Close()
+	}
+	if !shedSeen {
+		return nil, fmt.Errorf("connection burst past the cap was never shed")
+	}
+
+	rep.Kills = inj.Injected(chaos.Kill)
+	rep.FDFaults = inj.Injected(chaos.ShortWrite) + inj.Injected(chaos.SpuriousEAGAIN)
+	rep.LoopCrashes = sup.RStats().LoopCrashes.Value()
+	rep.DeadlineCloses = srv.DeadlineCloses()
+	rep.ConnShed = srv.ConnShed()
+
+	// --- graceful drain -------------------------------------------------------
+	fmt.Fprintln(os.Stderr, "drill: graceful drain")
+	cohortC.close()
+	start := time.Now()
+	srv.DrainStop(2 * time.Second)
+	rep.DrainSeconds = time.Since(start).Seconds()
+	rep.ForceCloses = sup.RStats().ForceCloses.Value()
+	if c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		c.Close()
+		return nil, fmt.Errorf("drained server still accepting")
+	}
+	rep.GoroutinesAfter = runtime.NumGoroutine()
+
+	// --- control: unsupervised baseline dies and the watchdog sees it --------
+	down, err := baselineWatchdog()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	rep.BaselineWatchdogDown = down
+	if !down {
+		return nil, fmt.Errorf("watchdog never flagged the unsupervised baseline down")
+	}
+	return rep, nil
+}
+
+// baselineWatchdog runs the control experiment: one kill against a bare
+// (unsupervised) reactor server. Nothing restarts it; the watchdog's probe
+// must read it as down.
+func baselineWatchdog() (bool, error) {
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		chaos.Rule{Target: "poll", Action: chaos.Kill, Nth: 1, Count: 1})
+	s := netloop.New("bare", &gid.Registry{})
+	defer s.Stop()
+	if err := s.EnableReactor(); err != nil {
+		return false, err
+	}
+	s.HandleFunc(func(c *netloop.Client, line string) { c.Send("echo:" + line) })
+	r := s.Reactor()
+	r.SetInterceptor(inj.NetInterceptor("poll"))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return false, err
+	}
+
+	w := supervise.NewWatchdog(5 * time.Millisecond)
+	w.Watch("bare", r.AsExecutor(), 25*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+
+	// First readiness event trips the kill.
+	if c, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		fmt.Fprintln(c, "hello?")
+		c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		bufio.NewScanner(c).Scan()
+		c.Close()
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Health()["bare"].LivenessValue() == supervise.LiveDown {
+			return true, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false, nil
+}

@@ -79,11 +79,29 @@ func main() {
 		baseline  = flag.String("baseline", "bench/net_baseline.json", "baseline report to compare against ('-' to skip)")
 		tolerance = flag.Float64("tolerance", 0.5, "minimum acceptable msgs/sec as a fraction of baseline")
 		strict    = flag.Bool("strict", false, "exit non-zero when throughput falls below tolerance*baseline")
+		drill     = flag.Bool("chaos", false, "run the survivability drill instead of the fan-out bench (see drill.go)")
 	)
 	flag.Parse()
 	if !reactor.Supported {
 		fmt.Fprintln(os.Stderr, "chatbench: no reactor poller on this platform")
 		os.Exit(1)
+	}
+	if *drill {
+		rep, err := runDrill(*conns, *rooms, *rounds, *payload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chatbench: drill:", err)
+			os.Exit(1)
+		}
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		buf = append(buf, '\n')
+		os.Stdout.Write(buf)
+		if *out != "-" && *out != "BENCH_net.json" {
+			if err := os.WriteFile(*out, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "chatbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	rep, err := run(*conns, *rooms, *rounds, *payload)
 	if err != nil {
@@ -124,6 +142,11 @@ func run(requested, nRooms, rounds, payload int) (*Report, error) {
 		return nil, fmt.Errorf("EnableReactor: %w", err)
 	}
 	defer srv.Stop()
+	// Production posture, in the measured path: every connection carries an
+	// idle deadline and the accept path runs the admission gate. Neither
+	// trips during a healthy run — the bench exists to price the checks.
+	srv.SetIdleDeadline(30 * time.Second)
+	srv.SetMaxConns(conns*2+64, "BUSY")
 	roomTable := make(map[string][]*netloop.Client, nRooms)
 	srv.HandleFunc(func(c *netloop.Client, line string) {
 		switch {

@@ -15,7 +15,11 @@
 //   - Interceptor adapts the injector to eventloop.Loop.SetInterceptor, so
 //     faults land inside dispatched handlers on the EDT;
 //   - NetInterceptor adapts it to netloop.Server.SetInterceptor, where a
-//     Drop decision suppresses the message before it is queued.
+//     Drop decision suppresses the message before it is queued;
+//   - FDInterceptor adapts it to reactor.Reactor.SetIOInterceptor, the
+//     fd-level seam below dispatch: short writes, spurious EAGAINs,
+//     injected resets, and read latency land directly on the socket
+//     syscalls.
 //
 // The injected failure modes:
 //
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/reactor"
 )
 
 // Action is an injected failure mode.
@@ -54,6 +59,18 @@ const (
 	Delay
 	Drop
 	Stall
+	// ShortWrite truncates a reactor write to one byte (fd seam only):
+	// the remainder spills into the pending queue, exercising the partial
+	// write and flush machinery under load.
+	ShortWrite
+	// SpuriousEAGAIN makes a reactor read or write report EAGAIN without
+	// touching the socket (fd seam only). Under edge-triggered registration
+	// a swallowed read edge stalls the connection until new bytes arrive —
+	// the failure mode connection deadlines exist to reap.
+	SpuriousEAGAIN
+	// ResetOnWrite fails a reactor write with an injected connection reset
+	// (fd seam only), tearing the connection down the way a peer RST does.
+	ResetOnWrite
 	numActions
 )
 
@@ -72,6 +89,12 @@ func (a Action) String() string {
 		return "drop"
 	case Stall:
 		return "stall"
+	case ShortWrite:
+		return "short-write"
+	case SpuriousEAGAIN:
+		return "spurious-eagain"
+	case ResetOnWrite:
+		return "reset-on-write"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -337,5 +360,36 @@ func (in *Injector) NetInterceptor(target string) func(event string, fn func()) 
 			return nil, false
 		}
 		return in.apply(act, d, target, fn), true
+	}
+}
+
+// FDInterceptor adapts the injector to reactor.Reactor.SetIOInterceptor —
+// the fd-level seam, below the dispatch layers the other adapters feed.
+// ShortWrite and ResetOnWrite apply to writes, SpuriousEAGAIN to reads and
+// writes, Delay to reads (injected read latency); any other action maps to
+// no fault at this seam. A rule that fires for an operation its action does
+// not apply to injects nothing but still advances its schedule, so give fd
+// faults their own rules (or their own target) rather than sharing one rule
+// with dispatch-level faults.
+func (in *Injector) FDInterceptor(target string) reactor.IOInterceptor {
+	return func(op reactor.IOOp, fd int) (reactor.IOFault, time.Duration) {
+		act, d := in.decide(target)
+		switch act {
+		case ShortWrite:
+			if op == reactor.IOWrite {
+				return reactor.IOShort, 0
+			}
+		case SpuriousEAGAIN:
+			return reactor.IOAgain, 0
+		case ResetOnWrite:
+			if op == reactor.IOWrite {
+				return reactor.IOReset, 0
+			}
+		case Delay:
+			if op == reactor.IORead {
+				return reactor.IODelay, d
+			}
+		}
+		return reactor.IONone, 0
 	}
 }

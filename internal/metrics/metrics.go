@@ -97,6 +97,40 @@ func (s *SupervisionStats) String() string {
 		s.Panics.Value(), s.FailFast.Value())
 }
 
+// ReactorStats bundles the survivability counters the readiness reactor
+// (package reactor) produces: how often handler panics were contained, how
+// many connections were reaped by deadlines, how many accepts were shed by
+// the admission cap, how often the poll loop itself crashed, and how many
+// stragglers a drain had to force-close. One instance can be shared across
+// supervised reactor generations so counts survive restarts.
+type ReactorStats struct {
+	// HandlerPanics counts panics recovered around handler dispatch (the
+	// offending connection is closed; the loop survives).
+	HandlerPanics Counter
+	// DeadlineCloses counts connections closed by an idle, read, or
+	// write-stall deadline.
+	DeadlineCloses Counter
+	// AcceptRejects counts accepted sockets closed immediately because the
+	// reactor was at its MaxConns cap.
+	AcceptRejects Counter
+	// LoopCrashes counts poll-goroutine deaths (unrecovered panics or
+	// goroutine kills) — the failure a supervised restart repairs.
+	LoopCrashes Counter
+	// ForceCloses counts connections torn down at a drain deadline with
+	// writes still pending.
+	ForceCloses Counter
+}
+
+// NewReactorStats returns zeroed reactor survivability statistics.
+func NewReactorStats() *ReactorStats { return &ReactorStats{} }
+
+// String renders the headline counters.
+func (s *ReactorStats) String() string {
+	return fmt.Sprintf("panics=%d deadlines=%d acceptrejects=%d crashes=%d forcecloses=%d",
+		s.HandlerPanics.Value(), s.DeadlineCloses.Value(), s.AcceptRejects.Value(),
+		s.LoopCrashes.Value(), s.ForceCloses.Value())
+}
+
 // defaultReservoirCap bounds how many raw samples a Histogram retains by
 // default. Evaluation runs record at most a few hundred thousand events, so
 // the default keeps them exact; anything longer-lived (a qos sojourn

@@ -16,11 +16,14 @@ package netloop
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eventloop"
 	"repro/internal/gid"
@@ -48,7 +51,8 @@ type Server struct {
 	name     string
 	loop     *eventloop.Loop
 	registry *gid.Registry
-	reactor  *reactor.Reactor // nil on the goroutine-per-connection transport
+	reactor  *reactor.Reactor    // nil on the goroutine-per-connection transport
+	sreactor *reactor.Supervised // non-nil when EnableSupervisedReactor was used
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -61,12 +65,20 @@ type Server struct {
 	limiter     *qos.Limiter // nil = unbounded dispatch queue (seed behaviour)
 	interceptor atomic.Pointer[Interceptor]
 
-	nextID   atomic.Int64
-	accepted atomic.Int64
-	messages atomic.Int64
-	shed     atomic.Int64
-	dropped  atomic.Int64
-	wg       sync.WaitGroup
+	// Survivability knobs, set before Start (see SetIdleDeadline and
+	// SetMaxConns). Both apply to either transport.
+	idleDeadline time.Duration
+	connLimiter  *qos.Limiter // admission cap on live connections
+	busyLine     string       // sent to shed connections before the close
+
+	nextID         atomic.Int64
+	accepted       atomic.Int64
+	messages       atomic.Int64
+	shed           atomic.Int64
+	dropped        atomic.Int64
+	connShed       atomic.Int64
+	deadlineCloses atomic.Int64 // default-transport idle closes
+	wg             sync.WaitGroup
 
 	stopOnce sync.Once
 	stopDone chan struct{}
@@ -114,6 +126,42 @@ func (s *Server) UseLimiter(l *qos.Limiter) { s.limiter = l }
 // Shed returns the number of messages dropped by admission control.
 func (s *Server) Shed() int64 { return s.shed.Load() }
 
+// SetIdleDeadline disconnects clients that send nothing for d — the
+// slowloris defence. A connection the server is actively writing to is not
+// idle: outbound activity counts, so passive receivers being streamed to
+// stay up. On the reactor transport the deadline is enforced by the poll
+// goroutine's timer wheel; on the default transport by per-read deadlines
+// on the connection. Zero disables (the seed behaviour). Must be called
+// before Start.
+func (s *Server) SetIdleDeadline(d time.Duration) { s.idleDeadline = d }
+
+// SetMaxConns caps live connections at n: beyond it, new connections are
+// shed at accept — sent busyLine (if non-empty, flushed before the close)
+// and disconnected, counted by ConnShed. Zero n removes the cap. Must be
+// called before Start.
+func (s *Server) SetMaxConns(n int, busyLine string) {
+	if n <= 0 {
+		s.connLimiter = nil
+		s.busyLine = ""
+		return
+	}
+	s.connLimiter = qos.NewLimiter(s.name+"/conns", n, 0, qos.Reject())
+	s.busyLine = busyLine
+}
+
+// ConnShed returns the number of connections rejected by the MaxConns cap.
+func (s *Server) ConnShed() int64 { return s.connShed.Load() }
+
+// DeadlineCloses returns the number of connections closed by the idle
+// deadline, across both transports.
+func (s *Server) DeadlineCloses() int64 {
+	n := s.deadlineCloses.Load()
+	if t := s.rtransport(); t != nil {
+		n += t.Stats().DeadlineCloses
+	}
+	return n
+}
+
 // SetInterceptor installs (or, with nil, removes) the message interceptor.
 func (s *Server) SetInterceptor(fn Interceptor) {
 	if fn == nil {
@@ -139,8 +187,8 @@ func (s *Server) intercept(event string, fn func()) (func(), bool) {
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
 // accepting. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
-	if s.reactor != nil {
-		return s.reactor.Listen(addr, s.reactorAccept)
+	if t := s.rtransport(); t != nil {
+		return t.Listen(addr, s.reactorAccept)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -162,11 +210,23 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		s.accepted.Add(1)
-		c := &Client{server: s, conn: conn, id: s.nextID.Add(1)}
+		if !s.connLimiter.TryAcquire() {
+			// At the cap: shed at the edge. The busy line rides the kernel
+			// buffer out before the close (blocking transport, so no flush
+			// machinery is needed).
+			s.connShed.Add(1)
+			if s.busyLine != "" {
+				fmt.Fprintf(conn, "%s\n", s.busyLine)
+			}
+			conn.Close()
+			continue
+		}
+		c := &Client{server: s, conn: conn, id: s.nextID.Add(1), slotHeld: s.connLimiter != nil}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
+			c.releaseSlot()
 			return
 		}
 		s.clients[c.id] = c
@@ -213,12 +273,44 @@ func (s *Server) readLoop(c *Client) {
 }
 
 func (s *Server) readLines(c *Client) {
-	scanner := bufio.NewScanner(c.conn)
+	var r io.Reader = c.conn
+	if d := s.idleDeadline; d > 0 {
+		r = &idleReader{c: c, d: d}
+	}
+	scanner := bufio.NewScanner(r)
 	for scanner.Scan() {
 		s.handleLine(c, scanner.Text())
 	}
 	c.conn.Close()
 	s.clientGone(c)
+}
+
+// idleReader enforces the idle deadline on the default transport: each Read
+// carries a deadline of d, and a timeout only propagates (ending the read
+// loop, closing the connection) when the server has not written to the
+// client within d either — outbound traffic proves the connection is alive
+// even if the peer never sends.
+type idleReader struct {
+	c *Client
+	d time.Duration
+}
+
+func (ir *idleReader) Read(p []byte) (int, error) {
+	for {
+		ir.c.conn.SetReadDeadline(time.Now().Add(ir.d))
+		n, err := ir.c.conn.Read(p)
+		if n > 0 || err == nil {
+			return n, err
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if time.Now().UnixNano()-ir.c.lastWrite.Load() < int64(ir.d) {
+				continue // recent outbound activity: not idle, keep reading
+			}
+			ir.c.server.deadlineCloses.Add(1)
+		}
+		return n, err
+	}
 }
 
 // handleLine runs one received line through the interception and admission
@@ -258,6 +350,7 @@ func (s *Server) clientGone(c *Client) {
 	delete(s.clients, c.id)
 	closed := s.closed
 	s.mu.Unlock()
+	c.releaseSlot()
 	if closed || !c.closeFired.CompareAndSwap(false, true) {
 		return
 	}
@@ -297,10 +390,10 @@ func (s *Server) Stop() {
 		if ln != nil {
 			ln.Close()
 		}
-		if s.reactor != nil {
+		if t := s.rtransport(); t != nil {
 			// Fires each connection's reactor OnClose (ErrClosed) on the
 			// poll goroutine; clientGone sees closed and stays silent.
-			s.reactor.Stop()
+			t.Stop()
 		} else {
 			for _, c := range conns {
 				c.conn.Close()
@@ -310,6 +403,31 @@ func (s *Server) Stop() {
 		s.loop.Stop()
 	})
 	<-s.stopDone
+}
+
+// DrainStop is the graceful Stop: accepting ends immediately, connections
+// get until d to finish what is in flight — on the reactor transport that
+// is the flush-before-close drain (spilled writes go out on their
+// writability edges, stragglers are force-closed at the deadline); on the
+// default transport the listener closes and connected clients get until d
+// to disconnect — and then the server stops.
+func (s *Server) DrainStop(d time.Duration) {
+	if t := s.rtransport(); t != nil {
+		t.Drain(d)
+		s.Stop()
+		return
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) && s.ClientCount() > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
 }
 
 // Client is one connection on either transport: exactly one of conn
@@ -326,6 +444,22 @@ type Client struct {
 
 	closeFired atomic.Bool
 	writeMu    sync.Mutex
+
+	// lastWrite (unixnano of the last successful Send) feeds the default
+	// transport's idle deadline: outbound activity keeps the client alive.
+	lastWrite atomic.Int64
+
+	// slotHeld/slotFreed track the MaxConns admission slot, released exactly
+	// once however the connection ends.
+	slotHeld  bool
+	slotFreed atomic.Bool
+}
+
+// releaseSlot frees the client's admission slot, at most once.
+func (c *Client) releaseSlot() {
+	if c.slotHeld && c.slotFreed.CompareAndSwap(false, true) {
+		c.server.connLimiter.Release()
+	}
 }
 
 // ID returns the connection's server-unique id.
@@ -353,6 +487,9 @@ func (c *Client) Send(line string) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	_, err := fmt.Fprintf(c.conn, "%s\n", line)
+	if err == nil {
+		c.lastWrite.Store(time.Now().UnixNano())
+	}
 	return err
 }
 

@@ -1,0 +1,186 @@
+//go:build chaos
+
+package netloop
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/gid"
+	"repro/internal/reactor"
+	"repro/internal/supervise"
+	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
+)
+
+// chaosRoundTrip dials, sends one line, and reports whether the echo came
+// back — tolerant of every failure mode the storm can inject.
+func chaosRoundTrip(addr string) bool {
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintln(c, "ping"); err != nil {
+		return false
+	}
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	sc := bufio.NewScanner(c)
+	return sc.Scan() && sc.Text() == "echo:ping"
+}
+
+// TestChaosSupervisedServerOutlivesStorm is the acceptance drill: a
+// supervised reactor server is hit with poll-goroutine kills (dispatch
+// seam) and fd-level faults (short writes, spurious EAGAIN) while
+// slowloris connections hold sockets open and say nothing. The server must
+// shed the slowloris conns via the idle deadline, restart through every
+// kill, and serve cleanly once the bounded storm passes — with no
+// goroutine left behind.
+func TestChaosSupervisedServerOutlivesStorm(t *testing.T) {
+	if !reactor.Supported {
+		t.Skip("no reactor poller on this platform")
+	}
+	defer leakcheck.Check(t)()
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		// Bounded kill storm at the readiness-dispatch seam.
+		chaos.Rule{Target: "poll", Action: chaos.Kill, Nth: 40, Count: 3},
+		// fd-level noise on its own target so its schedule is independent.
+		chaos.Rule{Target: "fd", Action: chaos.ShortWrite, Rate: 0.05},
+		chaos.Rule{Target: "fd", Action: chaos.SpuriousEAGAIN, Rate: 0.01},
+	)
+
+	s := New("storm", &gid.Registry{})
+	defer s.Stop()
+	// The Window doubles as the healthy-again horizon: restarts older than
+	// it stop counting as Degraded, so keep it short enough for the
+	// post-storm health assertion to converge.
+	if err := s.EnableSupervisedReactor(supervise.Options{
+		MaxRestarts:    10,
+		Window:         500 * time.Millisecond,
+		BackoffInitial: time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetIdleDeadline(100 * time.Millisecond)
+	s.SetMaxConns(64, "BUSY")
+	s.HandleFunc(func(c *Client, line string) { c.Send("echo:" + line) })
+	sup := s.SupervisedReactor()
+	sup.SetInterceptor(inj.NetInterceptor("poll"))
+	sup.SetIOInterceptor(inj.FDInterceptor("fd"))
+
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slowloris: sockets that connect and never speak. The idle deadline
+	// must reap them even while the storm rages.
+	var loris []net.Conn
+	for i := 0; i < 8; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loris = append(loris, c)
+	}
+	defer func() {
+		for _, c := range loris {
+			c.Close()
+		}
+	}()
+
+	// The storm: enough traffic to trip every Nth-kill and plenty of fd
+	// faults. Individual round trips may fail; the server as a whole must
+	// keep making progress.
+	ok := 0
+	for i := 0; i < 200; i++ {
+		if chaosRoundTrip(addr) {
+			ok++
+		}
+	}
+	if kills := inj.Injected(chaos.Kill); kills != 3 {
+		t.Fatalf("kills injected = %d, want 3 (storm did not run its course)", kills)
+	}
+	if ok == 0 {
+		t.Fatal("no round trip succeeded during the storm")
+	}
+	if crashes := sup.RStats().LoopCrashes.Value(); crashes < 3 {
+		t.Fatalf("LoopCrashes = %d, want >= 3", crashes)
+	}
+	if faults := inj.Injected(chaos.ShortWrite) + inj.Injected(chaos.SpuriousEAGAIN); faults == 0 {
+		t.Fatal("no fd-level faults injected; drill proved nothing about the IO seam")
+	}
+
+	// Slowloris sockets are gone: their reads see the server-side close
+	// (reaped by a deadline, or failed over a crash — either way, shed).
+	for i, c := range loris {
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("slowloris conn %d still held open", i)
+		}
+	}
+
+	// Storm over (Count-bounded): with injection off, the current
+	// generation serves cleanly and supervision reads healthy.
+	inj.SetEnabled(false)
+	poll.UntilFor(t, 10*time.Second, "post-storm clean round trip", func() bool {
+		return chaosRoundTrip(addr)
+	})
+	poll.UntilFor(t, 10*time.Second, "supervision healthy", func() bool {
+		return sup.Health().StatusValue() == supervise.Healthy
+	})
+	t.Logf("storm: %d/200 round trips ok, kills=3, crashes=%d, deadlineCloses=%d, shortWrites=%d, eagains=%d",
+		ok, sup.RStats().LoopCrashes.Value(), s.DeadlineCloses(),
+		inj.Injected(chaos.ShortWrite), inj.Injected(chaos.SpuriousEAGAIN))
+}
+
+// TestChaosBareReactorDiesAndWatchdogSees is the control: the same kill
+// against an unsupervised reactor server takes the address down for good,
+// and the watchdog's probe reads the executor view of that reactor as
+// down — detection without recovery.
+func TestChaosBareReactorDiesAndWatchdogSees(t *testing.T) {
+	if !reactor.Supported {
+		t.Skip("no reactor poller on this platform")
+	}
+	inj := chaos.New(chaos.SeedFromEnv(1337),
+		chaos.Rule{Target: "poll", Action: chaos.Kill, Nth: 1, Count: 1})
+
+	s := New("bare", &gid.Registry{})
+	defer s.Stop()
+	if err := s.EnableReactor(); err != nil {
+		t.Fatal(err)
+	}
+	s.HandleFunc(func(c *Client, line string) { c.Send("echo:" + line) })
+	r := s.Reactor()
+	r.SetInterceptor(inj.NetInterceptor("poll"))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := supervise.NewWatchdog(5 * time.Millisecond)
+	w.Watch("bare", r.AsExecutor(), 25*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+
+	// First readiness event trips the kill; nobody restarts anything.
+	if chaosRoundTrip(addr) {
+		t.Fatal("round trip succeeded through an Nth=1 kill")
+	}
+	poll.UntilFor(t, 10*time.Second, "loop crash counted", func() bool {
+		return r.Stats().LoopCrashes >= 1
+	})
+	for i := 0; i < 3; i++ {
+		if chaosRoundTrip(addr) {
+			t.Fatal("bare reactor served after its poll goroutine died")
+		}
+	}
+	poll.UntilFor(t, 10*time.Second, "watchdog reads down", func() bool {
+		return w.Health()["bare"].LivenessValue() == supervise.LiveDown
+	})
+}

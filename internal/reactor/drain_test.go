@@ -1,0 +1,72 @@
+package reactor
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestDrainWithIdleConnsStopsPromptly: connections with nothing queued
+// close through the normal path the moment a drain starts, the listener
+// stops accepting, and Drain returns well before its deadline — no
+// force-closes needed.
+func TestDrainWithIdleConnsStopsPromptly(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "drain")
+
+	var srv collector
+	accepted := make(chan struct{}, 1)
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		accepted <- struct{}{}
+		return srv.handlers()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Make sure the server registered the conn before draining.
+	select {
+	case <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conn never accepted")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	r.Drain(30 * time.Second)
+	if time.Now().After(deadline) {
+		t.Fatal("Drain ran past its deadline with nothing to flush")
+	}
+	if srv.closeCount() != 1 {
+		t.Fatalf("conn closes = %d, want 1", srv.closeCount())
+	}
+	if err := srv.closeErr(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("close err = %v, want ErrConnClosed (graceful)", err)
+	}
+	if got := r.Stats().ForceCloses; got != 0 {
+		t.Fatalf("ForceCloses = %d, want 0", got)
+	}
+	// Fully stopped: the address no longer accepts.
+	if c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("drained reactor still accepting")
+	}
+	if err := r.Post(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Post after drain = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainTwiceAndAfterStop: draining a draining (or stopped) reactor is
+// a harmless wait, not a second teardown.
+func TestDrainTwiceAndAfterStop(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "redrain")
+	r.Drain(time.Second)
+	r.Drain(time.Second) // second drain: just waits for the finished teardown
+	r.Stop()             // as does Stop
+}

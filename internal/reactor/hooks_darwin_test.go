@@ -1,0 +1,23 @@
+//go:build darwin
+
+package reactor
+
+import "syscall"
+
+// testPipe opens a non-blocking pipe for arbitrary-FD registration tests.
+func testPipe() (r, w int, err error) {
+	var p [2]int
+	if err := syscall.Pipe(p[:]); err != nil {
+		return -1, -1, err
+	}
+	syscall.SetNonblock(p[0], true)
+	syscall.SetNonblock(p[1], true)
+	syscall.CloseOnExec(p[0])
+	syscall.CloseOnExec(p[1])
+	return p[0], p[1], nil
+}
+
+// setSndbuf shrinks a socket's kernel send buffer to force partial writes.
+func setSndbuf(fd, size int) error {
+	return syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, size)
+}

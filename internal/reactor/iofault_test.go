@@ -1,0 +1,199 @@
+package reactor
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
+)
+
+// TestIOShortWritesDeliverIntact: with every write truncated to one byte,
+// the write loop grinds through the payload a byte at a time and the peer
+// still receives it intact — short writes degrade throughput, not data.
+func TestIOShortWritesDeliverIntact(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "short")
+	defer r.Stop()
+	r.SetIOInterceptor(func(op IOOp, fd int) (IOFault, time.Duration) {
+		if op == IOWrite {
+			return IOShort, 0
+		}
+		return IONone, 0
+	})
+
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return HandlerFuncs{OnReadable: func(c *Conn, data []byte) { c.Write(data) }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const msg = "short writes must not corrupt"
+	if _, err := cli.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	cli.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != msg {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+// TestIOResetOnReadTearsDownConn: an injected reset travels the same error
+// path as a kernel ECONNRESET — the connection closes with a typed error.
+func TestIOResetOnReadTearsDownConn(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "reset")
+	defer r.Stop()
+
+	var srv collector
+	accepted := make(chan struct{}, 1)
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		accepted <- struct{}{}
+		return srv.handlers()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	<-accepted
+
+	// Arm the fault only once the connection is up, so the accept path's
+	// own reads are untouched.
+	r.SetIOInterceptor(func(op IOOp, fd int) (IOFault, time.Duration) {
+		if op == IORead {
+			return IOReset, 0
+		}
+		return IONone, 0
+	})
+	if _, err := cli.Write([]byte("boom")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "reset conn closed", func() bool { return srv.closeCount() == 1 })
+	if err := srv.closeErr(); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("close err = %v, want ErrInjectedReset", err)
+	}
+}
+
+// TestIOResetOnWriteFailsWriter: a write-side reset surfaces to the caller
+// as a typed error instead of silently dropping the bytes.
+func TestIOResetOnWriteFailsWriter(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "wreset")
+	defer r.Stop()
+
+	accepted := make(chan *Conn, 1)
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		accepted <- c
+		return HandlerFuncs{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	conn := <-accepted
+
+	r.SetIOInterceptor(func(op IOOp, fd int) (IOFault, time.Duration) {
+		if op == IOWrite {
+			return IOReset, 0
+		}
+		return IONone, 0
+	})
+	if err := conn.Write([]byte("doomed")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Write = %v, want ErrInjectedReset", err)
+	}
+}
+
+// TestIOAgainStallsConnUntilDeadlineReaps: spurious EAGAIN swallows the
+// read edge — under edge-triggered registration the bytes sit in the
+// kernel and nothing re-fires, which is exactly the stall the idle
+// deadline exists to bound.
+func TestIOAgainStallsConnUntilDeadlineReaps(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "again")
+	defer r.Stop()
+
+	var srv collector
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		c.SetIdleDeadline(50 * time.Millisecond)
+		return srv.handlers()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetIOInterceptor(func(op IOOp, fd int) (IOFault, time.Duration) {
+		if op == IORead {
+			return IOAgain, 0
+		}
+		return IONone, 0
+	})
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Write([]byte("swallowed")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "stalled conn reaped", func() bool { return srv.closeCount() == 1 })
+	if err := srv.closeErr(); !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("close err = %v, want ErrIdleTimeout", err)
+	}
+	if srv.String() != "" {
+		t.Fatalf("swallowed edge still delivered %q", srv.String())
+	}
+}
+
+// TestIODelayAddsLatencyNotLoss: injected read latency slows delivery but
+// every byte still arrives.
+func TestIODelayAddsLatencyNotLoss(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "delay")
+	defer r.Stop()
+
+	var srv collector
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return srv.handlers()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetIOInterceptor(func(op IOOp, fd int) (IOFault, time.Duration) {
+		if op == IORead {
+			return IODelay, 20 * time.Millisecond
+		}
+		return IONone, 0
+	})
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	if _, err := cli.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "delayed bytes arrive", func() bool { return srv.String() == "slow" })
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delivery did not pay the injected latency")
+	}
+}

@@ -1,0 +1,200 @@
+package reactor
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/gid"
+	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
+)
+
+// TestHandlerPanicClosesOnlyThatConn: a panicking OnReadable takes down its
+// own connection (typed HandlerPanicError, panic handler notified) while
+// the poll loop and every other connection keep serving.
+func TestHandlerPanicClosesOnlyThatConn(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "panic")
+	defer r.Stop()
+
+	notified := make(chan any, 1)
+	r.SetPanicHandler(func(v any) {
+		select {
+		case notified <- v:
+		default:
+		}
+	})
+
+	var bomb, echo collector
+	bombAddr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		h := bomb.handlers()
+		h.OnReadable = func(c *Conn, data []byte) { panic("handler boom") }
+		return h
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoAddr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return HandlerFuncs{OnReadable: func(c *Conn, data []byte) { c.Write(data) }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := net.Dial("tcp", bombAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Write([]byte("trigger")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "panicking conn closed", func() bool { return bomb.closeCount() == 1 })
+	var hp *HandlerPanicError
+	if err := bomb.closeErr(); !errors.As(err, &hp) || hp.Value != "handler boom" {
+		t.Fatalf("close err = %v, want HandlerPanicError(handler boom)", err)
+	}
+	select {
+	case v := <-notified:
+		if v != "handler boom" {
+			t.Fatalf("panic handler got %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panic handler never notified")
+	}
+	if r.Stats().HandlerPanics != 1 {
+		t.Fatalf("HandlerPanics = %d, want 1", r.Stats().HandlerPanics)
+	}
+
+	// The loop survived: a fresh echo round trip works.
+	c, err := r.Dial(echoAddr, echo.handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write([]byte("still alive\n")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "echo after panic", func() bool { return echo.String() == "still alive\n" })
+	if r.Stats().LoopCrashes != 0 {
+		t.Fatalf("handler panic escalated to a loop crash")
+	}
+}
+
+// TestOnClosePanicContained: a panic inside OnClose itself (already on the
+// teardown path) is counted and recovered without re-entering closeConn or
+// killing the loop.
+func TestOnClosePanicContained(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := newTestReactor(t, "closepanic")
+	defer r.Stop()
+
+	closed := make(chan struct{})
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return HandlerFuncs{
+			OnClose: func(c *Conn, err error) {
+				close(closed)
+				panic("close boom")
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close() // peer EOF → OnClose fires and panics
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnClose never fired")
+	}
+	poll.Until(t, "panic counted", func() bool { return r.Stats().HandlerPanics == 1 })
+
+	// Loop still serving.
+	var echo collector
+	addr2, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		return HandlerFuncs{OnReadable: func(c *Conn, data []byte) { c.Write(data) }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Dial(addr2, echo.handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	poll.Until(t, "echo after OnClose panic", func() bool { return echo.String() == "ok" })
+}
+
+// TestMaxConnsShedsAtAccept: the admission cap closes surplus accepted
+// sockets before any handler runs, counts them, and admits again once an
+// admitted connection leaves.
+func TestMaxConnsShedsAtAccept(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if !Supported {
+		t.Skip("no reactor poller on this platform")
+	}
+	r, err := NewWithOptions("capped", &gid.Registry{}, Options{MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	admitted := make(chan *Conn, 4)
+	addr, err := r.Listen("127.0.0.1:0", func(c *Conn) HandlerFuncs {
+		admitted <- c
+		return HandlerFuncs{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	var srv *Conn
+	select {
+	case srv = <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first conn not admitted")
+	}
+
+	// Over the cap: the socket is closed server-side without a handler.
+	second, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	poll.Until(t, "surplus accept shed", func() bool { return r.Stats().AcceptRejects == 1 })
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := second.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("shed conn delivered %d bytes instead of closing", n)
+	}
+	select {
+	case c := <-admitted:
+		t.Fatalf("over-cap conn %v reached the accept handler", c)
+	default:
+	}
+
+	// Free the slot: the next dial is admitted.
+	srv.Close()
+	poll.Until(t, "slot released", func() bool { return r.Stats().Conns == 0 })
+	third, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conn not admitted after slot freed")
+	}
+}

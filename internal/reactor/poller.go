@@ -21,10 +21,12 @@ type poller interface {
 	mod(fd int, w bool) error
 	// del removes fd.
 	del(fd int) error
-	// wait blocks for events, filling evs. woken reports a wake() call
-	// (the wakeup channel is drained internally). A non-nil error means
-	// the poller is closed and the loop must exit.
-	wait(evs []pollEvent) (n int, woken bool, err error)
+	// wait blocks for events, filling evs, for at most timeoutMs
+	// milliseconds (-1 blocks indefinitely; 0 polls). A timer-driven
+	// return reports n == 0. woken reports a wake() call (the wakeup
+	// channel is drained internally). A non-nil error means the poller is
+	// closed and the loop must exit.
+	wait(evs []pollEvent, timeoutMs int) (n int, woken bool, err error)
 	// wake interrupts a concurrent wait once.
 	wake()
 	// close releases the poller's descriptors.

@@ -40,6 +40,27 @@
 // policy backpressures the whole loop, which is kernel-style global
 // backpressure: every socket stops being read and TCP receive windows fill.
 //
+// The survivability layer hardens the loop against hostile peers and
+// crashing handlers:
+//
+//   - a poll-confined timer heap (timer.go) backs Reactor.PostAt and the
+//     per-connection deadlines (SetIdleDeadline, SetReadDeadline,
+//     SetWriteStallDeadline) that reap slowloris connections — zero extra
+//     goroutines, the poll wait's timeout is the earliest armed timer;
+//   - handler panics are contained: the dispatch is recovered, the
+//     offending connection is closed with a HandlerPanicError, and the
+//     loop keeps serving every other descriptor (counted by a
+//     metrics.ReactorStats). A death the recover cannot catch (a killed
+//     goroutine, a panic in reactor internals) tears every connection
+//     down with ErrPollCrash and notifies the crash handler — the hook a
+//     supervise.Supervisor restarts through (see Supervised);
+//   - Options.MaxConns is the accept-gate admission cap: accepts beyond
+//     it are closed immediately, bounding descriptor usage before any
+//     handler runs (message-level shedding stays in qos);
+//   - Drain is the graceful half of Stop: accepting stops, spilled writes
+//     flush through the usual writability edges, idle connections close,
+//     and a deadline force-closes stragglers before the loop exits.
+//
 // Platforms without a poller (anything but linux/darwin) compile against
 // the same API; New returns ErrUnsupported and callers fall back to the
 // portable goroutine-per-connection transport (netloop's default).
@@ -53,8 +74,10 @@ import (
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/gid"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -67,6 +90,39 @@ var ErrClosed = errors.New("reactor: stopped")
 
 // ErrConnClosed is returned by writes to a closed connection.
 var ErrConnClosed = errors.New("reactor: connection closed")
+
+// ErrDeadline is the base error of every deadline close; match it with
+// errors.Is to treat all three kinds alike.
+var ErrDeadline = errors.New("reactor: deadline exceeded")
+
+var (
+	// ErrIdleTimeout closes a connection with no read or successful write
+	// activity for its idle deadline (the slowloris reaper).
+	ErrIdleTimeout = fmt.Errorf("%w: idle timeout", ErrDeadline)
+	// ErrReadTimeout closes a connection whose armed read deadline passed
+	// before any bytes arrived.
+	ErrReadTimeout = fmt.Errorf("%w: read timeout", ErrDeadline)
+	// ErrWriteStall closes a connection whose spilled writes made no
+	// progress to empty for its write-stall deadline (the peer stopped
+	// reading).
+	ErrWriteStall = fmt.Errorf("%w: write stalled", ErrDeadline)
+)
+
+// ErrPollCrash is the OnClose error of connections orphaned by a poll-
+// goroutine death (an unrecovered panic or a killed goroutine).
+var ErrPollCrash = errors.New("reactor: poll loop crashed")
+
+// HandlerPanicError is the OnClose error of a connection whose handler
+// panicked: the panic was contained, the connection was closed, the loop
+// survived.
+type HandlerPanicError struct {
+	Value any // the recovered panic value
+}
+
+// Error formats the contained panic.
+func (e *HandlerPanicError) Error() string {
+	return fmt.Sprintf("reactor: handler panic: %v", e.Value)
+}
 
 // HandlerFuncs are one connection's readiness callbacks. Every callback
 // runs on the poll goroutine — the reactor's EDT-confined context: never
@@ -106,6 +162,28 @@ type Stats struct {
 	Posts         int64 // cross-thread Post/Conn.Post functions run
 	Wakeups       int64 // wakeup-pipe interrupts of the poll wait
 	Dropped       int64 // events suppressed by the interceptor
+
+	// Survivability counters, mirrored from the ReactorStats (which may be
+	// shared across supervised generations — these are its live values).
+	HandlerPanics  int64 // panics contained around handler dispatch
+	DeadlineCloses int64 // connections reaped by idle/read/write-stall deadlines
+	AcceptRejects  int64 // accepts shed by the MaxConns cap
+	LoopCrashes    int64 // poll-goroutine deaths
+	ForceCloses    int64 // stragglers closed at a drain deadline
+}
+
+// Options tunes a reactor built with NewWithOptions. The zero value matches
+// New.
+type Options struct {
+	// MaxConns caps registered connections: accepted sockets beyond the
+	// cap are closed immediately (counted by AcceptRejects) before any
+	// handler sees them. 0 means unlimited. The cap counts accepted,
+	// dialed, and Register-ed descriptors alike.
+	MaxConns int
+	// Stats receives the survivability counters; nil allocates a fresh
+	// set. A supervised reactor passes one instance to every generation
+	// so counts survive restarts.
+	Stats *metrics.ReactorStats
 }
 
 // Reactor is an edge-triggered readiness dispatcher. Create with New,
@@ -114,15 +192,21 @@ type Reactor struct {
 	name     string
 	registry *gid.Registry
 	p        poller
+	opts     Options
+	rstats   *metrics.ReactorStats
 
 	mu        sync.Mutex
 	conns     map[int]*Conn
 	listeners map[int]*listener
 	posted    []func()
 	closed    bool
+	draining  bool
 
-	wakePending atomic.Bool
-	interceptor atomic.Pointer[Interceptor]
+	wakePending   atomic.Bool
+	interceptor   atomic.Pointer[Interceptor]
+	ioInterceptor atomic.Pointer[IOInterceptor]
+	panicHandler  atomic.Pointer[func(any)]
+	crashHandler  atomic.Pointer[func(any)]
 
 	accepted      atomic.Int64
 	dialed        atomic.Int64
@@ -135,11 +219,13 @@ type Reactor struct {
 	wakeups       atomic.Int64
 	dropped       atomic.Int64
 
-	readBuf []byte // poll-goroutine-only scratch
-	events  []pollEvent
-	targets []batchTarget // poll-goroutine-only scratch (see pollLoop)
-	wg      sync.WaitGroup
-	ready   chan struct{}
+	readBuf  []byte // poll-goroutine-only scratch
+	events   []pollEvent
+	targets  []batchTarget // poll-goroutine-only scratch (see pollLoop)
+	timers   timerHeap     // poll-goroutine-only (timer.go)
+	timerSeq uint64        // poll-goroutine-only
+	wg       sync.WaitGroup
+	ready    chan struct{}
 }
 
 // batchTarget pins one readiness event to the registration it was
@@ -152,12 +238,19 @@ type batchTarget struct {
 type listener struct {
 	fd       int
 	onAccept func(*Conn) HandlerFuncs
+	external bool // fd owned by the caller: deregister on teardown, never close
 }
 
 // New creates a reactor named name whose poll goroutine registers itself
 // in reg (nil means gid.Default) and starts it. On platforms without a
 // poller it returns ErrUnsupported.
 func New(name string, reg *gid.Registry) (*Reactor, error) {
+	return NewWithOptions(name, reg, Options{})
+}
+
+// NewWithOptions is New with survivability tuning (admission cap, shared
+// stats).
+func NewWithOptions(name string, reg *gid.Registry, opts Options) (*Reactor, error) {
 	if reg == nil {
 		reg = &gid.Default
 	}
@@ -165,10 +258,15 @@ func New(name string, reg *gid.Registry) (*Reactor, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Stats == nil {
+		opts.Stats = metrics.NewReactorStats()
+	}
 	r := &Reactor{
 		name:      name,
 		registry:  reg,
 		p:         p,
+		opts:      opts,
+		rstats:    opts.Stats,
 		conns:     make(map[int]*Conn),
 		listeners: make(map[int]*listener),
 		readBuf:   make([]byte, 64<<10),
@@ -223,7 +321,64 @@ func (r *Reactor) Stats() Stats {
 		Posts:         r.posts.Load(),
 		Wakeups:       r.wakeups.Load(),
 		Dropped:       r.dropped.Load(),
+
+		HandlerPanics:  r.rstats.HandlerPanics.Value(),
+		DeadlineCloses: r.rstats.DeadlineCloses.Value(),
+		AcceptRejects:  r.rstats.AcceptRejects.Value(),
+		LoopCrashes:    r.rstats.LoopCrashes.Value(),
+		ForceCloses:    r.rstats.ForceCloses.Value(),
 	}
+}
+
+// RStats returns the live survivability counters (shared across generations
+// when the reactor is supervised).
+func (r *Reactor) RStats() *metrics.ReactorStats { return r.rstats }
+
+// SetPanicHandler installs a hook called with each contained handler-panic
+// value (after the offending connection is closed). The supervision layer
+// uses it to count panic storms toward a restart threshold. The handler
+// runs on the poll goroutine; keep it non-blocking.
+func (r *Reactor) SetPanicHandler(fn func(any)) {
+	if fn == nil {
+		r.panicHandler.Store(nil)
+		return
+	}
+	r.panicHandler.Store(&fn)
+}
+
+// SetCrashHandler installs a hook called when the poll goroutine dies (an
+// unrecovered panic or a killed goroutine), after every connection has been
+// failed with ErrPollCrash. The value is the panic payload, or nil for a
+// plain goroutine death. It runs on the dying goroutine; keep it
+// non-blocking (a supervisor enqueues the restart and returns).
+func (r *Reactor) SetCrashHandler(fn func(any)) {
+	if fn == nil {
+		r.crashHandler.Store(nil)
+		return
+	}
+	r.crashHandler.Store(&fn)
+}
+
+// contain runs fn with panic containment: a panic is recovered, counted,
+// reported to the panic handler, and — when the fault belongs to a
+// connection — answered by closing that connection with a
+// HandlerPanicError. The poll loop itself keeps running. Poll-goroutine
+// only.
+func (r *Reactor) contain(c *Conn, fn func()) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		r.rstats.HandlerPanics.Inc()
+		if c != nil && !c.dead() {
+			r.closeConn(c, &HandlerPanicError{Value: v})
+		}
+		if h := r.panicHandler.Load(); h != nil {
+			(*h)(v)
+		}
+	}()
+	fn()
 }
 
 // Post runs fn on the poll goroutine — the cross-thread ingress. Returns
@@ -258,22 +413,45 @@ func (r *Reactor) Listen(addr string, onAccept func(*Conn) HandlerFuncs) (string
 	if err != nil {
 		return "", err
 	}
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if err := r.addListener(&listener{fd: fd, onAccept: onAccept}); err != nil {
 		sysClose(fd)
-		return "", ErrClosed
-	}
-	r.listeners[fd] = &listener{fd: fd, onAccept: onAccept}
-	r.mu.Unlock()
-	if err := r.p.add(fd, false); err != nil {
-		r.mu.Lock()
-		delete(r.listeners, fd)
-		r.mu.Unlock()
-		sysClose(fd)
-		return "", fmt.Errorf("reactor: register listener: %w", err)
+		return "", err
 	}
 	return bound, nil
+}
+
+// ListenFD registers an externally-owned listening descriptor: the reactor
+// polls and accepts on it, but teardown (Stop, Drain, a crash) only
+// deregisters it — the caller keeps the fd and may re-register it with a
+// replacement reactor. This is how a supervised reactor's listeners survive
+// poll-loop restarts without an EADDRINUSE window. Registering an fd the
+// reactor already polls is a no-op.
+func (r *Reactor) ListenFD(fd int, onAccept func(*Conn) HandlerFuncs) error {
+	if err := sysSetNonblock(fd); err != nil {
+		return fmt.Errorf("reactor: set nonblocking: %w", err)
+	}
+	return r.addListener(&listener{fd: fd, onAccept: onAccept, external: true})
+}
+
+func (r *Reactor) addListener(ln *listener) error {
+	r.mu.Lock()
+	if r.closed || r.draining {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := r.listeners[ln.fd]; ok {
+		r.mu.Unlock()
+		return nil
+	}
+	r.listeners[ln.fd] = ln
+	r.mu.Unlock()
+	if err := r.p.add(ln.fd, false); err != nil {
+		r.mu.Lock()
+		delete(r.listeners, ln.fd)
+		r.mu.Unlock()
+		return fmt.Errorf("reactor: register listener: %w", err)
+	}
+	return nil
 }
 
 // Dial connects to addr (blocking connect, then non-blocking registration)
@@ -301,9 +479,14 @@ func (r *Reactor) Register(fd int, h HandlerFuncs) (*Conn, error) {
 	}
 	c := &Conn{r: r, fd: fd, h: h}
 	r.mu.Lock()
-	if r.closed {
+	if r.closed || r.draining {
 		r.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if r.opts.MaxConns > 0 && len(r.conns) >= r.opts.MaxConns {
+		r.mu.Unlock()
+		r.rstats.AcceptRejects.Inc()
+		return nil, fmt.Errorf("reactor: register fd %d: connection cap (%d) reached", fd, r.opts.MaxConns)
 	}
 	r.conns[fd] = c
 	r.mu.Unlock()
@@ -319,8 +502,18 @@ func (r *Reactor) Register(fd int, h HandlerFuncs) (*Conn, error) {
 // run is the poll loop: wait for readiness, dispatch edges, drain posts.
 // The poller is closed here, on the way out, so Stop never has to touch it
 // while the loop might still be waiting on it.
+//
+// Handler panics never reach this frame (contain recovers them at each
+// dispatch point), so anything that does — a panic in reactor internals,
+// or a goroutine kill, which runs deferred functions without a panic value
+// — is a loop death: crashCleanup fails every connection with ErrPollCrash
+// and notifies the crash handler so a supervisor can build a replacement.
 func (r *Reactor) run() {
+	cleanExit := false
 	defer func() {
+		if v := recover(); v != nil || !cleanExit {
+			r.crashCleanup(v)
+		}
 		r.p.close()
 		r.registry.Deregister()
 		r.wg.Done()
@@ -330,11 +523,46 @@ func (r *Reactor) run() {
 	pprof.Do(context.Background(), pprof.Labels("target", r.name), func(context.Context) {
 		r.pollLoop()
 	})
+	cleanExit = true
+}
+
+// crashCleanup tears the reactor down after a poll-goroutine death: mark
+// closed, fail every connection with ErrPollCrash, drop queued posts, and
+// notify the crash handler last so a supervisor observes a fully-dead
+// reactor. Runs on the dying goroutine (inside its deferred frame), so the
+// poll-confined teardown invariants still hold.
+func (r *Reactor) crashCleanup(v any) {
+	r.rstats.LoopCrashes.Inc()
+	r.mu.Lock()
+	r.closed = true
+	r.posted = nil
+	lns := make([]*listener, 0, len(r.listeners))
+	for _, ln := range r.listeners {
+		lns = append(lns, ln)
+	}
+	r.listeners = map[int]*listener{}
+	conns := make([]*Conn, 0, len(r.conns))
+	for _, c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	for _, ln := range lns {
+		r.p.del(ln.fd)
+		if !ln.external {
+			sysClose(ln.fd)
+		}
+	}
+	for _, c := range conns {
+		r.closeConn(c, ErrPollCrash)
+	}
+	if h := r.crashHandler.Load(); h != nil {
+		(*h)(v)
+	}
 }
 
 func (r *Reactor) pollLoop() {
 	for {
-		n, woken, err := r.p.wait(r.events)
+		n, woken, err := r.p.wait(r.events, r.nextTimerMs())
 		if err != nil {
 			return // poller closed: Stop tore us down
 		}
@@ -345,6 +573,7 @@ func (r *Reactor) pollLoop() {
 				return
 			}
 		}
+		r.fireTimers()
 		// Resolve the whole batch to its targets before dispatching any
 		// event: a handler may close a connection mid-batch and another
 		// goroutine may reuse its fd number via Register/Dial before later
@@ -380,7 +609,7 @@ func (r *Reactor) drainPosted() bool {
 	r.mu.Unlock()
 	for _, fn := range fns {
 		r.posts.Add(1)
-		fn()
+		r.contain(nil, fn)
 	}
 	return !closed
 }
@@ -399,6 +628,10 @@ func (r *Reactor) dispatchEvent(t batchTarget, ev *pollEvent) {
 }
 
 // acceptDrain accepts until EAGAIN (edge semantics on the listen socket).
+// The MaxConns admission cap is enforced here, before any handler sees the
+// socket: an over-cap accept is closed immediately, so a connection flood
+// costs one accept+close each instead of a registration, a Conn, and
+// handler state.
 func (r *Reactor) acceptDrain(ln *listener) {
 	for {
 		fd, err := sysAccept(ln.fd)
@@ -407,14 +640,23 @@ func (r *Reactor) acceptDrain(ln *listener) {
 		}
 		c := &Conn{r: r, fd: fd}
 		r.mu.Lock()
-		if r.closed {
+		if r.closed || r.draining {
 			r.mu.Unlock()
 			sysClose(fd)
 			return
 		}
+		if r.opts.MaxConns > 0 && len(r.conns) >= r.opts.MaxConns {
+			r.mu.Unlock()
+			r.rstats.AcceptRejects.Inc()
+			sysClose(fd)
+			continue
+		}
 		r.conns[fd] = c
 		r.mu.Unlock()
-		c.h = ln.onAccept(c)
+		r.contain(c, func() { c.h = ln.onAccept(c) })
+		if c.dead() {
+			continue // onAccept panicked; contain already closed the conn
+		}
 		if err := r.p.add(fd, false); err != nil {
 			r.closeConn(c, err)
 			continue
@@ -426,6 +668,8 @@ func (r *Reactor) acceptDrain(ln *listener) {
 // connEvent dispatches one connection's readiness, bracketed by the chaos
 // interceptor and, when tracing is on, a "ready" span that the handler's
 // downstream posts parent to (readiness → dispatch → handler causality).
+// The dispatch runs contained: a panic — the handler's or an injected one —
+// closes this connection and leaves the loop serving.
 func (r *Reactor) connEvent(c *Conn, ev *pollEvent) {
 	fn, keep := r.intercept("ready", func() { r.connReady(c, ev) })
 	if !keep {
@@ -434,12 +678,12 @@ func (r *Reactor) connEvent(c *Conn, ev *pollEvent) {
 	}
 	sink := trace.ActiveSink()
 	if sink == nil {
-		fn()
+		r.contain(c, fn)
 		return
 	}
 	span := trace.BeginSpan(sink, "ready", r.name, 0)
 	prev := trace.Swap(span)
-	fn()
+	r.contain(c, fn)
 	trace.Swap(prev)
 	trace.EndSpan(sink, span, "ready", r.name)
 }
@@ -464,10 +708,11 @@ func (r *Reactor) connReady(c *Conn, ev *pollEvent) {
 // readDrain reads until EAGAIN or EOF — the edge-triggered contract.
 func (r *Reactor) readDrain(c *Conn) {
 	for !c.dead() {
-		n, err := sysRead(c.fd, r.readBuf)
+		n, err := r.ioRead(c.fd, r.readBuf)
 		switch {
 		case n > 0:
 			r.bytesRead.Add(int64(n))
+			c.noteRead()
 			if c.h.OnReadable != nil {
 				c.h.OnReadable(c, r.readBuf[:n])
 			}
@@ -475,7 +720,7 @@ func (r *Reactor) readDrain(c *Conn) {
 			// n == 0: EOF.
 			r.closeConn(c, io.EOF)
 			return
-		case wouldBlock(err):
+		case isWouldBlock(err):
 			return
 		case isEINTR(err):
 			continue
@@ -496,6 +741,7 @@ func (r *Reactor) closeConn(c *Conn, err error) {
 	}
 	r.mu.Lock()
 	delete(r.conns, c.fd)
+	lastOut := r.draining && !r.closed && len(r.conns) == 0
 	r.mu.Unlock()
 	r.p.del(c.fd)
 	c.wmu.Lock()
@@ -505,7 +751,26 @@ func (r *Reactor) closeConn(c *Conn, err error) {
 	sysClose(c.fd)
 	c.wmu.Unlock()
 	if c.h.OnClose != nil {
-		c.h.OnClose(c, err)
+		// OnClose is contained on its own: the connection is already gone,
+		// so a panicking close callback is counted and recovered without
+		// re-entering closeConn.
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					r.rstats.HandlerPanics.Inc()
+					if h := r.panicHandler.Load(); h != nil {
+						(*h)(v)
+					}
+				}
+			}()
+			c.h.OnClose(c, err)
+		}()
+	}
+	if lastOut {
+		// Drain complete: the last connection left and no force-close was
+		// needed. Stop schedules the final teardown post and returns (we
+		// are on the poll goroutine).
+		r.Stop()
 	}
 }
 
@@ -543,7 +808,9 @@ func (r *Reactor) Stop() {
 		r.mu.Unlock()
 		for _, ln := range lns {
 			r.p.del(ln.fd)
-			sysClose(ln.fd)
+			if !ln.external {
+				sysClose(ln.fd)
+			}
 		}
 		for _, c := range conns {
 			r.closeConn(c, ErrClosed)
@@ -555,6 +822,77 @@ func (r *Reactor) Stop() {
 		return // joining our own goroutine would deadlock; see doc comment
 	}
 	r.wg.Wait()
+}
+
+// Drain is the graceful Stop: accepting stops immediately, every
+// connection is closed through the flush-before-close path (spilled writes
+// go out on their writability edges, OnDrained fires as usual), and
+// connections that still have not flushed when the deadline d expires are
+// force-closed (counted by ForceCloses). Drain returns once the reactor
+// has fully stopped. Calling it from a poll-goroutine callback returns
+// after the drain is scheduled, like Stop. Draining an already-stopped
+// reactor just waits for the teardown.
+func (r *Reactor) Drain(d time.Duration) {
+	deadline := time.Now().Add(d)
+	if r.Owns() {
+		r.beginDrain(deadline)
+		return
+	}
+	_ = r.Post(func() { r.beginDrain(deadline) })
+	r.wg.Wait()
+}
+
+// beginDrain starts the drain on the poll goroutine.
+func (r *Reactor) beginDrain(deadline time.Time) {
+	r.mu.Lock()
+	if r.draining || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.draining = true
+	lns := make([]*listener, 0, len(r.listeners))
+	for _, ln := range r.listeners {
+		lns = append(lns, ln)
+	}
+	r.listeners = map[int]*listener{}
+	conns := make([]*Conn, 0, len(r.conns))
+	for _, c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	for _, ln := range lns {
+		r.p.del(ln.fd)
+		if !ln.external {
+			sysClose(ln.fd)
+		}
+	}
+	if len(conns) == 0 {
+		r.Stop()
+		return
+	}
+	for _, c := range conns {
+		// Flush-before-close: connections with no pending writes close
+		// now (closeConn sees the drain finish); the rest close from
+		// flush() once their queues empty.
+		c.Close()
+	}
+	r.addTimer(deadline, func() {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		rem := make([]*Conn, 0, len(r.conns))
+		for _, c := range r.conns {
+			rem = append(rem, c)
+		}
+		r.mu.Unlock()
+		for _, c := range rem {
+			r.rstats.ForceCloses.Inc()
+			r.closeConn(c, ErrWriteStall)
+		}
+		r.Stop()
+	})
 }
 
 // Conn is one registered descriptor: a virtual target bound to an FD. Its
@@ -574,6 +912,16 @@ type Conn struct {
 	closing    bool // Close requested; finish pending writes first
 
 	closeState atomic.Int32 // 0 open, 1 closed
+
+	// Deadline state. Durations and instants are atomics so the arming
+	// methods and the hot read/write paths stay lock-free; the deadline
+	// timer itself is poll-confined (see deadlineCheck).
+	idleDur    atomic.Int64 // idle deadline (ns); 0 disabled
+	readDLns   atomic.Int64 // absolute read deadline (unixnano); 0 disabled
+	stallDur   atomic.Int64 // write-stall deadline (ns); 0 disabled
+	lastAct    atomic.Int64 // unixnano of last read/write activity
+	stallSince atomic.Int64 // unixnano when writes first spilled; 0 when drained
+	dlArmed    atomic.Bool  // a deadline timer is scheduled on the poll goroutine
 }
 
 // Fd returns the underlying descriptor (for diagnostics; the reactor owns
@@ -617,6 +965,168 @@ func (c *Conn) PendingWrites() int {
 	return c.pendingLen
 }
 
+// SetIdleDeadline arms (or, with d <= 0, disarms) the idle reaper: the
+// connection is closed with ErrIdleTimeout if neither a read nor a
+// successful write happens for d. Writes count as activity so a passive
+// receiver (a chat-room member who only gets broadcasts) is not reaped
+// while traffic still flows to it; a slowloris peer that neither sends
+// nor accepts bytes is. Safe from any goroutine.
+func (c *Conn) SetIdleDeadline(d time.Duration) {
+	if d <= 0 {
+		c.idleDur.Store(0)
+		return
+	}
+	c.lastAct.Store(time.Now().UnixNano())
+	c.idleDur.Store(int64(d))
+	c.armDeadline()
+}
+
+// SetReadDeadline arms a one-shot read deadline: the connection is closed
+// with ErrReadTimeout if no bytes arrive by t. The first bytes that do
+// arrive disarm it (re-arm per message for a per-read deadline). A zero t
+// disarms. Safe from any goroutine.
+func (c *Conn) SetReadDeadline(t time.Time) {
+	if t.IsZero() {
+		c.readDLns.Store(0)
+		return
+	}
+	c.readDLns.Store(t.UnixNano())
+	c.armDeadline()
+}
+
+// SetWriteStallDeadline arms (or, with d <= 0, disarms) the write-stall
+// reaper: once writes spill into the pending queue, the queue must drain
+// to empty within d or the connection is closed with ErrWriteStall — the
+// peer that stopped reading no longer pins buffered bytes forever. Safe
+// from any goroutine.
+func (c *Conn) SetWriteStallDeadline(d time.Duration) {
+	if d <= 0 {
+		c.stallDur.Store(0)
+		return
+	}
+	c.stallDur.Store(int64(d))
+	c.wmu.Lock()
+	spilled := c.pendingLen > 0
+	c.wmu.Unlock()
+	if spilled {
+		c.stallSince.CompareAndSwap(0, time.Now().UnixNano())
+		c.armDeadline()
+	}
+}
+
+// noteRead records read activity for the idle deadline and satisfies a
+// pending read deadline. Poll-goroutine only (called from readDrain).
+func (c *Conn) noteRead() {
+	if c.idleDur.Load() != 0 {
+		c.lastAct.Store(time.Now().UnixNano())
+	}
+	if c.readDLns.Load() != 0 {
+		c.readDLns.Store(0)
+	}
+}
+
+// noteWrite records successful write progress for the idle deadline.
+func (c *Conn) noteWrite() {
+	if c.idleDur.Load() != 0 {
+		c.lastAct.Store(time.Now().UnixNano())
+	}
+}
+
+// armDeadline ensures a deadline-check timer is scheduled on the poll
+// goroutine. Coalesced: while one is armed, arming again is a no-op, and
+// deadlineCheck re-arms itself for as long as any deadline stays active.
+// Safe from any goroutine.
+func (c *Conn) armDeadline() {
+	if c.dlArmed.Load() || c.dead() {
+		return
+	}
+	if c.r.Owns() {
+		c.armDeadlineOnLoop()
+		return
+	}
+	_ = c.r.Post(c.armDeadlineOnLoop)
+}
+
+// armDeadlineOnLoop schedules the check timer once. Poll-goroutine only.
+func (c *Conn) armDeadlineOnLoop() {
+	if c.dead() || c.dlArmed.Swap(true) {
+		return
+	}
+	when, ok := c.nextDeadline(time.Now())
+	if !ok {
+		c.dlArmed.Store(false)
+		return
+	}
+	c.r.addTimer(when, c.deadlineCheck)
+}
+
+// nextDeadline computes the earliest instant any armed deadline can fire
+// (which may be in the past — the check closes then).
+func (c *Conn) nextDeadline(now time.Time) (time.Time, bool) {
+	var next time.Time
+	earlier := func(t time.Time) {
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
+	if d := c.idleDur.Load(); d > 0 {
+		earlier(time.Unix(0, c.lastAct.Load()+d))
+	}
+	if dl := c.readDLns.Load(); dl != 0 {
+		earlier(time.Unix(0, dl))
+	}
+	if d := c.stallDur.Load(); d > 0 {
+		if since := c.stallSince.Load(); since != 0 {
+			earlier(time.Unix(0, since+d))
+		}
+	}
+	return next, !next.IsZero()
+}
+
+// deadlineCheck enforces the connection's deadlines: expired ones close it
+// (ErrIdleTimeout / ErrReadTimeout / ErrWriteStall, counted and traced as
+// OpConnDeadline); otherwise the timer re-arms for the earliest upcoming
+// instant. Poll-goroutine only.
+func (c *Conn) deadlineCheck() {
+	if c.dead() {
+		c.dlArmed.Store(false)
+		return
+	}
+	now := time.Now()
+	nowNs := now.UnixNano()
+	var expired error
+	if d := c.idleDur.Load(); d > 0 && nowNs-c.lastAct.Load() >= d {
+		expired = ErrIdleTimeout
+	} else if dl := c.readDLns.Load(); dl != 0 && nowNs >= dl {
+		expired = ErrReadTimeout
+	} else if d := c.stallDur.Load(); d > 0 {
+		if since := c.stallSince.Load(); since != 0 && nowNs-since >= d {
+			expired = ErrWriteStall
+		}
+	}
+	if expired != nil {
+		c.r.rstats.DeadlineCloses.Inc()
+		if sink := trace.ActiveSink(); sink != nil {
+			sink.Record(trace.Event{Time: now, Op: trace.OpConnDeadline, Target: c.r.name})
+		}
+		c.r.closeConn(c, expired)
+		c.dlArmed.Store(false)
+		return
+	}
+	if when, ok := c.nextDeadline(now); ok {
+		c.r.addTimer(when, c.deadlineCheck) // dlArmed stays true
+		return
+	}
+	// Nothing armed: release the timer, then re-check for an arming that
+	// raced the release (a Write spilling just as we disarm) — without
+	// this, that arm request could read dlArmed == true and be dropped.
+	c.dlArmed.Store(false)
+	if _, ok := c.nextDeadline(now); ok && !c.dlArmed.Swap(true) {
+		when, _ := c.nextDeadline(now)
+		c.r.addTimer(when, c.deadlineCheck)
+	}
+}
+
 // Write sends p: straight to the socket while the kernel buffer accepts
 // it, with any remainder copied into the pending queue and flushed on
 // writability edges. It never blocks. Safe from any goroutine.
@@ -631,13 +1141,14 @@ func (c *Conn) Write(p []byte) error {
 	}
 	if len(c.pending) == 0 {
 		for len(p) > 0 {
-			n, err := sysWrite(c.fd, p)
+			n, err := c.r.ioWrite(c.fd, p)
 			if n > 0 {
 				c.r.bytesWritten.Add(int64(n))
+				c.noteWrite()
 				p = p[n:]
 				continue
 			}
-			if wouldBlock(err) {
+			if isWouldBlock(err) {
 				break
 			}
 			if isEINTR(err) {
@@ -679,6 +1190,13 @@ func (c *Conn) Write(p []byte) error {
 		c.closeFromAnywhere(armErr)
 		return armErr
 	}
+	// Spilled bytes start the write-stall clock (if one is configured).
+	// Arm outside wmu: armDeadline may Post, and Post must never run
+	// under a lock the poll goroutine's close path also wants.
+	if c.stallDur.Load() > 0 {
+		c.stallSince.CompareAndSwap(0, time.Now().UnixNano())
+		c.armDeadline()
+	}
 	return nil
 }
 
@@ -699,9 +1217,10 @@ func (c *Conn) flush() {
 	c.wmu.Lock()
 	for len(c.pending) > 0 {
 		buf := c.pending[0]
-		n, err := sysWrite(c.fd, buf)
+		n, err := c.r.ioWrite(c.fd, buf)
 		if n > 0 {
 			c.r.bytesWritten.Add(int64(n))
+			c.noteWrite()
 			c.pendingLen -= n
 			if n < len(buf) {
 				c.pending[0] = buf[n:]
@@ -711,7 +1230,7 @@ func (c *Conn) flush() {
 			c.pending = c.pending[1:]
 			continue
 		}
-		if wouldBlock(err) {
+		if isWouldBlock(err) {
 			c.wmu.Unlock()
 			return
 		}
@@ -723,6 +1242,7 @@ func (c *Conn) flush() {
 		return
 	}
 	c.pending = nil
+	c.stallSince.Store(0) // queue drained: write-stall clock resets
 	drained := c.wantWrite
 	var disarmErr error
 	if drained {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"syscall"
+	"time"
 )
 
 // Supported reports whether this platform has a reactor poller.
@@ -85,13 +86,20 @@ func (p *kqueuePoller) del(fd int) error {
 	return nil
 }
 
-func (p *kqueuePoller) wait(evs []pollEvent) (int, bool, error) {
+func (p *kqueuePoller) wait(evs []pollEvent, timeoutMs int) (int, bool, error) {
 	if len(p.kevs) < len(evs) {
 		p.kevs = make([]syscall.Kevent_t, len(evs))
 	}
 	kevs := p.kevs
+	var ts *syscall.Timespec
+	if timeoutMs >= 0 {
+		ts = &syscall.Timespec{
+			Sec:  int64(timeoutMs / 1000),
+			Nsec: int64(timeoutMs%1000) * int64(time.Millisecond),
+		}
+	}
 	for {
-		n, err := syscall.Kevent(p.kq, nil, kevs, nil)
+		n, err := syscall.Kevent(p.kq, nil, kevs, ts)
 		if err != nil {
 			if err == syscall.EINTR {
 				continue

@@ -70,13 +70,13 @@ func (p *epollPoller) del(fd int) error {
 	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
 }
 
-func (p *epollPoller) wait(evs []pollEvent) (int, bool, error) {
+func (p *epollPoller) wait(evs []pollEvent, timeoutMs int) (int, bool, error) {
 	if len(p.kevs) < len(evs) {
 		p.kevs = make([]syscall.EpollEvent, len(evs))
 	}
 	kevs := p.kevs
 	for {
-		n, err := syscall.EpollWait(p.epfd, kevs, -1)
+		n, err := syscall.EpollWait(p.epfd, kevs, timeoutMs)
 		if err != nil {
 			if err == syscall.EINTR {
 				continue

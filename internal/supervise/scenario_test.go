@@ -1,4 +1,7 @@
-package supervise
+// External test package: these scenarios drive supervision through the
+// chaos injector, which (via its reactor fd seam) transitively imports this
+// package — an in-package test would be an import cycle.
+package supervise_test
 
 import (
 	"errors"
@@ -8,9 +11,11 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/supervise"
 	"repro/internal/trace"
 
 	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
 )
 
 // TestSupervisedSurvivesKillStorm is the acceptance scenario: worker kills
@@ -25,7 +30,7 @@ func TestSupervisedSurvivesKillStorm(t *testing.T) {
 	factory := func(gen int) (executor.Executor, error) {
 		return inj.Wrap(executor.NewWorkerPool("w", 3, &reg)), nil
 	}
-	s, err := New("w", factory, Options{
+	s, err := supervise.New("w", factory, supervise.Options{
 		RespawnWorkers: true,
 		MaxRestarts:    20,
 		Window:         300 * time.Millisecond,
@@ -52,12 +57,12 @@ func TestSupervisedSurvivesKillStorm(t *testing.T) {
 		switch err := c.Err(); {
 		case err == nil:
 			ok++
-		case errors.Is(err, executor.ErrWorkerCrashed) || errors.Is(err, ErrRestarting):
+		case errors.Is(err, executor.ErrWorkerCrashed) || errors.Is(err, supervise.ErrRestarting):
 			typed++
 		default:
 			t.Fatalf("invocation %d: untyped failure %v", i, err)
 		}
-		if s.Health().StatusValue() == Degraded {
+		if s.Health().StatusValue() == supervise.Degraded {
 			sawDegraded = true
 		}
 	}
@@ -77,9 +82,9 @@ func TestSupervisedSurvivesKillStorm(t *testing.T) {
 
 	// The storm is bounded (Count): once it passes and the window slides,
 	// the target reads healthy and serves cleanly again.
-	waitFor(t, 5*time.Second, func() bool {
-		return s.Health().StatusValue() == Healthy && s.Post(func() {}).Wait() == nil
-	}, "post-storm recovery")
+	poll.UntilFor(t, 5*time.Second, "post-storm recovery", func() bool {
+		return s.Health().StatusValue() == supervise.Healthy && s.Post(func() {}).Wait() == nil
+	})
 	t.Logf("storm: %d ok, %d typed failures, %d kills, %d respawns",
 		ok, typed, inj.Injected(chaos.Kill), s.Stats().Respawns.Value())
 }
@@ -101,12 +106,12 @@ func TestUnsupervisedPoolWedgesAndWatchdogSees(t *testing.T) {
 			t.Fatalf("kill %d err = %v", i, err)
 		}
 	}
-	waitFor(t, 2*time.Second, func() bool { return pool.Workers() == 0 }, "all workers dead")
+	poll.UntilFor(t, 2*time.Second, "all workers dead", func() bool { return pool.Workers() == 0 })
 
 	// Watch only once the pool is dead, so heartbeat probes don't race the
 	// deterministic kill schedule above.
 	buf := trace.NewBuffer(64)
-	w := NewWatchdog(10 * time.Millisecond)
+	w := supervise.NewWatchdog(10 * time.Millisecond)
 	w.SetTraceSink(buf)
 	w.Watch("w", e, 50*time.Millisecond)
 	w.Start()
@@ -114,9 +119,9 @@ func TestUnsupervisedPoolWedgesAndWatchdogSees(t *testing.T) {
 
 	// Nobody restarts anything: this post wedges in the queue.
 	wedged := e.Post(func() {})
-	waitFor(t, 2*time.Second, func() bool {
-		return w.Health()["w"].LivenessValue() == LiveStalled
-	}, "watchdog stall detection")
+	poll.UntilFor(t, 2*time.Second, "watchdog stall detection", func() bool {
+		return w.Health()["w"].LivenessValue() == supervise.LiveStalled
+	})
 	if wedged.Finished() {
 		t.Fatal("wedged post completed with no workers")
 	}
@@ -142,20 +147,20 @@ func TestWatchdogSeesBlockedThenRecovered(t *testing.T) {
 	var reg gid.Registry
 	pool := executor.NewWorkerPool("w", 1, &reg)
 	defer pool.Shutdown()
-	w := NewWatchdog(5 * time.Millisecond)
+	w := supervise.NewWatchdog(5 * time.Millisecond)
 	w.Watch("w", pool, 25*time.Millisecond)
 	w.Start()
 	defer w.Stop()
 
 	gate := make(chan struct{})
 	pool.Post(func() { <-gate })
-	waitFor(t, 2*time.Second, func() bool {
-		return w.Health()["w"].LivenessValue() == LiveStalled
-	}, "stall while blocked")
+	poll.UntilFor(t, 2*time.Second, "stall while blocked", func() bool {
+		return w.Health()["w"].LivenessValue() == supervise.LiveStalled
+	})
 	close(gate)
-	waitFor(t, 2*time.Second, func() bool {
-		return w.Health()["w"].LivenessValue() == LiveOK
-	}, "recovery after unblock")
+	poll.UntilFor(t, 2*time.Second, "recovery after unblock", func() bool {
+		return w.Health()["w"].LivenessValue() == supervise.LiveOK
+	})
 	if w.Stalls() != 1 {
 		t.Fatalf("stall episodes = %d, want 1", w.Stalls())
 	}
@@ -165,27 +170,29 @@ func TestWatchdogSeesBlockedThenRecovered(t *testing.T) {
 // LiveDown, not stalled — the watchdog distinguishes dead from blocked.
 func TestWatchdogReportsDownTarget(t *testing.T) {
 	var reg gid.Registry
-	s, err := New("w", func(int) (executor.Executor, error) {
+	s, err := supervise.New("w", func(int) (executor.Executor, error) {
 		return executor.NewWorkerPool("w", 1, &reg), nil
-	}, Options{MaxRestarts: 1, Window: time.Minute, BackoffInitial: time.Millisecond})
+	}, supervise.Options{MaxRestarts: 1, Window: time.Minute, BackoffInitial: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Shutdown()
 	// Two manual failures exhaust the budget of 1.
 	s.ReportFailure(errors.New("probe failed"))
-	waitFor(t, 2*time.Second, func() bool {
+	poll.UntilFor(t, 2*time.Second, "first restart done", func() bool {
 		h := s.Health()
-		return h.Generation == 1 && h.State == Running.String()
-	}, "first restart done")
+		return h.Generation == 1 && h.State == supervise.Running.String()
+	})
 	s.ReportFailure(errors.New("probe failed again"))
-	waitFor(t, 2*time.Second, func() bool { return s.Health().StatusValue() == Down }, "down")
+	poll.UntilFor(t, 2*time.Second, "down", func() bool {
+		return s.Health().StatusValue() == supervise.Down
+	})
 
-	w := NewWatchdog(5 * time.Millisecond)
+	w := supervise.NewWatchdog(5 * time.Millisecond)
 	w.Watch("w", s, 25*time.Millisecond)
 	w.Start()
 	defer w.Stop()
-	waitFor(t, 2*time.Second, func() bool {
-		return w.Health()["w"].LivenessValue() == LiveDown
-	}, "down via probe")
+	poll.UntilFor(t, 2*time.Second, "down via probe", func() bool {
+		return w.Health()["w"].LivenessValue() == supervise.LiveDown
+	})
 }

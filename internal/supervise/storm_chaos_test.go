@@ -4,7 +4,7 @@
 // storm against a supervised virtual target under the full runtime. Heavier
 // than the default suite, so it is gated behind the `chaos` build tag and
 // seeded via CHAOS_SEED for reproducibility.
-package supervise
+package supervise_test
 
 import (
 	"errors"
@@ -16,8 +16,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/supervise"
 
 	"repro/internal/testutil/leakcheck"
+	"repro/internal/testutil/poll"
 )
 
 func TestSupervisedRuntimeUnderMixedFaultStorm(t *testing.T) {
@@ -35,7 +37,7 @@ func TestSupervisedRuntimeUnderMixedFaultStorm(t *testing.T) {
 	factory := func(gen int) (executor.Executor, error) {
 		return inj.Wrap(executor.NewWorkerPool("w", 4, &reg)), nil
 	}
-	s, err := New("w", factory, Options{
+	s, err := supervise.New("w", factory, supervise.Options{
 		RespawnWorkers: true,
 		PanicThreshold: 10,
 		MaxRestarts:    200,
@@ -84,7 +86,7 @@ func TestSupervisedRuntimeUnderMixedFaultStorm(t *testing.T) {
 					kind = "panic"
 				case errors.Is(cerr, executor.ErrWorkerCrashed):
 					kind = "crashed"
-				case errors.Is(cerr, ErrRestarting):
+				case errors.Is(cerr, supervise.ErrRestarting):
 					kind = "restarting"
 				default:
 					t.Errorf("untyped completion error: %v", cerr)
@@ -130,9 +132,9 @@ func TestSupervisedRuntimeUnderMixedFaultStorm(t *testing.T) {
 
 	// Faults are bounded by Count; the target must come back to healthy
 	// and serve cleanly once the restart window slides past the storm.
-	waitFor(t, 10*time.Second, func() bool {
-		return s.Health().StatusValue() == Healthy && s.Post(func() {}).Wait() == nil
-	}, "post-storm recovery")
+	poll.UntilFor(t, 10*time.Second, "post-storm recovery", func() bool {
+		return s.Health().StatusValue() == supervise.Healthy && s.Post(func() {}).Wait() == nil
+	})
 	t.Logf("storm outcomes: %v; kills=%d panics=%d respawns=%d restarts=%d",
 		outcomes, inj.Injected(chaos.Kill), inj.Injected(chaos.Panic),
 		s.Stats().Respawns.Value(), s.Stats().Restarts.Value())

@@ -70,6 +70,13 @@ const (
 	// producer→consumer flow arrow and metrics can derive queue sojourn
 	// (run begin minus enqueue).
 	OpEnqueue
+	// OpConnDeadline marks a reactor connection closed by a deadline
+	// (idle, read, or write-stall) — the slowloris defence firing.
+	OpConnDeadline
+	// OpReactorRestart marks a supervised reactor replacing its crashed
+	// poll loop with a fresh generation (listeners re-registered,
+	// in-flight connections failed).
+	OpReactorRestart
 )
 
 // String names the op.
@@ -109,6 +116,10 @@ func (o Op) String() string {
 		return "span-end"
 	case OpEnqueue:
 		return "enqueue"
+	case OpConnDeadline:
+		return "conn-deadline"
+	case OpReactorRestart:
+		return "reactor-restart"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
