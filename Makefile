@@ -64,19 +64,46 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/directive/
 
 # bench runs the scheduler benchmark suite and writes BENCH_sched.json: the
-# fresh numbers merged with the pinned pre-overhaul baseline in
-# bench/baseline.json, with per-benchmark speedups. BENCHTIME trades noise
-# for wall-clock; bench-baseline re-pins the comparison point (only after an
-# intentional regression-resetting change).
+# fresh numbers merged with the pinned pre-shard baseline in
+# bench/baseline.json, with per-benchmark speedups. The run is GATED: it
+# fails when a multi-producer Post case exceeds MP_RATIO times Post_1P
+# (dispatch contention crept back) or when any case regresses more than 50%
+# against the pinned baseline (both knobs live in cmd/benchjson; the
+# baseline gate is loose because cross-run noise on small machines is
+# ±35%, while the MP ratio is same-run and gets the tight 1.15x). BENCHTIME
+# trades noise for wall-clock; bench-baseline re-pins the comparison point
+# (only after an intentional regression-resetting change).
+# The raw bench output goes through a temp file rather than a pipe so the
+# benchjson compile doesn't run concurrently with the benchmarks (on a
+# small machine that skews every number); -count plus benchjson's
+# min-of-samples parsing filters noisy-neighbor interference.
 BENCHTIME ?= 1s
+BENCHCOUNT ?= 3
+MP_RATIO ?= 1.15
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) ./bench | \
-		$(GO) run ./cmd/benchjson -baseline bench/baseline.json -out BENCH_sched.json
+	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) \
+		-count=$(BENCHCOUNT) ./bench > .bench.raw
+	$(GO) run ./cmd/benchjson -baseline bench/baseline.json -out BENCH_sched.json \
+		-gate -max-mp-ratio $(MP_RATIO) < .bench.raw
+	@rm -f .bench.raw
 	@cat BENCH_sched.json
 
+# bench-mp is the CI-shaped multi-producer contention gate: only the Post
+# cases, short benchtime, and only the machine-independent ratio check
+# (current _NP vs current _1P; the pinned-baseline comparison is disabled
+# because CI hardware differs from the machine that pinned it).
+bench-mp:
+	$(GO) test -run='^$$' -bench='BenchmarkSchedPost' -benchmem -benchtime=0.3s \
+		-count=$(BENCHCOUNT) ./bench > .bench.raw
+	$(GO) run ./cmd/benchjson -baseline bench/baseline.json -out /dev/null \
+		-gate -max-mp-ratio $(MP_RATIO) -max-regress 0 < .bench.raw
+	@rm -f .bench.raw
+
 bench-baseline:
-	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) ./bench | \
-		$(GO) run ./cmd/benchjson -capture > bench/baseline.json
+	$(GO) test -run='^$$' -bench=BenchmarkSched -benchmem -benchtime=$(BENCHTIME) \
+		-count=$(BENCHCOUNT) ./bench > .bench.raw
+	$(GO) run ./cmd/benchjson -capture < .bench.raw > bench/baseline.json
+	@rm -f .bench.raw
 
 # bench-smoke compiles and runs every benchmark once — the CI gate that
 # keeps the suite from rotting without paying benchmark wall-clock.

@@ -13,6 +13,16 @@
 //	    merge the parsed results with the recorded baseline and compute
 //	    per-benchmark speedups (baseline ns/op ÷ current ns/op)
 //
+// With -gate the compare mode also FAILS (exit 1) instead of just
+// reporting: a per-case delta table goes to stderr, and the run is rejected
+// when a multi-producer Post case exceeds -max-mp-ratio times its _1P
+// sibling (contention crept back in), or when any case shared with the
+// baseline slows down past -max-regress (perf regression). The
+// multi-producer ratio is computed within the current run, so it is
+// machine-independent and safe to gate in CI; the baseline comparison only
+// makes sense on the machine that pinned the baseline (disable it with
+// -max-regress 0).
+//
 // Benchmark names are normalized by stripping the trailing -<procs> suffix
 // so the keys stay stable across machines.
 package main
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -50,6 +61,11 @@ type File struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
+// parse reads benchmark lines. When -count=N repeats a benchmark, the
+// sample with the lowest ns/op wins: the minimum is the noise-robust
+// statistic (interference from neighbors only ever slows a run down), so
+// feeding -count=3 output in makes both pinning and gating stable on
+// shared machines.
 func parse(r *bufio.Scanner) (map[string]Result, error) {
 	out := make(map[string]Result)
 	for r.Scan() {
@@ -83,15 +99,80 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 				res.Extra[fields[i+1]] = v
 			}
 		}
+		if prev, ok := out[m[1]]; ok && prev.NsPerOp > 0 &&
+			(res.NsPerOp <= 0 || prev.NsPerOp <= res.NsPerOp) {
+			continue
+		}
 		out[m[1]] = res
 	}
 	return out, r.Err()
+}
+
+// mpCase matches the multi-producer benchmark names: a _<n>P suffix with
+// n > 1. Its _1P sibling (same prefix) is the contention-free anchor.
+var mpCase = regexp.MustCompile(`^(.+_)(\d+)P$`)
+
+// checkGates prints a per-case delta table to w and returns the gate
+// violations. maxMP caps current _<n>P ns/op over the _1P sibling's;
+// maxRegress caps current over baseline ns/op per shared case (0 disables
+// the baseline comparison — for machines other than the one that pinned it).
+func checkGates(w *os.File, current, baseline map[string]Result, maxMP, maxRegress float64) []string {
+	var violations []string
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-34s %12s %12s %8s\n", "case", "baseline", "current", "delta")
+	for _, name := range names {
+		cur := current[name]
+		base, hasBase := baseline[name]
+		if hasBase && base.NsPerOp > 0 && cur.NsPerOp > 0 {
+			ratio := cur.NsPerOp / base.NsPerOp
+			fmt.Fprintf(w, "%-34s %10.1fns %10.1fns %+7.1f%%\n",
+				name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+			if maxRegress > 0 && ratio > maxRegress {
+				violations = append(violations,
+					fmt.Sprintf("%s regressed %.2fx over baseline (gate %.2fx)", name, ratio, maxRegress))
+			}
+		} else {
+			fmt.Fprintf(w, "%-34s %12s %10.1fns %8s\n", name, "-", cur.NsPerOp, "-")
+		}
+	}
+	if maxMP > 0 {
+		for _, name := range names {
+			m := mpCase.FindStringSubmatch(name)
+			if m == nil || m[2] == "1" {
+				continue
+			}
+			anchor, ok := current[m[1]+"1P"]
+			if !ok || anchor.NsPerOp <= 0 || current[name].NsPerOp <= 0 {
+				continue
+			}
+			ratio := current[name].NsPerOp / anchor.NsPerOp
+			fmt.Fprintf(w, "multi-producer %s = %.2fx %s1P (gate %.2fx)\n", name, ratio, m[1], maxMP)
+			if ratio > maxMP {
+				violations = append(violations,
+					fmt.Sprintf("%s is %.2fx its single-producer sibling (gate %.2fx): dispatch contention", name, ratio, maxMP))
+			}
+		}
+	}
+	return violations
 }
 
 func main() {
 	capture := flag.Bool("capture", false, "emit parsed results alone (baseline capture)")
 	baselinePath := flag.String("baseline", "", "baseline JSON to merge and compare against")
 	outPath := flag.String("out", "", "output path (default stdout)")
+	gate := flag.Bool("gate", false, "fail (exit 1) on gate violations; print per-case deltas to stderr")
+	maxMP := flag.Float64("max-mp-ratio", 1.15, "gate: max current multi-producer ns/op over the _1P sibling (0 disables)")
+	// The baseline comparison crosses runs, and on small shared machines
+	// ping-pong style cases swing ±35% between runs of identical code even
+	// with min-of-count filtering — so this gate is deliberately loose: it
+	// catches collapses (the pre-shard 64-producer case was 9.3x), not
+	// percent drift. The multi-producer ratio gate is the tight one
+	// because both of its sides come from the same run.
+	maxRegress := flag.Float64("max-regress", 1.5, "gate: max current over baseline ns/op per case (0 disables)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -138,10 +219,17 @@ func main() {
 	enc = append(enc, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
 		fail(err)
+	}
+	if *gate && !*capture {
+		f := doc.(File)
+		if violations := checkGates(os.Stderr, f.Current, f.Baseline, *maxMP, *maxRegress); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", v)
+			}
+			os.Exit(1)
+		}
 	}
 }
 

@@ -129,8 +129,8 @@ func main() {
 			// how much work the dispatch path moved and how deep it queued.
 			st := results[len(results)-1].Sched
 			if st.Submitted > 0 {
-				fmt.Printf("%-16s submitted=%d completed=%d helped=%d rejected=%d peak=%d\n",
-					"  sched", st.Submitted, st.Completed, st.Helped, st.Rejected, st.QueuePeak)
+				fmt.Printf("%-16s submitted=%d completed=%d helped=%d steals=%d rejected=%d peak=%d\n",
+					"  sched", st.Submitted, st.Completed, st.Helped, st.Steals, st.Rejected, st.QueuePeak)
 			}
 		}
 	}

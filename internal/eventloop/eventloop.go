@@ -12,11 +12,21 @@
 // Pyjama achieves this by slightly modifying the event queue dispatching
 // mechanism in the Java AWT runtime library").
 //
-// Dispatch hot path (PR 3): events flow through the same pooled chunked
-// ring queue as the worker pools (executor.ChunkQueue), event nodes are
-// recycled through a sync.Pool, and the producer→EDT wakeup token is sent
-// only when the dispatch goroutine is actually parked (the waiters counter),
-// so a loop that is keeping up never pays a channel operation per Post.
+// Dispatch hot path (PR 3): events flow through a pooled chunked ring queue
+// (executor.ChunkQueue), event nodes are recycled through a sync.Pool, and
+// the producer→EDT wakeup token is sent only when the dispatch goroutine is
+// actually parked (the waiters counter), so a loop that is keeping up never
+// pays a channel operation per Post.
+//
+// The EDT deliberately did NOT move to the worker pools' sharded run-queues
+// (PR 8). Sharding buys relief from multi-producer contention only when
+// multiple consumers drain the shards; the EDT is definitionally a single
+// consumer, and splitting its queue would either break FIFO dispatch order
+// (handlers observe events out of submission order) or force the drain loop
+// to merge shards back into one sequence — paying the coordination the
+// single queue avoids. The mutex-guarded ChunkQueue plus parked-only wakeups
+// is the right shape for one consumer; the shards live in executor.WorkerPool
+// where the consumers are plural.
 package eventloop
 
 import (

@@ -157,3 +157,92 @@ func TestConcurrentResizeShutdown(t *testing.T) {
 		// failed by the shutdown backstop; none may hang.
 	}
 }
+
+// TestCrashRehomesQueuedTasks: a crashed worker's local shard must be
+// re-homed onto a survivor — the tasks that had hashed to the dead worker's
+// queue run to completion instead of waiting on a goroutine that no longer
+// exists.
+func TestCrashRehomesQueuedTasks(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var reg gid.Registry
+	p := NewWorkerPool("crash", 2, &reg)
+	defer p.Shutdown()
+
+	// Gate both workers, one per shard; each gate crashes (Goexit) or
+	// returns on command.
+	cmd0, cmd1 := make(chan bool), make(chan bool)
+	running := make(chan struct{}, 2)
+	p.postToShard(0, func() {
+		running <- struct{}{}
+		if <-cmd0 {
+			runtime.Goexit()
+		}
+	})
+	<-running
+	p.postToShard(1, func() {
+		running <- struct{}{}
+		if <-cmd1 {
+			runtime.Goexit()
+		}
+	})
+	<-running
+
+	const n = 30
+	var comps []*Completion
+	for i := 0; i < n; i++ {
+		comps = append(comps, p.postToShard(0, func() {}))
+		comps = append(comps, p.postToShard(1, func() {}))
+	}
+	cmd0 <- true // crash gate 0's holder; its shard must move to the survivor
+	waitFor(t, "crash recorded", func() bool { return p.Crashes() == 1 })
+	// The survivor is still gated, so the re-homed count is exact: the
+	// dead worker's shard held the n tasks pinned to it and nothing else.
+	waitFor(t, "shard re-homed", func() bool { return p.Stats().Rehomed == n })
+	cmd1 <- false // free the survivor
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("queued task failed after crash: %v", err)
+		}
+	}
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("Workers = %d, want 1 after crash", w)
+	}
+	if got := p.Stats().Submitted; got != 2*n+2 {
+		t.Fatalf("Submitted = %d, want %d (carry must survive the dead shard)", got, 2*n+2)
+	}
+}
+
+// TestCrashLastWorkerOrphanGrowAdopts: when the last worker crashes, its
+// shard is orphaned in place — posts still land there — and Grow hands the
+// orphan to the respawned worker, which drains the backlog. This is the
+// contract supervise.RespawnWorkers depends on: respawn a worker *with its
+// queue*.
+func TestCrashLastWorkerOrphanGrowAdopts(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var reg gid.Registry
+	p := NewWorkerPool("orphan", 1, &reg)
+	defer p.Shutdown()
+
+	crash := make(chan struct{})
+	running := make(chan struct{})
+	p.Post(func() { close(running); <-crash; runtime.Goexit() })
+	<-running
+	const n = 20
+	var comps []*Completion
+	for i := 0; i < n; i++ {
+		comps = append(comps, p.Post(func() {}))
+	}
+	close(crash)
+	waitFor(t, "worker gone", func() bool { return p.Workers() == 0 })
+	if d := p.Stats().QueueDepth; d != n {
+		t.Fatalf("QueueDepth = %d, want %d (orphan shard must keep the queue)", d, n)
+	}
+	// Posts to a fully-crashed pool still land on the orphan shard.
+	comps = append(comps, p.Post(func() {}))
+	p.Grow(1)
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("queued task failed after respawn: %v", err)
+		}
+	}
+}

@@ -20,9 +20,9 @@ func (d *DirectExecutor) Name() string { return d.name }
 // Post runs fn immediately on the calling goroutine and returns a finished
 // Completion (capturing a panic, if any, like the asynchronous executors).
 func (d *DirectExecutor) Post(fn func()) *Completion {
-	c := newCompletion()
-	runTask(&task{fn: fn, comp: c}, d.name, nil)
-	return c
+	t := &task{fn: fn}
+	runTask(t, d.name, nil)
+	return &t.comp
 }
 
 // Owns always reports true: with direct execution the calling goroutine is

@@ -10,12 +10,16 @@
 // question "is the encountering thread already a member of this virtual
 // target's thread group?" (Algorithm 1, line 6).
 //
-// Dispatch hot path (PR 3): tasks flow through a pooled chunked ring queue
-// (queue.go) under a single short critical section; idle workers park on
-// per-worker wake channels and are woken one at a time (no broadcast
-// thundering herd, no wakeup at all while a worker is spinning); the
-// submitted/peak counters live off the lock as atomics with a CAS-max loop.
-// See DESIGN.md §10 for the full protocol and its invariants.
+// Dispatch hot path (PR 3, resharded in PR 8): every worker owns a local
+// run-queue shard; producers hash onto shards by goroutine id
+// (gid.Current, ~3ns) so concurrent posters stop serializing on one lock.
+// Workers pop their own shard LIFO (newest first, cache-warm) with a
+// periodic FIFO fairness tick, and steal half a victim's queue FIFO when
+// their own shard runs dry. Idle workers park on per-worker wake channels
+// and are woken one at a time (no broadcast thundering herd, no wakeup at
+// all while a worker is spinning — a spinner polls every shard, so it
+// covers them all). See DESIGN.md §15 for the full protocol and its
+// invariants; shard.go for the shard/deque mechanics.
 package executor
 
 import (
@@ -183,8 +187,9 @@ type Executor interface {
 	// Name returns the virtual target name this executor is registered as.
 	Name() string
 	// Post submits fn for asynchronous execution and returns its Completion.
-	// Post never blocks on the task itself (it may briefly contend on the
-	// queue lock).
+	// Post never blocks on the task itself (it may briefly contend on a
+	// shard lock, and under sustained overload it yields the processor once
+	// per submission so workers can catch up).
 	Post(fn func()) *Completion
 	// Owns reports whether the calling goroutine is a member of this
 	// executor's thread group (Algorithm 1 line 6).
@@ -206,8 +211,10 @@ type Stats struct {
 	Helped     int64 // tasks run via TryRunPending rather than a worker
 	Panics     int64 // task bodies that terminated by panicking
 	Crashes    int64 // worker goroutines that died abnormally (Goexit/escaped panic)
-	QueuePeak  int64 // high watermark of queue length
-	QueueDepth int64 // current queue length
+	Steals     int64 // tasks moved between shards by work stealing
+	Rehomed    int64 // tasks moved off a retiring/crashed worker's shard
+	QueuePeak  int64 // high watermark of a single shard's queue length
+	QueueDepth int64 // current total queue length across shards
 }
 
 // task lifecycle states (see task.state).
@@ -217,21 +224,23 @@ const (
 	taskCancelled
 )
 
+// task is one queued unit of work. The Completion is embedded so a plain
+// Post is a single allocation; the node is never pooled or reused (callers
+// hold pointers into it via the Completion, and PostCancellable's cancel
+// closure may outlive the run). runTask nils fn after execution so a
+// long-held Completion does not pin the body's captures.
 type task struct {
-	fn   func()
-	comp *Completion
-	// recycle marks nodes with no external references after execution
-	// (plain Post). PostCancellable nodes are excluded: their cancel
-	// closure may outlive the run, and a pooled reuse would let a stale
-	// cancel race a new task's state machine.
-	recycle bool
-	state   atomic.Int32 // taskQueued -> taskRunning | taskCancelled
+	fn    func()
+	state atomic.Int32 // taskQueued -> taskRunning | taskCancelled
 	// span and spawn carry causal tracing across the dispatch boundary:
 	// span is the task's pre-allocated run-span id (0 when tracing was off
 	// at post time) and spawn the submitter's current span. They are set
-	// only while a trace sink is installed.
+	// only while a trace sink is installed. Both travel with the task, so
+	// a stolen or re-homed task keeps its submitter as the span parent no
+	// matter which worker ends up running it.
 	span  trace.SpanID
 	spawn trace.SpanID
+	comp  Completion
 }
 
 // prepareSpan allocates the task's run span and records its enqueue against
@@ -246,7 +255,7 @@ func prepareSpan(t *task, target string) {
 	}
 }
 
-// runTask executes t.fn with panic capture and completes t.comp, reporting
+// runTask executes t.fn with panic capture and completes the task, reporting
 // whether the body ran. A task whose cancellation won the race is skipped
 // (its completion was already finished by the canceller). If the running
 // goroutine dies mid-task (runtime.Goexit, or a panic that defeats the
@@ -264,7 +273,7 @@ func runTask(t *task, target string, onPanic func(any)) bool {
 		return false // cancelled while queued
 	}
 	finished := false
-	comp := t.comp
+	comp := &t.comp
 	defer func() {
 		if !finished {
 			comp.complete(ErrWorkerCrashed)
@@ -284,6 +293,8 @@ func runTask(t *task, target string, onPanic func(any)) bool {
 			}()
 		}
 	}
+	fn := t.fn
+	t.fn = nil // drop the body's captures once run; waiters may hold comp long after
 	var err error
 	func() {
 		defer func() {
@@ -294,7 +305,7 @@ func runTask(t *task, target string, onPanic func(any)) bool {
 				}
 			}
 		}()
-		t.fn()
+		fn()
 	}()
 	finished = true
 	comp.complete(err)
@@ -311,8 +322,8 @@ type parker struct {
 
 // workerSpins is how many cooperative yields an idle worker burns before
 // parking. While any worker is in this phase the pool's spinning counter is
-// nonzero and Post skips the wakeup entirely — the spinner will find the
-// task itself.
+// nonzero and Post skips the wakeup entirely — the spinner polls every
+// shard, so it covers them all and will find the task itself.
 const workerSpins = 4
 
 // WorkerPool is a fixed-size thread-pool executor: the realization of the
@@ -320,12 +331,19 @@ const workerSpins = 4
 // (Table II). Worker goroutines live for the pool's lifetime, mirroring
 // "a virtual target is essentially a thread pool executor, and its lifecycle
 // lasts throughout the program".
+//
+// Internally the pool is sharded: each worker owns a local run-queue and
+// producers hash onto shards by goroutine id, so multi-producer submission
+// scales instead of serializing on one lock. Workers steal from each other
+// when their own shard runs dry, and a retiring or crashed worker's shard
+// is re-homed (or adopted by a respawned worker) so no queued task is ever
+// stranded. A pool constructed with one worker (NewSerialExecutor) keeps
+// the strict-FIFO guarantee: its single shard is popped oldest-first.
 type WorkerPool struct {
 	name     string
 	registry *gid.Registry
 
 	mu       sync.Mutex
-	q        ChunkQueue[*task]
 	parked   *parker // LIFO stack of idle (parked) workers
 	capacity int     // 0 = unbounded
 	shutdown bool
@@ -333,24 +351,39 @@ type WorkerPool struct {
 	onCrash  func(any) // notified when a worker goroutine dies abnormally
 	nworkers int       // guarded by mu (Grow/Shrink mutate it)
 	shrink   int       // pending worker-exit credits, guarded by mu
+	serial   bool      // constructed with one worker: strict FIFO pop order
+
+	// shards is the current shard set, copy-on-write under mu. Producers,
+	// stealers, helpers and Stats read it lock-free; a producer that lands
+	// on a shard whose dead flag is set re-picks from a fresh snapshot.
+	// Invariant: never empty — the last exiting worker orphans its shard
+	// in place instead of removing it.
+	shards atomic.Pointer[[]*shard]
 
 	// Hot-path state read without the lock.
-	qlen       atomic.Int64  // mirror of q.len(), updated under mu
+	stopped    atomic.Bool   // mirror of shutdown, checked inside shard critical sections
+	shrinkHint atomic.Int32  // mirror of shrink: lets workers skip mu when no retirement is pending
+	nparked    atomic.Int32  // mirror of the parked-stack size
 	spinning   atomic.Int32  // workers in the pre-park spin phase
 	extWaiters atomic.Int32  // goroutines blocked in WaitPending
 	notify     chan struct{} // cap-1 wakeup for WaitPending
-	taskPool   sync.Pool     // *task nodes for the plain Post path
+	qtotal     atomic.Int64  // total queued tasks; maintained only when capacity > 0
 
 	wg        sync.WaitGroup
 	panicWrap func(any) // counts panics, then calls the installed handler
 
-	submitted atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
 	helped    atomic.Int64
 	panics    atomic.Int64
 	crashes   atomic.Int64
-	peak      atomic.Int64
+	steals    atomic.Int64
+	rehomed   atomic.Int64
+	// carrySub/carryPeak preserve the Submitted/QueuePeak contributions of
+	// shards that have since been removed from the snapshot (retire/crash
+	// re-homing transfers them under the dying shard's lock).
+	carrySub  atomic.Int64
+	carryPeak atomic.Int64
 }
 
 // NewWorkerPool creates and starts a pool named name with n worker
@@ -372,9 +405,8 @@ func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *Work
 		reg = &gid.Default
 	}
 	p := &WorkerPool{name: name, registry: reg, capacity: capacity, nworkers: n,
-		q:      NewChunkQueue[*task](),
+		serial: n == 1,
 		notify: make(chan struct{}, 1)}
-	p.taskPool.New = func() any { return new(task) }
 	p.panicWrap = func(v any) {
 		p.panics.Add(1)
 		p.mu.Lock()
@@ -384,13 +416,20 @@ func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *Work
 			h(v)
 		}
 	}
+	snap := make([]*shard, n)
+	workers := make([]*worker, n)
+	for i := range snap {
+		snap[i] = newShard()
+		workers[i] = newWorker(snap[i])
+	}
+	p.shards.Store(&snap)
 	p.wg.Add(n)
 	started := make(chan struct{})
 	var startOnce sync.Once
 	var startedCount atomic.Int64
 	total := int64(n)
-	for i := 0; i < n; i++ {
-		p.spawnWorker(func() {
+	for _, w := range workers {
+		p.spawnWorker(w, func() {
 			if startedCount.Add(1) == total {
 				startOnce.Do(func() { close(started) })
 			}
@@ -404,16 +443,17 @@ func NewBoundedWorkerPool(name string, n, capacity int, reg *gid.Registry) *Work
 // registered. The epilogue distinguishes the two legitimate exits (shutdown
 // drain and shrink retirement return normally from workerLoop) from a crash:
 // runtime.Goexit or a panic escaping the task recovery unwinds with
-// normal == false, which corrects the live-worker count and notifies the
-// crash handler so a supervisor can replace the worker or restart the pool.
-func (p *WorkerPool) spawnWorker(onStarted func()) {
+// normal == false, which corrects the live-worker count, re-homes or orphans
+// the dead worker's shard, and notifies the crash handler so a supervisor
+// can replace the worker or restart the pool.
+func (p *WorkerPool) spawnWorker(w *worker, onStarted func()) {
 	go func() {
 		normal := false
 		defer func() {
 			v := recover()
 			p.registry.Deregister()
 			if !normal || v != nil {
-				p.workerCrashed(v)
+				p.workerCrashed(w, v)
 			}
 			p.wg.Done()
 		}()
@@ -424,25 +464,37 @@ func (p *WorkerPool) spawnWorker(onStarted func()) {
 		// Label the worker goroutine with its virtual-target name so CPU
 		// profiles attribute samples per target (pprof -tags).
 		pprof.Do(context.Background(), pprof.Labels("target", p.name), func(context.Context) {
-			p.workerLoop()
+			p.workerLoop(w)
 		})
 		normal = true
 	}()
 }
 
 // workerCrashed records an abnormal worker exit: the dead goroutine no
-// longer counts toward Workers, and the crash handler (if any) is told why.
-func (p *WorkerPool) workerCrashed(reason any) {
+// longer counts toward Workers, its shard is re-homed onto a survivor (or
+// left in place as an orphan when it was the last worker — producers can
+// still post there, FailPending/Shutdown can still fail what queues up, and
+// Grow hands the queue to the next respawned worker), and the crash handler
+// (if any) is told why.
+func (p *WorkerPool) workerCrashed(w *worker, reason any) {
 	p.crashes.Add(1)
 	p.mu.Lock()
 	p.nworkers--
 	h := p.onCrash
-	// A consumer died; if work is queued and siblings are parked, hand the
-	// wakeup on so the queue keeps draining.
-	w := p.popParkerLocked()
+	survivors := p.nworkers > 0
+	if survivors {
+		p.removeShardLocked(w.shard)
+	} else {
+		w.shard.owned = false
+	}
 	p.mu.Unlock()
-	if w != nil {
-		w.wake <- struct{}{}
+	if survivors {
+		p.rehome(w.shard)
+		// A consumer died; if work is queued and siblings are parked, hand
+		// the wakeup on so the queues keep draining.
+		if p.anyWork() {
+			p.wakeOne()
+		}
 	}
 	if h != nil {
 		h(reason)
@@ -475,6 +527,68 @@ func (p *WorkerPool) SetPanicHandler(fn func(any)) {
 	p.mu.Unlock()
 }
 
+// removeShardLocked publishes a snapshot without sh. Caller holds mu and is
+// responsible for re-homing the shard's queue afterwards.
+func (p *WorkerPool) removeShardLocked(sh *shard) {
+	old := *p.shards.Load()
+	snap := make([]*shard, 0, len(old)-1)
+	for _, s := range old {
+		if s != sh {
+			snap = append(snap, s)
+		}
+	}
+	p.shards.Store(&snap)
+}
+
+// rehome marks sh dead, drains it, and moves the backlog onto a live shard.
+// Called after sh has been removed from the snapshot (retire, or crash with
+// survivors). Producers holding the old snapshot either pushed before the
+// dead flag was set — their tasks are in the drained batch — or see dead
+// under the shard lock and re-pick; either way nothing is stranded.
+func (p *WorkerPool) rehome(sh *shard) {
+	sh.mu.Lock()
+	sh.dead = true
+	moved := sh.q.drain(nil)
+	sh.len.Store(0)
+	// Fold the dead shard's counters into the pool-level carry while its
+	// lock still excludes late producers, so Stats stays exact.
+	p.carrySub.Add(sh.submitted.Load())
+	CasMax(&p.carryPeak, sh.peak.Load())
+	sh.mu.Unlock()
+	if len(moved) == 0 {
+		return
+	}
+	p.rehomed.Add(int64(len(moved)))
+	for {
+		dst := (*p.shards.Load())[0]
+		dst.mu.Lock()
+		if dst.dead {
+			dst.mu.Unlock()
+			continue // that one retired too; the snapshot has moved on
+		}
+		for _, t := range moved {
+			dst.q.pushBack(t)
+		}
+		n := int64(dst.q.n)
+		dst.len.Store(n)
+		dst.mu.Unlock()
+		CasMax(&dst.peak, n)
+		break
+	}
+	p.wakeOne()
+}
+
+// wakeOne pops one parked worker and hands it a wake token (no-op when
+// nobody is parked).
+func (p *WorkerPool) wakeOne() {
+	p.mu.Lock()
+	pk := p.popParkerLocked()
+	p.mu.Unlock()
+	if pk != nil {
+		pk.wake <- struct{}{}
+	}
+}
+
 // popParkerLocked removes one parked worker from the idle stack (nil if
 // none). Callers send its wake token after releasing the lock.
 func (p *WorkerPool) popParkerLocked() *parker {
@@ -482,6 +596,7 @@ func (p *WorkerPool) popParkerLocked() *parker {
 	if pk != nil {
 		p.parked = pk.next
 		pk.next = nil
+		p.nparked.Add(-1)
 	}
 	return pk
 }
@@ -491,6 +606,9 @@ func (p *WorkerPool) popParkerLocked() *parker {
 func (p *WorkerPool) takeAllParkedLocked() *parker {
 	head := p.parked
 	p.parked = nil
+	if head != nil {
+		p.nparked.Store(0)
+	}
 	return head
 }
 
@@ -503,16 +621,26 @@ func wakeAll(head *parker) {
 	}
 }
 
+// anyWork reports whether any shard has queued tasks (lock-free scan of the
+// per-shard length mirrors).
+func (p *WorkerPool) anyWork() bool {
+	for _, sh := range *p.shards.Load() {
+		if sh.len.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // spin is the pre-park idle phase: a few cooperative yields while polling
-// the queue length. While at least one worker spins, Post skips the wake
-// token entirely — the cheapest possible wakeup is the one never sent.
+// every shard's length. While at least one worker spins, Post skips the
+// wake token entirely — the cheapest possible wakeup is the one never sent.
 func (p *WorkerPool) spin() {
 	p.spinning.Add(1)
 	for i := 0; i < workerSpins; i++ {
-		// Poll only the atomic queue length — no lock. Shutdown during the
-		// spin just costs a few extra yields: the locked recheck the worker
-		// does before parking observes it.
-		if p.qlen.Load() > 0 {
+		// Poll only the atomic lengths — no locks. Shutdown during the spin
+		// just costs a few extra yields: the loop re-checks it after.
+		if p.anyWork() {
 			break
 		}
 		runtime.Gosched()
@@ -520,105 +648,283 @@ func (p *WorkerPool) spin() {
 	p.spinning.Add(-1)
 }
 
-// releaseTask returns a plain-Post node to the pool once nothing references
-// it anymore. Cancellable nodes are left to the GC (see task.recycle).
-func (p *WorkerPool) releaseTask(t *task) {
-	if !t.recycle {
-		return
+// pickShard hashes the calling goroutine onto a shard (submitter affinity):
+// the same producer keeps hitting the same shard, so an uncontended
+// producer/worker pair shares one lock and one cache line, and disjoint
+// producers spread across disjoint locks.
+func (p *WorkerPool) pickShard() *shard {
+	snap := *p.shards.Load()
+	if len(snap) == 1 {
+		return snap[0]
 	}
-	t.fn, t.comp = nil, nil
-	t.span, t.spawn = 0, 0
-	p.taskPool.Put(t)
+	return snap[int(uint64(gid.Current())%uint64(len(snap)))]
 }
 
-// workerLoop is one worker's life: pop-and-run while there is work, spin
-// briefly when the queue goes empty, then park on the worker's own wake
-// channel until a producer (or shutdown/shrink) hands it a token.
-//
-// The no-lost-wakeup invariant: a worker only parks after re-checking the
-// queue under the pool lock, and producers enqueue under that same lock, so
-// a producer either sees the parked worker (and wakes it) or the worker sees
-// the task (and never parks).
-func (p *WorkerPool) workerLoop() {
-	pk := &parker{wake: make(chan struct{}, 1)}
-	spun := false
-	for {
-		p.mu.Lock()
-		if p.shrink > 0 {
-			// A Shrink credit retires this worker. If work remains, pass the
-			// consumer role to a parked sibling instead of stranding it.
-			p.shrink--
-			p.nworkers--
-			var w *parker
-			if p.q.Len() > 0 {
-				w = p.popParkerLocked()
-			}
-			p.mu.Unlock()
-			if w != nil {
-				w.wake <- struct{}{}
-			}
-			return
+// popLocal takes one task from the worker's own shard: LIFO (newest first)
+// for cache warmth, with every fairnessTick'th pop taking the oldest task
+// instead so the tail cannot starve. Serial pools (one worker at
+// construction) always pop oldest-first — that is the strict-FIFO guarantee
+// NewSerialExecutor documents.
+func (p *WorkerPool) popLocal(w *worker) *task {
+	sh := w.shard
+	if sh.len.Load() == 0 {
+		return nil
+	}
+	sh.mu.Lock()
+	if sh.q.n == 0 {
+		sh.mu.Unlock()
+		return nil
+	}
+	var t *task
+	if p.serial {
+		t = sh.q.popFront()
+	} else {
+		w.ticks++
+		if w.ticks%fairnessTick == 0 {
+			t = sh.q.popFront()
+		} else {
+			t = sh.q.popBack()
 		}
-		if t, ok := p.q.Pop(); ok {
-			p.qlen.Store(int64(p.q.Len()))
-			p.mu.Unlock()
-			spun = false
-			if runTask(t, p.name, p.panicWrap) {
-				p.completed.Add(1)
-			}
-			p.releaseTask(t)
+	}
+	sh.len.Store(int64(sh.q.n))
+	sh.mu.Unlock()
+	return t
+}
+
+// steal scans the other shards for a victim and moves half its queue (capped
+// at stealBatchMax) onto the thief's shard, returning the first stolen task
+// to run immediately. Stealing pops the victim's queue oldest-first: the
+// victim keeps its cache-warm newest tasks, the thief takes the aged tail.
+// The batch is staged in the worker's private buffer between the two lock
+// sections — never hold two shard locks at once (see shard.go).
+func (p *WorkerPool) steal(w *worker) *task {
+	snap := *p.shards.Load()
+	n := len(snap)
+	if n <= 1 {
+		return nil
+	}
+	start := 0
+	for i, s := range snap {
+		if s == w.shard {
+			start = i
+			break
+		}
+	}
+	for k := 1; k <= n; k++ {
+		v := snap[(start+k)%n]
+		if v == w.shard || v.len.Load() == 0 {
 			continue
 		}
-		if p.shutdown {
-			p.mu.Unlock()
+		v.mu.Lock()
+		if v.dead || v.q.n == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (v.q.n + 1) / 2
+		if take > stealBatchMax {
+			take = stealBatchMax
+		}
+		first := v.q.popFront()
+		buf := w.stealBuf[:0]
+		for i := 1; i < take; i++ {
+			buf = append(buf, v.q.popFront())
+		}
+		v.len.Store(int64(v.q.n))
+		v.mu.Unlock()
+		if len(buf) > 0 {
+			sh := w.shard
+			sh.mu.Lock()
+			for _, t := range buf {
+				sh.q.pushBack(t)
+			}
+			ln := int64(sh.q.n)
+			sh.len.Store(ln)
+			sh.mu.Unlock()
+			CasMax(&sh.peak, ln)
+			for i := range buf {
+				buf[i] = nil
+			}
+			w.stealBuf = buf[:0]
+		}
+		p.steals.Add(int64(take))
+		return first
+	}
+	return nil
+}
+
+// execute runs one task the worker (or a crashed sibling's re-homed queue)
+// handed us, maintaining the bounded-capacity accounting: the task leaves
+// the queue here whether it runs or was already cancelled.
+func (p *WorkerPool) execute(t *task) {
+	if p.capacity > 0 {
+		p.qtotal.Add(-1)
+	}
+	if runTask(t, p.name, p.panicWrap) {
+		p.completed.Add(1)
+	}
+}
+
+// wakeForBacklog propagates the consumer wakeup: a worker that just took a
+// task and can see more queued work wakes one parked sibling (unless a
+// spinner already covers the shards). This is how a single producer
+// flooding one shard fans out across the whole pool.
+func (p *WorkerPool) wakeForBacklog() {
+	if p.nparked.Load() > 0 && p.spinning.Load() == 0 && p.anyWork() {
+		p.wakeOne()
+	}
+}
+
+// tryRetire consumes one pending Shrink credit, removing this worker and
+// re-homing its shard. Reports whether the worker should exit.
+func (p *WorkerPool) tryRetire(w *worker) bool {
+	p.mu.Lock()
+	if p.shrink == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	p.shrink--
+	p.shrinkHint.Store(int32(p.shrink))
+	p.nworkers--
+	p.removeShardLocked(w.shard)
+	p.mu.Unlock()
+	p.rehome(w.shard)
+	return true
+}
+
+// park publishes the worker on the idle stack and blocks until a producer
+// (or shutdown/shrink/crash handling) hands it a wake token. The
+// no-lost-wakeup argument is a Dekker pair on sequentially consistent
+// atomics: the producer stores the shard length and then loads nparked; the
+// parking worker increments nparked and then re-scans the shard lengths.
+// Whatever the interleaving, at least one side sees the other — either the
+// producer sees the parked worker and wakes it, or the worker sees the task
+// and unparks itself.
+func (p *WorkerPool) park(w *worker) {
+	p.mu.Lock()
+	if p.shutdown || p.shrink > 0 {
+		p.mu.Unlock()
+		return // let the main loop handle the signal
+	}
+	w.pk.next = p.parked
+	p.parked = w.pk
+	p.nparked.Add(1)
+	p.mu.Unlock()
+	if p.anyWork() || p.stopped.Load() {
+		// Work (or shutdown) raced our parking: take ourselves back off the
+		// stack. If someone already popped us, their token is in flight —
+		// fall through and consume it.
+		p.mu.Lock()
+		removed := false
+		for pp := &p.parked; *pp != nil; pp = &(*pp).next {
+			if *pp == w.pk {
+				*pp = w.pk.next
+				w.pk.next = nil
+				p.nparked.Add(-1)
+				removed = true
+				break
+			}
+		}
+		p.mu.Unlock()
+		if removed {
 			return
 		}
+	}
+	<-w.pk.wake
+}
+
+// workerLoop is one worker's life: pop the local shard (LIFO with a
+// fairness tick), steal half a sibling's queue when dry, spin briefly, then
+// park until a producer hands over a token. Retirement credits and shutdown
+// are checked between tasks.
+func (p *WorkerPool) workerLoop(w *worker) {
+	spun := false
+	for {
+		if p.shrinkHint.Load() > 0 && p.tryRetire(w) {
+			return
+		}
+		t := p.popLocal(w)
+		if t == nil {
+			t = p.steal(w)
+		}
+		if t != nil {
+			spun = false
+			p.wakeForBacklog()
+			p.execute(t)
+			continue
+		}
+		if p.stopped.Load() {
+			// Drain-before-exit: only leave once no shard (ours or anyone
+			// else's — stealing reaches them all) has work. Tasks posted
+			// concurrently with Shutdown that slip past this scan are
+			// failed by Shutdown's FailPending backstop.
+			if !p.anyWork() {
+				return
+			}
+			continue
+		}
 		if !spun {
-			p.mu.Unlock()
 			p.spin()
 			spun = true
 			continue
 		}
-		// Still empty after spinning: park. Publish the parker under the
-		// lock (the producer's enqueue section), then block on our token.
-		pk.next = p.parked
-		p.parked = pk
-		p.mu.Unlock()
-		<-pk.wake
+		p.park(w)
 		spun = false
 	}
 }
 
-// enqueue is the shared admission path of Post and PostCancellable: reject
-// on shutdown or a full bounded queue, otherwise push, publish the new
-// length and peak watermark, and wake at most one parked worker (none if a
-// spinner will find the task anyway).
-func (p *WorkerPool) enqueue(t *task, c *Completion) bool {
-	p.mu.Lock()
-	if p.shutdown || (p.capacity > 0 && p.q.Len() >= p.capacity) {
-		full := !p.shutdown
-		p.mu.Unlock()
-		p.releaseTask(t)
+// enqueue is the shared admission path of Post, PostCancellable and the
+// test seams: reject on shutdown or a full bounded pool, otherwise push to
+// the picked shard, publish the new length and watermark, wake at most one
+// parked worker (none if a spinner will find the task anyway), and apply
+// soft backpressure when the shard is badly backlogged.
+func (p *WorkerPool) enqueue(t *task, pick func() *shard) bool {
+	c := &t.comp
+	if p.stopped.Load() {
 		p.rejected.Add(1)
-		if full {
-			c.complete(ErrQueueFull)
-		} else {
-			c.complete(ErrShutdown)
-		}
+		c.complete(ErrShutdown)
 		return false
 	}
-	n := int64(p.q.Push(t))
-	p.qlen.Store(n)
-	var w *parker
-	if p.spinning.Load() == 0 {
-		w = p.popParkerLocked()
+	if p.capacity > 0 {
+		// Reserve a queue slot with add-then-check: exact admission without
+		// a global lock.
+		if p.qtotal.Add(1) > int64(p.capacity) {
+			p.qtotal.Add(-1)
+			p.rejected.Add(1)
+			c.complete(ErrQueueFull)
+			return false
+		}
 	}
-	p.mu.Unlock()
-	// Bookkeeping off the lock: watermark via CAS-max, counter via atomic.
-	CasMax(&p.peak, n)
-	p.submitted.Add(1)
-	if w != nil {
-		w.wake <- struct{}{}
+	var n int64
+	for {
+		sh := pick()
+		sh.mu.Lock()
+		if sh.dead {
+			sh.mu.Unlock()
+			continue // worker retired under us; re-pick from the new snapshot
+		}
+		if p.stopped.Load() {
+			// Checked inside the shard critical section: FailPending drains
+			// each shard under this same lock after stopped is set, so a
+			// task either lands before the drain (and is failed there) or
+			// the producer sees stopped here. No stranding window.
+			sh.mu.Unlock()
+			if p.capacity > 0 {
+				p.qtotal.Add(-1)
+			}
+			p.rejected.Add(1)
+			c.complete(ErrShutdown)
+			return false
+		}
+		sh.q.pushBack(t)
+		n = int64(sh.q.n)
+		sh.len.Store(n)
+		sh.submitted.Add(1)
+		sh.mu.Unlock()
+		CasMax(&sh.peak, n)
+		break
+	}
+	if p.spinning.Load() == 0 && p.nparked.Load() > 0 {
+		p.wakeOne()
 	}
 	if p.extWaiters.Load() > 0 {
 		select {
@@ -626,19 +932,35 @@ func (p *WorkerPool) enqueue(t *task, c *Completion) bool {
 		default:
 		}
 	}
+	if n > backpressureDepth {
+		// Soft flow control: the shard is far ahead of its consumers, so
+		// yield once. A flood of producers then hands the processor to the
+		// workers instead of growing the backlog (and the live heap)
+		// without bound; an occasional deep post just pays one Gosched.
+		runtime.Gosched()
+	}
 	return true
 }
 
 // Post submits fn for execution by the pool.
 func (p *WorkerPool) Post(fn func()) *Completion {
-	c := newCompletion()
-	t := p.taskPool.Get().(*task)
-	t.fn, t.comp, t.recycle = fn, c, true
-	t.span, t.spawn = 0, 0
-	t.state.Store(taskQueued)
+	t := &task{fn: fn}
 	prepareSpan(t, p.name)
-	p.enqueue(t, c)
-	return c
+	p.enqueue(t, p.pickShard)
+	return &t.comp
+}
+
+// postToShard is the white-box test seam behind the stealing and re-homing
+// regressions: like Post, but pinned to shard index i of the current
+// snapshot (modulo its size) instead of hashing by goroutine id.
+func (p *WorkerPool) postToShard(i int, fn func()) *Completion {
+	t := &task{fn: fn}
+	prepareSpan(t, p.name)
+	p.enqueue(t, func() *shard {
+		snap := *p.shards.Load()
+		return snap[i%len(snap)]
+	})
+	return &t.comp
 }
 
 // WaitPending blocks until the pool has at least one queued task or cancel
@@ -648,14 +970,14 @@ func (p *WorkerPool) Post(fn func()) *Completion {
 // The await logical barrier alternates TryRunPending / WaitPending so a
 // blocked encountering thread sleeps instead of spinning.
 func (p *WorkerPool) WaitPending(cancel <-chan struct{}) bool {
-	if p.qlen.Load() > 0 {
+	if p.anyWork() {
 		return true
 	}
-	// Announce before the re-check: Post publishes the new queue length
+	// Announce before the re-check: Post publishes the new shard length
 	// before reading extWaiters, so one side always sees the other.
 	p.extWaiters.Add(1)
 	defer p.extWaiters.Add(-1)
-	if p.qlen.Load() > 0 {
+	if p.anyWork() {
 		return true
 	}
 	select {
@@ -676,33 +998,44 @@ func (p *WorkerPool) Owns() bool { return p.registry.IsOwnedBy(p) }
 
 // TryRunPending pops one queued task and runs it on the calling goroutine.
 // The paper's await barrier uses this so a worker waiting on a nested target
-// block keeps draining the pool's queue instead of idling. The empty case is
-// answered from the atomic queue length without touching the lock, so an
-// awaiting thread polling an idle queue costs two loads, not a mutex
-// acquisition (the seed double-locked here: once in TryRunPending, once in
-// the WaitPending length check).
+// block keeps draining the pool's queue instead of idling. Helpers always
+// take the oldest task of the first non-empty shard (starting from the
+// caller's affinity shard): help is FIFO, like a steal. The empty case is
+// answered from the atomic shard lengths without touching any lock.
 func (p *WorkerPool) TryRunPending() bool {
-	if p.qlen.Load() == 0 {
-		return false
+	snap := *p.shards.Load()
+	n := len(snap)
+	start := 0
+	if n > 1 {
+		start = int(uint64(gid.Current()) % uint64(n))
 	}
-	p.mu.Lock()
-	t, ok := p.q.Pop()
-	if !ok {
-		p.mu.Unlock()
-		return false
+	for k := 0; k < n; k++ {
+		sh := snap[(start+k)%n]
+		if sh.len.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		if sh.q.n == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		t := sh.q.popFront()
+		sh.len.Store(int64(sh.q.n))
+		sh.mu.Unlock()
+		if p.capacity > 0 {
+			p.qtotal.Add(-1)
+		}
+		ran := runTask(t, p.name, p.panicWrap)
+		if ran {
+			p.completed.Add(1)
+			p.helped.Add(1)
+		}
+		return ran
 	}
-	p.qlen.Store(int64(p.q.Len()))
-	p.mu.Unlock()
-	ran := runTask(t, p.name, p.panicWrap)
-	if ran {
-		p.completed.Add(1)
-		p.helped.Add(1)
-	}
-	p.releaseTask(t)
-	return ran
+	return false
 }
 
-// Shutdown stops accepting tasks, drains the queue, and joins all workers.
+// Shutdown stops accepting tasks, drains the queues, and joins all workers.
 // If every worker has crashed there is nobody left to drain: the queued
 // tasks are then failed with ErrShutdown instead of being stranded forever.
 func (p *WorkerPool) Shutdown() {
@@ -714,6 +1047,7 @@ func (p *WorkerPool) Shutdown() {
 		return
 	}
 	p.shutdown = true
+	p.stopped.Store(true)
 	head := p.takeAllParkedLocked()
 	p.mu.Unlock()
 	wakeAll(head)
@@ -721,23 +1055,29 @@ func (p *WorkerPool) Shutdown() {
 	p.FailPending(ErrShutdown)
 }
 
-// FailPending removes every queued-but-not-started task and completes it
+// FailPending removes every queued-but-not-started task from every shard
+// (including the orphaned shard of a fully-crashed pool) and completes it
 // with err, returning how many were failed. Running tasks are untouched.
 // Supervisors call this when replacing a crashed pool so queued invocations
 // fail fast with a typed error instead of waiting on workers that no longer
 // exist; Shutdown calls it as a backstop after joining workers.
 func (p *WorkerPool) FailPending(err error) int {
-	p.mu.Lock()
-	tasks := p.q.Drain(nil)
-	p.qlen.Store(0)
-	p.mu.Unlock()
+	snap := *p.shards.Load()
 	n := 0
-	for _, t := range tasks {
-		if t.state.CompareAndSwap(taskQueued, taskCancelled) {
-			t.comp.complete(err)
-			n++
+	for _, sh := range snap {
+		sh.mu.Lock()
+		tasks := sh.q.drain(nil)
+		sh.len.Store(0)
+		sh.mu.Unlock()
+		for _, t := range tasks {
+			if p.capacity > 0 {
+				p.qtotal.Add(-1)
+			}
+			if t.state.CompareAndSwap(taskQueued, taskCancelled) {
+				t.comp.complete(err)
+				n++
+			}
 		}
-		p.releaseTask(t)
 	}
 	if n > 0 {
 		p.rejected.Add(int64(n))
@@ -756,7 +1096,10 @@ func (p *WorkerPool) Workers() int {
 
 // Grow adds n worker goroutines to the pool — virtual targets "define
 // their scale", and an application may widen a worker target when load
-// demands it. No-op for n <= 0 or after Shutdown.
+// demands it. Orphaned shards (their worker crashed with nobody left) are
+// adopted before fresh shards are created: a supervisor respawning a worker
+// with Grow(1) hands it the crashed worker's still-queued tasks. No-op for
+// n <= 0 or after Shutdown.
 func (p *WorkerPool) Grow(n int) {
 	if n <= 0 {
 		return
@@ -771,12 +1114,31 @@ func (p *WorkerPool) Grow(n int) {
 	// before calling wg.Wait, so the counter can never grow concurrently
 	// with the join.
 	p.wg.Add(n)
+	old := *p.shards.Load()
+	snap := make([]*shard, len(old), len(old)+n)
+	copy(snap, old)
+	workers := make([]*worker, 0, n)
+	for _, sh := range snap {
+		if len(workers) == n {
+			break
+		}
+		if !sh.owned {
+			sh.owned = true
+			workers = append(workers, newWorker(sh))
+		}
+	}
+	for len(workers) < n {
+		sh := newShard()
+		snap = append(snap, sh)
+		workers = append(workers, newWorker(sh))
+	}
+	p.shards.Store(&snap)
 	p.mu.Unlock()
 	started := make(chan struct{}, n)
-	for i := 0; i < n; i++ {
-		p.spawnWorker(func() { started <- struct{}{} })
+	for _, w := range workers {
+		p.spawnWorker(w, func() { started <- struct{}{} })
 	}
-	for i := 0; i < n; i++ {
+	for range workers {
 		<-started
 	}
 }
@@ -806,8 +1168,10 @@ func (p *WorkerPool) Resize(n int) {
 }
 
 // Shrink retires up to n workers once they become idle (a busy worker
-// finishes its current task first). The pool never drops below one worker.
-// It returns the number of retirements actually scheduled.
+// finishes its current task first). A retiring worker re-homes its local
+// queue onto a survivor before exiting, so no queued task is orphaned. The
+// pool never drops below one worker. It returns the number of retirements
+// actually scheduled.
 func (p *WorkerPool) Shrink(n int) int {
 	if n <= 0 {
 		return 0
@@ -826,6 +1190,7 @@ func (p *WorkerPool) Shrink(n int) int {
 		return 0
 	}
 	p.shrink += n
+	p.shrinkHint.Store(int32(p.shrink))
 	// Parked workers must come back to the lock to see their retirement
 	// credit; spinning or busy workers observe it on their next pass.
 	head := p.takeAllParkedLocked()
@@ -842,10 +1207,10 @@ var ErrCanceled = errors.New("executor: task canceled")
 // started and will never run (its Completion finishes with ErrCanceled) —
 // and false if the task already started or finished.
 func (p *WorkerPool) PostCancellable(fn func()) (*Completion, func() bool) {
-	c := newCompletion()
-	t := &task{fn: fn, comp: c} // not pooled: the cancel closure keeps t alive
+	t := &task{fn: fn}
 	prepareSpan(t, p.name)
-	if !p.enqueue(t, c) {
+	c := &t.comp
+	if !p.enqueue(t, p.pickShard) {
 		return c, func() bool { return false }
 	}
 	cancel := func() bool {
@@ -860,16 +1225,31 @@ func (p *WorkerPool) PostCancellable(fn func()) (*Completion, func() bool) {
 
 var _ Executor = (*WorkerPool)(nil)
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a snapshot of the pool's counters. Submitted and QueuePeak
+// are aggregated from the live shards plus the carried-over contribution of
+// shards whose workers have retired or crashed; QueueDepth is the sum of
+// the live shard lengths.
 func (p *WorkerPool) Stats() Stats {
+	snap := *p.shards.Load()
+	var depth, sub int64
+	peak := p.carryPeak.Load()
+	for _, sh := range snap {
+		depth += sh.len.Load()
+		sub += sh.submitted.Load()
+		if pk := sh.peak.Load(); pk > peak {
+			peak = pk
+		}
+	}
 	return Stats{
-		Submitted:  p.submitted.Load(),
+		Submitted:  p.carrySub.Load() + sub,
 		Completed:  p.completed.Load(),
 		Rejected:   p.rejected.Load(),
 		Helped:     p.helped.Load(),
 		Panics:     p.panics.Load(),
 		Crashes:    p.crashes.Load(),
-		QueuePeak:  p.peak.Load(),
-		QueueDepth: p.qlen.Load(),
+		Steals:     p.steals.Load(),
+		Rehomed:    p.rehomed.Load(),
+		QueuePeak:  peak,
+		QueueDepth: depth,
 	}
 }

@@ -130,8 +130,8 @@ func (p *PriorityPool) PostPriority(fn func(), prio Priority) *Completion {
 	if prio >= numPriorities {
 		prio = High
 	}
-	c := newCompletion()
-	t := &task{fn: fn, comp: c}
+	t := &task{fn: fn}
+	c := &t.comp
 	prepareSpan(t, p.name)
 	p.mu.Lock()
 	if p.shutdown {

@@ -194,3 +194,39 @@ func TestGrowShrinkStormProperty(t *testing.T) {
 		t.Fatalf("ran %d/%d tasks", ran.Load(), len(comps))
 	}
 }
+
+// TestShrinkRehomesQueuedTasks: a retiring worker must move its local queue
+// onto a survivor before exiting — shrinking the pool can delay queued work
+// but never orphan it.
+func TestShrinkRehomesQueuedTasks(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var reg gid.Registry
+	p := NewWorkerPool("shrink", 2, &reg)
+	defer p.Shutdown()
+	release0, release1 := blockBothWorkers(t, p)
+
+	const n = 25
+	var comps []*Completion
+	for i := 0; i < n; i++ {
+		comps = append(comps, p.postToShard(0, func() {}))
+		comps = append(comps, p.postToShard(1, func() {}))
+	}
+	if got := p.Shrink(1); got != 1 {
+		t.Fatalf("Shrink scheduled %d retirements, want 1", got)
+	}
+	// Free one worker: it consumes the retirement credit first and must
+	// re-home its shard's n pinned tasks (the survivor is still gated, so
+	// the count is exact).
+	close(release0)
+	waitFor(t, "worker retired", func() bool { return p.Workers() == 1 })
+	waitFor(t, "queue re-homed", func() bool { return p.Stats().Rehomed == n })
+	close(release1)
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("queued task failed across shrink: %v", err)
+		}
+	}
+	if got := p.Stats().Submitted; got != 2*n+2 {
+		t.Fatalf("Submitted = %d, want %d (carry must survive the retired shard)", got, 2*n+2)
+	}
+}

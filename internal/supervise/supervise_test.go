@@ -197,3 +197,45 @@ func TestShutdownStopsSupervision(t *testing.T) {
 		t.Fatal("post after shutdown succeeded")
 	}
 }
+
+// TestRespawnInheritsCrashedWorkerQueue: the PR-8 sharded executor orphans
+// the last crashed worker's local run-queue in place, and Grow — which is
+// what RespawnWorkers calls — adopts it. A supervisor respawning a sole
+// worker therefore hands the replacement the crashed worker's still-queued
+// tasks: they complete instead of stranding or failing.
+func TestRespawnInheritsCrashedWorkerQueue(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var reg gid.Registry
+	s, err := New("w", poolFactory(t, &reg, 1), Options{
+		RespawnWorkers: true,
+		BackoffInitial: time.Millisecond,
+		Window:         200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	// Gate the sole worker, queue work behind it, then kill it.
+	crash := make(chan struct{})
+	running := make(chan struct{})
+	gate := s.Post(func() { close(running); <-crash; runtime.Goexit() })
+	<-running
+	const n = 10
+	var comps []*executor.Completion
+	for i := 0; i < n; i++ {
+		comps = append(comps, s.Post(func() {}))
+	}
+	close(crash)
+	if err := gate.Wait(); !errors.Is(err, executor.ErrWorkerCrashed) {
+		t.Fatalf("gate err = %v, want ErrWorkerCrashed", err)
+	}
+	// The respawned worker must drain the queue it inherited.
+	for _, c := range comps {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("queued task lost across respawn: %v", err)
+		}
+	}
+	pool := base(s).(*executor.WorkerPool)
+	waitFor(t, 2*time.Second, func() bool { return pool.Workers() == 1 }, "worker respawn")
+}
