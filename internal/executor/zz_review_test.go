@@ -1,0 +1,53 @@
+package executor
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Review repro: Shrink grants a credit while all workers are busy; a worker
+// then crashes (Goexit), dropping nworkers; the lone survivor consumes the
+// stale credit in tryRetire and retires as the LAST worker, emptying the
+// shard snapshot. A subsequent Post must not panic.
+func TestReviewShrinkCreditAfterCrash(t *testing.T) {
+	p := NewWorkerPool("review", 2, nil)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic: %v", r)
+		}
+	}()
+
+	block0 := make(chan struct{})
+	block1 := make(chan struct{})
+	running0 := make(chan struct{})
+	running1 := make(chan struct{})
+	// Pin one blocking task on each worker's shard so both workers are busy.
+	p.postToShard(0, func() { close(running0); <-block0 })
+	p.postToShard(1, func() { close(running1); <-block1; runtime.Goexit() })
+	<-running0
+	<-running1
+
+	if got := p.Shrink(1); got != 1 {
+		t.Fatalf("Shrink granted %d", got)
+	}
+	// Crash worker 1 while the credit is still pending.
+	close(block1)
+	for i := 0; i < 100 && p.Crashes() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// Release worker 0; it should NOT be allowed to retire as the last worker.
+	close(block0)
+	time.Sleep(50 * time.Millisecond)
+
+	if w := p.Workers(); w < 1 {
+		t.Logf("pool dropped to %d workers", w)
+	}
+	if n := len(*p.shards.Load()); n == 0 {
+		t.Logf("shard snapshot is empty")
+	}
+	c := p.Post(func() {})
+	if err := c.Wait(); err != nil {
+		t.Fatalf("post after shrink+crash: %v", err)
+	}
+}
