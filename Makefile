@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet chaos chaos-net cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
+.PHONY: all build test race vet sancheck chaos chaos-net cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
 
 all: build test race
 
@@ -20,6 +20,14 @@ race:
 # confinement, blocking-call, wait-graph, and directive lint passes.
 vet:
 	$(GO) run ./cmd/ompvet ./...
+
+# sancheck runs the whole suite under the runtime confinement sanitizer
+# (internal/sanitize, build tag `ompsan`): every EDT delivery, worker
+# dequeue, and reactor poll-path asserts goroutine affinity against its
+# home context and panics with both stacks on violation. Combined with
+# -race so a stamp miss and a data race surface in the same run.
+sancheck:
+	$(GO) test -race -tags=ompsan ./...
 
 # chaos runs the fault-injection storm tests (tagged `chaos`) with a pinned
 # seed so a failing schedule reproduces; override with CHAOS_SEED=<n>.

@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	ompvet [-passes list] [packages]
+//	ompvet [-passes list] [-callgraph] [packages]
 //
 // Packages default to ./... and accept the usual go-command patterns. The
 // passes are:
 //
 //	edtconfine    confined gui widget mutations off the event-dispatch thread
 //	blockguard    blocking operations inside EDT / serial-target blocks
+//	capture       cross-context writes to closure-captured variables
 //	waitgraph     cycles and undefined tags in the name_as/wait graph
 //	directivelint //#omp directive syntax, clause conflicts, attachment
+//
+// -callgraph prints the interprocedural machinery instead of running the
+// passes: every function's bounded-depth effect summary (what it can
+// block on, mutate, or dispatch, through which helper chains) and every
+// capture by a dispatched block. Its output is diagnostic, not failing —
+// the exit status is always 0 unless loading fails.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/blockguard"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/capture"
 	"repro/internal/analysis/directivelint"
 	"repro/internal/analysis/edtconfine"
 	"repro/internal/analysis/waitgraph"
@@ -30,9 +39,17 @@ import (
 
 var all = []*analysis.Analyzer{
 	blockguard.Analyzer,
+	capture.Analyzer,
 	directivelint.Analyzer,
 	edtconfine.Analyzer,
 	waitgraph.Analyzer,
+}
+
+// debugAnalyzers power -callgraph: they describe the interprocedural
+// analysis rather than report violations.
+var debugAnalyzers = []*analysis.Analyzer{
+	callgraph.Analyzer,
+	capture.DebugAnalyzer,
 }
 
 func main() {
@@ -43,8 +60,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("ompvet", flag.ExitOnError)
 	passList := fs.String("passes", "", "comma-separated pass names to run (default: all)")
 	listOnly := fs.Bool("list", false, "list the available passes and exit")
+	showGraph := fs.Bool("callgraph", false, "print call-graph effect summaries and closure captures instead of running the passes")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: ompvet [-passes list] [packages]\n\npasses:\n")
+		fmt.Fprintf(fs.Output(), "usage: ompvet [-passes list] [-callgraph] [packages]\n\npasses:\n")
 		for _, a := range all {
 			fmt.Fprintf(fs.Output(), "  %-13s %s\n", a.Name, a.Doc)
 		}
@@ -63,6 +81,13 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ompvet: %v\n", err)
 		return 2
+	}
+	strict := true
+	if *showGraph {
+		// Summaries and captures are descriptions, not violations: print
+		// them without failing, and without consuming ignore comments
+		// (strict=false keeps unused //ompvet:ignore quiet too).
+		analyzers, strict = debugAnalyzers, false
 	}
 
 	cwd, err := os.Getwd()
@@ -84,7 +109,7 @@ func run(args []string) int {
 			// go build owns compile errors, ompvet owns concurrency ones.
 			fmt.Fprintf(os.Stderr, "ompvet: warning: %s: %v\n", pkg.Path, terr)
 		}
-		findings, err := analysis.RunPackage(pkg, analyzers, true)
+		findings, err := analysis.RunPackage(pkg, analyzers, strict)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ompvet: %v\n", err)
 			return 2
@@ -93,6 +118,9 @@ func run(args []string) int {
 			fmt.Println(f.String())
 			bad++
 		}
+	}
+	if *showGraph {
+		return 0
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "ompvet: %d issue(s)\n", bad)

@@ -2,7 +2,7 @@
 // EDT rule: the event-dispatch thread must never block. Inside any block
 // destined for an EDT or serial virtual target (Toolkit.InvokeLater,
 // Loop.Post, button/timer handlers, Runtime.Invoke of an EDT-registered
-// name, SwingWorker.Process/Done) the pass flags:
+// name, SwingWorker.Process/Done, reactor callbacks) the pass flags:
 //
 //   - blocking joins: Completion.Wait, Runtime.Wait/WaitTag, pyjama.WaitFor,
 //     sync.WaitGroup.Wait, SwingWorker.Get, Future.Get;
@@ -12,6 +12,13 @@
 //   - bare channel receives (outside select);
 //   - sync.Mutex/RWMutex.Lock held across a dispatch call.
 //
+// The blocking-leaf table itself lives on the dispatch classifier
+// (Classifier.BlockingCall), shared with analysis/callgraph; this pass is
+// interprocedural (PR 9): an EDT block calling a helper that blocks is
+// flagged at the helper call site with the full call path from the
+// bounded-depth summaries, and a chain deeper than the bound is reported
+// as unprovable rather than silently trusted.
+//
 // Runtime.AwaitCompletion / AwaitDone are deliberately NOT flagged: await is
 // the paper's logical barrier — the encountering thread keeps processing its
 // own queue while it waits, which is exactly the sanctioned alternative to
@@ -20,9 +27,9 @@ package blockguard
 
 import (
 	"go/ast"
-	"go/constant"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/dispatch"
 )
 
@@ -36,19 +43,20 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	c := dispatch.NewClassifier(pass)
+	g := callgraph.New(pass, c)
 	for _, f := range pass.Files {
 		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				desc, ok := blockingCall(c, n)
-				if !ok {
+				if desc, ok := c.BlockingCall(n); ok {
+					if kind, site := c.Context(stack); kind == dispatch.EDT {
+						pass.Reportf(n.Pos(),
+							"%s blocks the event-dispatch thread (enclosing block is dispatched via %s); offload with a worker target or use the await logical barrier",
+							desc, site)
+					}
 					return true
 				}
-				if kind, site := c.Context(stack); kind == dispatch.EDT {
-					pass.Reportf(n.Pos(),
-						"%s blocks the event-dispatch thread (enclosing block is dispatched via %s); offload with a worker target or use the await logical barrier",
-						desc, site)
-				}
+				checkHelperCall(pass, c, g, n, stack)
 			case *ast.UnaryExpr:
 				if n.Op.String() != "<-" || insideSelect(stack) {
 					return true
@@ -67,6 +75,36 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// checkHelperCall consults the call-graph summary of a same-package callee:
+// from an EDT context, reachable blocking operations are reported through
+// the helper chain, and an unfinished (depth-truncated) summary is reported
+// as unprovable rather than trusted.
+func checkHelperCall(pass *analysis.Pass, c *dispatch.Classifier, g *callgraph.Graph, call *ast.CallExpr, stack []ast.Node) {
+	fn := c.Callee(call)
+	if g.Local(fn) == nil {
+		return
+	}
+	kind, site := c.Context(stack)
+	if kind != dispatch.EDT {
+		return
+	}
+	s := g.SummaryOf(fn)
+	for _, e := range s.Blocks {
+		path := fn.Name()
+		if p := e.PathString(); p != "" {
+			path += " > " + p
+		}
+		pass.Reportf(call.Pos(),
+			"%s blocks the event-dispatch thread (call path %s; enclosing block is dispatched via %s); offload with a worker target or use the await logical barrier",
+			e.Desc, path, site)
+	}
+	if s.Truncated && len(s.Blocks) == 0 {
+		pass.Reportf(call.Pos(),
+			"cannot prove %s never blocks this event-dispatch block (dispatched via %s): call-graph summary truncated at depth %d",
+			fn.Name(), site, callgraph.MaxDepth)
+	}
+}
+
 // insideSelect reports whether the node is within a select statement, whose
 // comm clauses are the non-blocking way to touch channels on the EDT.
 func insideSelect(stack []ast.Node) bool {
@@ -79,63 +117,6 @@ func insideSelect(stack []ast.Node) bool {
 		}
 	}
 	return false
-}
-
-// blockingCall reports whether call is one of the blocking operations the
-// EDT must not perform, with a description for the diagnostic.
-func blockingCall(c *dispatch.Classifier, call *ast.CallExpr) (string, bool) {
-	fn := c.Callee(call)
-	if fn == nil {
-		return "", false
-	}
-	switch {
-	case c.IsFunc(fn, "time", "Sleep"):
-		return "time.Sleep", true
-	case c.IsMethod(fn, "repro/internal/executor", "Completion", "Wait"):
-		return "Completion.Wait", true
-	case c.IsMethod(fn, "repro/internal/core", "Runtime", "Wait"),
-		c.IsMethod(fn, "repro/internal/core", "Runtime", "WaitTag"):
-		return "Runtime." + fn.Name(), true
-	case c.IsFunc(fn, "repro/internal/pyjama", "WaitFor"):
-		return "pyjama.WaitFor", true
-	case c.IsMethod(fn, "sync", "WaitGroup", "Wait"):
-		return "sync.WaitGroup.Wait", true
-	case c.IsMethod(fn, "repro/internal/gui", "SwingWorker", "Get"),
-		c.IsMethod(fn, "repro/internal/gui", "Future", "Get"):
-		return fn.Name() + " (blocking join)", true
-	case c.IsMethod(fn, "repro/internal/gui", "Toolkit", "InvokeAndWait"),
-		c.IsMethod(fn, "repro/internal/eventloop", "Loop", "InvokeAndWait"):
-		return "InvokeAndWait", true
-	case c.IsMethod(fn, "repro/internal/core", "Runtime", "Invoke"):
-		return syncWorkerInvoke(c, call, "Runtime.Invoke", 0, 1)
-	case c.IsFunc(fn, "repro/internal/pyjama", "TargetBlock"):
-		return syncWorkerInvoke(c, call, "pyjama.TargetBlock", 0, 1)
-	case c.IsFunc(fn, "repro/internal/pyjama", "TargetBlockIf"):
-		return syncWorkerInvoke(c, call, "pyjama.TargetBlockIf", 1, 2)
-	}
-	return "", false
-}
-
-// syncWorkerInvoke flags Invoke/TargetBlock calls that synchronously wait
-// (mode Wait, the zero Mode) on a known worker target: a blocking
-// cross-target join. Dispatch to an EDT-registered name is left alone —
-// thread-context awareness runs it inline — as is any non-constant mode.
-func syncWorkerInvoke(c *dispatch.Classifier, call *ast.CallExpr, callee string, nameArg, modeArg int) (string, bool) {
-	mode := c.ConstArg(call, modeArg)
-	if mode == nil || mode.Kind() != constant.Int {
-		return "", false
-	}
-	if v, ok := constant.Int64Val(mode); !ok || v != 0 { // 0 == core.Wait
-		return "", false
-	}
-	name := ""
-	if v := c.ConstArg(call, nameArg); v != nil && v.Kind() == constant.String {
-		name = constant.StringVal(v)
-	}
-	if !c.WorkerName(name) {
-		return "", false
-	}
-	return callee + "(" + name + ", mode Wait)", true
 }
 
 // checkLockAcrossDispatch scans one EDT-context block for a Mutex.Lock that

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/netloop"
 	"repro/internal/reactor"
 )
 
@@ -61,3 +62,36 @@ func reactorClean(r *reactor.Reactor) {
 }
 
 func process(s string) string { return s }
+
+// PostAt timer callbacks (PR 7) fire on the poll goroutine: same confined
+// context, same never-block rule as Post.
+func reactorTimerCallback(r *reactor.Reactor, at time.Time) {
+	r.PostAt(at, func() {
+		time.Sleep(time.Millisecond) // want `time\.Sleep blocks the event-dispatch thread \(enclosing block is dispatched via reactor PostAt timer callback\)`
+	})
+}
+
+// Supervised generations (PR 8) re-register listeners after a restart, but
+// every generation's accept callback still runs on that generation's poll
+// goroutine.
+func supervisedCallbacks(s *reactor.Supervised, done chan struct{}) {
+	s.Listen("127.0.0.1:0", func(c *reactor.Conn) reactor.HandlerFuncs {
+		<-done // want `channel receive blocks the event-dispatch thread \(enclosing block is dispatched via Supervised\.Listen accept callback\)`
+		return reactor.HandlerFuncs{}
+	})
+}
+
+// netloop handlers run on the server's single dispatch loop on both
+// transports — goroutine-per-connection and the (supervised) reactor.
+func netloopHandlers(srv *netloop.Server, comp chan int) {
+	srv.HandleFunc(func(c *netloop.Client, line string) {
+		time.Sleep(time.Millisecond) // want `time\.Sleep blocks the event-dispatch thread \(enclosing block is dispatched via netloop Server\.HandleFunc handler\)`
+	})
+	srv.OnConnect(func(c *netloop.Client) {
+		<-comp // want `channel receive blocks the event-dispatch thread \(enclosing block is dispatched via netloop Server\.OnConnect handler\)`
+	})
+	srv.OnClose(func(c *netloop.Client) {
+		var wg sync.WaitGroup
+		wg.Wait() // want `sync\.WaitGroup\.Wait blocks the event-dispatch thread \(enclosing block is dispatched via netloop Server\.OnClose handler\)`
+	})
+}

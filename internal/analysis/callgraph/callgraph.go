@@ -1,0 +1,359 @@
+// Package callgraph builds a per-package static call graph and
+// bounded-depth effect summaries over it, turning the syntactic ompvet
+// passes interprocedural: edtconfine and blockguard consult a function's
+// summary to see through helper chains — a worker block calling
+// updateStatus calling (*gui.Label).SetText is flagged at the call site
+// with the full path, not silently missed because the mutation is two
+// frames away.
+//
+// The graph is CHA-flavoured but deliberately modest: nodes are the
+// package's own function and method declarations, edges are static calls
+// resolved through go/types (an *ast.Ident or *ast.SelectorExpr whose Uses
+// entry is a *types.Func declared in this package). Indirect calls —
+// through interface values, function-typed variables, or cross-package
+// helpers — contribute no edge and no effect: the same "unknown stays
+// unknown" bargain the dispatch classifier makes, trading recall for zero
+// false positives on clean code.
+//
+// Summaries are memoized per function and composed bottom-up. Three effect
+// classes are tracked, each answering one pass's question:
+//
+//   - Blocks: calls the EDT must never make (time.Sleep, Completion.Wait,
+//     InvokeAndWait, mode-Wait worker invokes, bare channel receives);
+//   - Mutates: confined gui widget mutators;
+//   - Dispatches: calls that hand work to another executor.
+//
+// Every effect carries the helper path from the summarized function to the
+// leaf. Composition is depth-bounded (MaxDepth): an effect whose path
+// would exceed the bound is dropped and the summary is marked Truncated,
+// as is any summary involved in recursion. Truncation is loud, never
+// silent — the passes report a conservative "cannot prove" finding when a
+// definite EDT/worker context calls a truncated helper, so chains longer
+// than the bound degrade to an unknown-finding, not to a clean bill.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dispatch"
+)
+
+// MaxDepth bounds how many helper frames a summary follows. Effects deeper
+// than this are dropped and the summary is marked Truncated.
+const MaxDepth = 5
+
+// Effect is one leaf operation reachable from a function, with the helper
+// chain that reaches it.
+type Effect struct {
+	// Desc describes the leaf operation (e.g. "time.Sleep",
+	// "(*gui.Label).SetText", "WorkerPool.Post").
+	Desc string
+	// Pos is the position of the leaf call itself.
+	Pos token.Pos
+	// Path is the chain of same-package callees from the summarized
+	// function (exclusive) to the leaf (exclusive): empty for a direct
+	// effect, ["helperA", "helperB"] when the leaf sits two frames down.
+	Path []string
+}
+
+// PathString renders the helper chain for diagnostics ("" when direct).
+func (e Effect) PathString() string { return strings.Join(e.Path, " > ") }
+
+// Summary is the bounded-depth effect set of one function.
+type Summary struct {
+	// Blocks lists reachable blocking operations (the never-block rule).
+	Blocks []Effect
+	// Mutates lists reachable confined-widget mutations (the confinement
+	// rule).
+	Mutates []Effect
+	// Dispatches lists reachable dispatch sites (work handed to another
+	// executor).
+	Dispatches []Effect
+	// Truncated reports that the summary may be incomplete: a helper chain
+	// exceeded MaxDepth or ran into recursion. Passes must treat a
+	// truncated summary as "cannot prove clean", not as clean.
+	Truncated bool
+}
+
+// Empty reports whether the summary has no effects and no truncation.
+func (s *Summary) Empty() bool {
+	return len(s.Blocks) == 0 && len(s.Mutates) == 0 && len(s.Dispatches) == 0 && !s.Truncated
+}
+
+// Graph is the package call graph plus the summary cache.
+type Graph struct {
+	pass *analysis.Pass
+	c    *dispatch.Classifier
+
+	// decls maps each function object declared in this package to its
+	// declaration; the edge relation is implicit (resolved per call).
+	decls map[*types.Func]*ast.FuncDecl
+
+	sums    map[*types.Func]*Summary
+	inProg  map[*types.Func]bool
+	callees map[*types.Func][]*types.Func // static call edges, for Callees
+}
+
+// New builds the call graph for pass's package. The classifier supplies
+// callee resolution and the leaf-effect tables; both must come from the
+// same pass.
+func New(pass *analysis.Pass, c *dispatch.Classifier) *Graph {
+	g := &Graph{
+		pass:    pass,
+		c:       c,
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		sums:    map[*types.Func]*Summary{},
+		inProg:  map[*types.Func]bool{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	if pass.TypesInfo == nil {
+		return g
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	return g
+}
+
+// Local returns the declaration of fn when it is declared in this package
+// (nil otherwise): the edge test of the call graph.
+func (g *Graph) Local(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// Callees returns the static same-package callees of fn, in source order,
+// deduplicated. Only meaningful after SummaryOf(fn) has run.
+func (g *Graph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// Functions returns every function declared in the package, in source
+// order (file order, then position).
+func (g *Graph) Functions() []*types.Func {
+	fns := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		fns = append(fns, fn)
+	}
+	// Deterministic order for diagnostics: by declaration position.
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && g.decls[fns[j]].Pos() < g.decls[fns[j-1]].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+	return fns
+}
+
+// SummaryOf computes (and memoizes) the bounded-depth effect summary of a
+// function declared in this package. Unknown functions get an empty
+// summary.
+func (g *Graph) SummaryOf(fn *types.Func) *Summary {
+	if s, ok := g.sums[fn]; ok {
+		return s
+	}
+	decl := g.decls[fn]
+	if decl == nil {
+		return &Summary{}
+	}
+	if g.inProg[fn] {
+		// Recursion: the cycle member being recomputed reports itself
+		// truncated; the caller composing it inherits the mark.
+		return &Summary{Truncated: true}
+	}
+	g.inProg[fn] = true
+	s := g.summarize(fn, decl)
+	delete(g.inProg, fn)
+	g.sums[fn] = s
+	return s
+}
+
+// summarize walks one function body collecting direct effects and composing
+// callee summaries.
+func (g *Graph) summarize(fn *types.Func, decl *ast.FuncDecl) *Summary {
+	s := &Summary{}
+	seen := map[*types.Func]bool{}
+	guards := ownsGuards(g.c, decl.Body)
+	analysis.WalkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !immediatelyInvoked(lit, stack) {
+			// A nested literal's effects belong to whatever context the
+			// literal is dispatched into, not to this function's callers —
+			// unless it is invoked on the spot, in which case it is just an
+			// inline scope.
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			g.direct(s, n, guards)
+			callee := g.c.Callee(n)
+			if callee == nil || g.decls[callee] == nil || callee == fn {
+				return true
+			}
+			if seen[callee] {
+				// Each distinct callee is composed once: further calls add
+				// the same effects over the same paths.
+				return true
+			}
+			seen[callee] = true
+			g.callees[fn] = append(g.callees[fn], callee)
+			cs := g.SummaryOf(callee)
+			// A guard around the call site guards everything reached
+			// through it.
+			if guards.offHome(n.Pos()) {
+				cs = cs.withoutBlocks()
+			}
+			if guards.onHome(n.Pos()) {
+				cs = cs.withoutMutates()
+			}
+			g.compose(s, callee, cs)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !insideSelect(stack) && !guards.offHome(n.Pos()) {
+				s.Blocks = append(s.Blocks, Effect{Desc: "channel receive", Pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// direct records the leaf effects of one call, honouring the function's
+// thread-context guards.
+func (g *Graph) direct(s *Summary, call *ast.CallExpr, guards guardSet) {
+	if desc, ok := g.c.BlockingCall(call); ok && !guards.offHome(call.Pos()) {
+		s.Blocks = append(s.Blocks, Effect{Desc: desc, Pos: call.Pos()})
+	}
+	if widget, method, ok := g.c.ConfinedMutator(call); ok && !guards.onHome(call.Pos()) {
+		s.Mutates = append(s.Mutates, Effect{
+			Desc: "(*gui." + widget + ")." + method, Pos: call.Pos(),
+		})
+	}
+	if desc, ok := g.c.DispatchSite(call); ok {
+		s.Dispatches = append(s.Dispatches, Effect{Desc: desc, Pos: call.Pos()})
+	}
+}
+
+// withoutBlocks returns a copy of the summary with blocking effects
+// removed (the call site is only reached off the home context).
+func (s *Summary) withoutBlocks() *Summary {
+	return &Summary{Mutates: s.Mutates, Dispatches: s.Dispatches, Truncated: s.Truncated}
+}
+
+// withoutMutates returns a copy of the summary with confined-mutation
+// effects removed (the call site is only reached on the home context).
+func (s *Summary) withoutMutates() *Summary {
+	return &Summary{Blocks: s.Blocks, Dispatches: s.Dispatches, Truncated: s.Truncated}
+}
+
+// compose folds callee's summary into s, prefixing paths with the callee
+// name and enforcing the depth bound.
+func (g *Graph) compose(s *Summary, callee *types.Func, cs *Summary) {
+	if cs.Truncated {
+		s.Truncated = true
+	}
+	s.Blocks = composeEffects(s.Blocks, callee.Name(), cs.Blocks, &s.Truncated)
+	s.Mutates = composeEffects(s.Mutates, callee.Name(), cs.Mutates, &s.Truncated)
+	s.Dispatches = composeEffects(s.Dispatches, callee.Name(), cs.Dispatches, &s.Truncated)
+}
+
+func composeEffects(dst []Effect, step string, src []Effect, truncated *bool) []Effect {
+	for _, e := range src {
+		if len(e.Path)+1 > MaxDepth {
+			*truncated = true
+			continue
+		}
+		path := make([]string, 0, len(e.Path)+1)
+		path = append(path, step)
+		path = append(path, e.Path...)
+		dst = append(dst, Effect{Desc: e.Desc, Pos: e.Pos, Path: path})
+	}
+	return dst
+}
+
+// immediatelyInvoked reports whether lit is called on the spot
+// (func(){...}()), making it an inline scope rather than a dispatched
+// block.
+func immediatelyInvoked(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != lit {
+		return false
+	}
+	// go func(){...}() dispatches to a fresh goroutine: not inline.
+	if len(stack) >= 2 {
+		if _, isGo := stack[len(stack)-2].(*ast.GoStmt); isGo {
+			return false
+		}
+	}
+	return true
+}
+
+// insideSelect reports whether the node is within a select statement (the
+// non-blocking way to touch channels), without escaping the current
+// function body.
+func insideSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.SelectStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// Analyzer is the debug pass: it reports every non-empty function summary
+// as diagnostics. It is not part of the default ompvet suite — it powers
+// `ompvet -callgraph` and the testdata suite; its findings describe the
+// analysis, not violations.
+var Analyzer = &analysis.Analyzer{
+	Name:          "callgraph",
+	Doc:           "report bounded-depth call-graph effect summaries (debug output for ompvet -callgraph)",
+	RequiresTypes: true,
+	Run:           runDebug,
+}
+
+func runDebug(pass *analysis.Pass) error {
+	c := dispatch.NewClassifier(pass)
+	g := New(pass, c)
+	for _, fn := range g.Functions() {
+		s := g.SummaryOf(fn)
+		if s.Empty() {
+			continue
+		}
+		pos := g.decls[fn].Name.Pos()
+		for _, e := range s.Blocks {
+			pass.Reportf(pos, "%s may block: %s%s", fn.Name(), e.Desc, via(e))
+		}
+		for _, e := range s.Mutates {
+			pass.Reportf(pos, "%s mutates confined state: %s%s", fn.Name(), e.Desc, via(e))
+		}
+		for _, e := range s.Dispatches {
+			pass.Reportf(pos, "%s dispatches: %s%s", fn.Name(), e.Desc, via(e))
+		}
+		if s.Truncated {
+			pass.Reportf(pos, "%s: summary truncated at depth %d; deeper effects are unknown", fn.Name(), MaxDepth)
+		}
+	}
+	return nil
+}
+
+func via(e Effect) string {
+	if len(e.Path) == 0 {
+		return ""
+	}
+	return " (call path " + e.PathString() + ")"
+}

@@ -1,0 +1,150 @@
+package callgraph
+
+// Thread-context guards: the runtime's own idiom for Algorithm 1's line 6
+// ("is the encountering thread already a member of this virtual target's
+// thread group?") is an Owns() check — Loop.Owns, Reactor.Owns,
+// WorkerPool.Owns, Toolkit.IsDispatchThread. Code written against that
+// answer is context-conditional, and the summaries model it:
+//
+//   - a blocking operation reached only when the guard is FALSE (inside
+//     `if !x.Owns() {...}`, in the else branch of `if x.Owns()`, or after
+//     `if x.Owns() { return }`) never runs on the confined goroutine that
+//     owns x — reactor.Stop's wg.Wait is the canonical case — so it is not
+//     a Blocks effect;
+//   - a confined-widget mutation reached only when the guard is TRUE
+//     (inside `if tk.IsDispatchThread() {...}`, or after
+//     `if !x.Owns() { return }`) only ever runs on the EDT, so it is not a
+//     Mutates effect.
+//
+// The guard object is matched by method name alone, not by identity with
+// the block's eventual dispatch target — a deliberate trade: the repo's
+// runtime always guards on the executor it is about to block on, and
+// demanding alias proof would reintroduce every false positive this
+// modelling exists to remove.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dispatch"
+)
+
+// guardRegion is a source range with a known thread-context polarity.
+type guardRegion struct{ lo, hi token.Pos }
+
+func (r guardRegion) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+
+// guardSet holds the context-conditional regions of one function body.
+type guardSet struct {
+	// onHomeR are regions that execute only when the guarded executor IS
+	// the current goroutine's context.
+	onHomeR []guardRegion
+	// offHomeR are regions that execute only when it is NOT.
+	offHomeR []guardRegion
+}
+
+func (g guardSet) onHome(p token.Pos) bool {
+	for _, r := range g.onHomeR {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g guardSet) offHome(p token.Pos) bool {
+	for _, r := range g.offHomeR {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownsGuards collects the guard regions of one function body.
+func ownsGuards(c *dispatch.Classifier, body *ast.BlockStmt) guardSet {
+	var g guardSet
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		polarity, ok := ownsCond(c, ifStmt.Cond)
+		if !ok {
+			return true
+		}
+		thenRegion := guardRegion{ifStmt.Body.Pos(), ifStmt.Body.End()}
+		if polarity {
+			g.onHomeR = append(g.onHomeR, thenRegion)
+		} else {
+			g.offHomeR = append(g.offHomeR, thenRegion)
+		}
+		if elseBlock, ok := ifStmt.Else.(*ast.BlockStmt); ok {
+			elseRegion := guardRegion{elseBlock.Pos(), elseBlock.End()}
+			if polarity {
+				g.offHomeR = append(g.offHomeR, elseRegion)
+			} else {
+				g.onHomeR = append(g.onHomeR, elseRegion)
+			}
+		}
+		// `if x.Owns() { ...; return }` makes everything after the if in
+		// the enclosing block the opposite polarity.
+		if terminates(ifStmt.Body) && len(stack) > 0 {
+			if parent, ok := stack[len(stack)-1].(*ast.BlockStmt); ok {
+				tail := guardRegion{ifStmt.End(), parent.End()}
+				if polarity {
+					g.offHomeR = append(g.offHomeR, tail)
+				} else {
+					g.onHomeR = append(g.onHomeR, tail)
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// ownsCond matches a condition that is exactly a thread-context query,
+// possibly negated: x.Owns(), tk.IsDispatchThread(), or ! of either.
+// Returns the polarity (true: the then-branch runs on the home context).
+func ownsCond(c *dispatch.Classifier, cond ast.Expr) (polarity, ok bool) {
+	cond = ast.Unparen(cond)
+	if not, isNot := cond.(*ast.UnaryExpr); isNot && not.Op == token.NOT {
+		p, ok := ownsCond(c, not.X)
+		return !p, ok
+	}
+	call, isCall := cond.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return false, false
+	}
+	fn := c.Callee(call)
+	if fn == nil || fn.Name() != "Owns" && fn.Name() != "IsDispatchThread" {
+		return false, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return false, false
+	}
+	return true, true
+}
+
+// terminates reports whether a block always leaves the enclosing function
+// (its last statement is a return or a panic call).
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+// Package summary exercises the bounded-depth effect summaries the debug
+// analyzer reports: direct effects, helper-chain paths, the MaxDepth
+// truncation fallback, recursion, thread-context guards, and the
+// nested-literal ownership rule. Diagnostics land on the declaring
+// function's name.
+package summary
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+// --- direct effects and short chains -------------------------------------
+
+func sleeper() { // want `sleeper may block: time\.Sleep`
+	time.Sleep(time.Millisecond)
+}
+
+func viaOne() { // want `viaOne may block: time\.Sleep \(call path sleeper\)`
+	sleeper()
+}
+
+func viaTwo() { // want `viaTwo may block: time\.Sleep \(call path viaOne > sleeper\)`
+	viaOne()
+}
+
+func paint(l *gui.Label) { // want `paint mutates confined state: \(\*gui\.Label\)\.SetText`
+	l.SetText("painted")
+}
+
+func paintVia(l *gui.Label) { // want `paintVia mutates confined state: \(\*gui\.Label\)\.SetText \(call path paint\)`
+	paint(l)
+}
+
+func receive(ch chan int) int { // want `receive may block: channel receive`
+	return <-ch
+}
+
+// selectRecv polls inside a select: the sanctioned non-blocking idiom.
+func selectRecv(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// --- dispatches and nested-literal ownership -----------------------------
+
+// dispatchOnly hands the sleep to the pool: the literal's effects belong to
+// the pool's context, not to dispatchOnly's callers — only the dispatch
+// itself is an effect here.
+func dispatchOnly(p *executor.WorkerPool) { // want `dispatchOnly dispatches: WorkerPool\.Post`
+	p.Post(func() {
+		time.Sleep(time.Millisecond)
+	})
+}
+
+// inline invokes its literal on the spot, so the literal is just an inline
+// scope and the sleep is a direct effect.
+func inline() { // want `inline may block: time\.Sleep`
+	func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// --- thread-context guards -----------------------------------------------
+
+// guardedWait blocks only when the caller is NOT the pool's own context:
+// the Owns guard removes the Blocks effect (reactor.Stop's shape).
+func guardedWait(p *executor.WorkerPool, wg *sync.WaitGroup) {
+	if p.Owns() {
+		return
+	}
+	wg.Wait()
+}
+
+// guardedPaint mutates only ON the dispatch thread, where mutation is
+// legal: the guard removes the Mutates effect.
+func guardedPaint(tk *gui.Toolkit, l *gui.Label) {
+	if tk.IsDispatchThread() {
+		l.SetText("safe")
+	}
+}
+
+// --- recursion -----------------------------------------------------------
+
+// countdown is self-recursive; a self-call adds no frames, so the direct
+// effect is the whole summary — no truncation.
+func countdown(n int) { // want `countdown may block: time\.Sleep`
+	if n == 0 {
+		return
+	}
+	time.Sleep(time.Millisecond)
+	countdown(n - 1)
+}
+
+// ping/pong recurse mutually: no fixpoint at bounded depth, so both
+// summaries are honestly truncated instead of silently empty.
+func ping(n int) { // want `ping: summary truncated at depth 5; deeper effects are unknown`
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) { // want `pong: summary truncated at depth 5; deeper effects are unknown`
+	ping(n - 1)
+}
+
+// --- the depth bound -----------------------------------------------------
+
+// c1..c7: the sleep sits six frames below c1. c2 still sees it (path length
+// exactly MaxDepth); c1 drops the effect and reports truncation — the
+// depth-bound fallback that keeps long chains conservative, never silent.
+
+func c1(d time.Duration) { // want `c1: summary truncated at depth 5; deeper effects are unknown`
+	c2(d)
+}
+
+func c2(d time.Duration) { // want `c2 may block: time\.Sleep \(call path c3 > c4 > c5 > c6 > c7\)`
+	c3(d)
+}
+
+func c3(d time.Duration) { // want `c3 may block: time\.Sleep \(call path c4 > c5 > c6 > c7\)`
+	c4(d)
+}
+
+func c4(d time.Duration) { // want `c4 may block: time\.Sleep \(call path c5 > c6 > c7\)`
+	c5(d)
+}
+
+func c5(d time.Duration) { // want `c5 may block: time\.Sleep \(call path c6 > c7\)`
+	c6(d)
+}
+
+func c6(d time.Duration) { // want `c6 may block: time\.Sleep \(call path c7\)`
+	c7(d)
+}
+
+func c7(d time.Duration) { // want `c7 may block: time\.Sleep`
+	time.Sleep(d)
+}

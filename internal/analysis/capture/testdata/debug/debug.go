@@ -1,0 +1,27 @@
+// Package debug exercises the capturedebug analyzer: every capture by a
+// classified block is described with its home context and access kind.
+package debug
+
+import (
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+func captures(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	total := 0
+	tk.InvokeLater(func() {
+		total++ // want `EDT block \(via Toolkit\.InvokeLater\) captures "total" \(home: function scope\) and writes it`
+	})
+	pool.Post(func() {
+		_ = total // want `worker block \(via WorkerPool\.Post\) captures "total" \(home: function scope\) and reads it`
+	})
+}
+
+func nestedHome(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	tk.InvokeLater(func() {
+		state := "idle"
+		pool.Post(func() { // want `EDT block \(via Toolkit\.InvokeLater\) captures "pool" \(home: function scope\) and reads it`
+			_ = state // want `worker block \(via WorkerPool\.Post\) captures "state" \(home: EDT block via Toolkit\.InvokeLater\) and reads it`
+		})
+	})
+}

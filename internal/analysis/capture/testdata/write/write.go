@@ -1,0 +1,66 @@
+// Package write seeds capture enforcement violations: closure-captured
+// variables written from a dispatch context other than their home context.
+package write
+
+import (
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+// workerWritesEDTState: clicks is EDT state (declared inside an
+// InvokeLater block); the nested worker block's increment races with every
+// EDT event that touches it.
+func workerWritesEDTState(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	tk.InvokeLater(func() {
+		clicks := 0
+		pool.Post(func() {
+			clicks++ // want `worker block \(dispatched via WorkerPool\.Post\) writes captured variable "clicks"; its home is the EDT block dispatched via Toolkit\.InvokeLater`
+		})
+		_ = clicks
+	})
+}
+
+// edtWritesWorkerState: the reverse direction races just the same.
+func edtWritesWorkerState(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	pool.Post(func() {
+		result := "pending"
+		tk.InvokeLater(func() {
+			result = "shown" // want `EDT block \(dispatched via Toolkit\.InvokeLater\) writes captured variable "result"; its home is the worker block dispatched via WorkerPool\.Post`
+		})
+		_ = result
+	})
+}
+
+// readBack is clean: the worker block only reads the EDT-declared value —
+// the capture-a-value-then-republish idiom the paper sanctions.
+func readBack(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	tk.InvokeLater(func() {
+		query := "term"
+		pool.Post(func() {
+			_ = query
+		})
+	})
+}
+
+// functionScopedHome is clean: total has no definite home context, the
+// SwingWorker DoInBackground/Done shape shares function-scoped state under
+// the framework's happens-before edge.
+func functionScopedHome(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	total := 0
+	pool.Post(func() {
+		total++
+	})
+	_ = total
+}
+
+// sameContext is clean: both blocks run on the EDT, so the write stays in
+// its home context.
+func sameContext(tk *gui.Toolkit) {
+	tk.InvokeLater(func() {
+		phase := "start"
+		tk.InvokeLater(func() {
+			phase = "next"
+		})
+		_ = phase
+	})
+}

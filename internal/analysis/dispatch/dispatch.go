@@ -267,6 +267,23 @@ func (c *Classifier) dispatchByCallee(call *ast.CallExpr, fn *types.Func) (strin
 	case c.isMethod(fn, "repro/internal/reactor", "Reactor", "Listen"):
 		// The accept callback runs on the poll goroutine.
 		return "Reactor.Listen accept callback", EDT, true
+	case c.isMethod(fn, "repro/internal/reactor", "Reactor", "PostAt"):
+		// Timer callbacks fire on the poll goroutine (PR 7): same confined
+		// context, same never-block rule.
+		return "reactor PostAt timer callback", EDT, true
+	case c.isMethod(fn, "repro/internal/reactor", "Supervised", "Listen"):
+		// Supervised generations re-register listeners, but every
+		// generation's accept callback still runs on that generation's
+		// poll goroutine.
+		return "Supervised.Listen accept callback", EDT, true
+	case c.isMethod(fn, "repro/internal/netloop", "Server", "HandleFunc"),
+		c.isMethod(fn, "repro/internal/netloop", "Server", "OnConnect"),
+		c.isMethod(fn, "repro/internal/netloop", "Server", "OnClose"):
+		// netloop handlers are dispatched on the server's event loop on
+		// both transports — including the reactor transport enabled by
+		// EnableReactor / EnableSupervisedReactor, whose readiness
+		// callbacks re-post line events to the loop.
+		return "netloop Server." + fn.Name() + " handler", EDT, true
 
 	// --- worker deliveries ----------------------------------------------
 	case c.isMethod(fn, "repro/internal/executor", "WorkerPool", "Post"),

@@ -1,20 +1,27 @@
 // Package edtconfine implements the ompvet pass proving the paper's widget
 // confinement rule at compile time: "GUI components are not thread-safe and
 // access is strictly confined to the EDT". The gui package enforces this at
-// run time with checkConfinement (a panic, or a counted violation); this
-// pass turns the panic into a compile-time diagnostic by flagging calls to
-// confined widget mutators that are lexically inside a block dispatched off
-// the EDT — a function literal handed to WorkerPool.Post, Runtime.Invoke of
-// a worker target, ExecutorService.Execute, SwingWorker.DoInBackground, or
-// a go statement — without an intervening InvokeLater / InvokeAndWait /
-// target-virtual(edt) re-entry.
+// run time with checkConfinement (a panic, or a counted violation; the
+// ompsan sanitizer adds a second, goroutine-stamp check); this pass turns
+// the panic into a compile-time diagnostic by flagging calls to confined
+// widget mutators inside a block dispatched off the EDT — a function
+// literal handed to WorkerPool.Post, Runtime.Invoke of a worker target,
+// ExecutorService.Execute, SwingWorker.DoInBackground, or a go statement —
+// without an intervening InvokeLater / InvokeAndWait / target-virtual(edt)
+// re-entry.
+//
+// The pass is interprocedural (PR 9): a worker block calling a helper that
+// calls a mutator is flagged at the helper call site, with the full call
+// path from analysis/callgraph's bounded-depth summaries. A helper chain
+// deeper than the summary bound is not silently trusted — the call is
+// reported as unprovable instead.
 package edtconfine
 
 import (
 	"go/ast"
-	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/dispatch"
 )
 
@@ -26,57 +33,56 @@ var Analyzer = &analysis.Analyzer{
 	Run:           run,
 }
 
-// confined lists the mutating methods of each confined widget type — the
-// methods funnelling into widget.mutate, which calls checkConfinement.
-var confined = map[string]map[string]bool{
-	"Label":       {"SetText": true},
-	"ProgressBar": {"SetValue": true},
-	"Button":      {"SetHandler": true},
-	"TextArea":    {"Append": true, "Clear": true},
-	"Frame":       {"SetTitle": true, "SetVisible": true, "Add": true},
-}
-
 func run(pass *analysis.Pass) error {
 	if pass.Pkg != nil && pass.Pkg.Path() == "repro/internal/gui" {
 		// The toolkit's own internals are the enforcement mechanism.
 		return nil
 	}
 	c := dispatch.NewClassifier(pass)
+	g := callgraph.New(pass, c)
 	for _, f := range pass.Files {
 		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			widget, method, ok := confinedMutator(c, call)
-			if !ok {
+			if widget, method, ok := c.ConfinedMutator(call); ok {
+				if kind, site := c.Context(stack); kind == dispatch.Worker {
+					pass.Reportf(call.Pos(),
+						"(*gui.%s).%s mutates a confined widget off the event-dispatch thread (enclosing block is dispatched via %s); wrap the update in Toolkit.InvokeLater or a target virtual(edt) block",
+						widget, method, site)
+				}
 				return true
 			}
-			if kind, site := c.Context(stack); kind == dispatch.Worker {
+			// Interprocedural: a call to a same-package helper is checked
+			// against the helper's effect summary.
+			fn := c.Callee(call)
+			if g.Local(fn) == nil {
+				return true
+			}
+			kind, site := c.Context(stack)
+			if kind != dispatch.Worker {
+				return true
+			}
+			s := g.SummaryOf(fn)
+			for _, e := range s.Mutates {
+				path := fn.Name()
+				if p := e.PathString(); p != "" {
+					path += " > " + p
+				}
 				pass.Reportf(call.Pos(),
-					"(*gui.%s).%s mutates a confined widget off the event-dispatch thread (enclosing block is dispatched via %s); wrap the update in Toolkit.InvokeLater or a target virtual(edt) block",
-					widget, method, site)
+					"%s mutates a confined widget off the event-dispatch thread (call path %s; enclosing block is dispatched via %s); wrap the update in Toolkit.InvokeLater or a target virtual(edt) block",
+					e.Desc, path, site)
+			}
+			if s.Truncated && len(s.Mutates) == 0 {
+				// Never silence a chain the summary could not finish: the
+				// helper might mutate confined state beyond the depth bound.
+				pass.Reportf(call.Pos(),
+					"cannot prove %s keeps confined widgets off this worker block (dispatched via %s): call-graph summary truncated at depth %d",
+					fn.Name(), site, callgraph.MaxDepth)
 			}
 			return true
 		})
 	}
 	return nil
-}
-
-// confinedMutator reports whether call invokes a confined widget mutator.
-func confinedMutator(c *dispatch.Classifier, call *ast.CallExpr) (widget, method string, ok bool) {
-	fn := c.Callee(call)
-	if fn == nil {
-		return "", "", false
-	}
-	sig, sok := fn.Type().(*types.Signature)
-	if !sok || sig.Recv() == nil {
-		return "", "", false
-	}
-	for w, methods := range confined {
-		if methods[fn.Name()] && dispatch.IsNamed(sig.Recv().Type(), "repro/internal/gui", w) {
-			return w, fn.Name(), true
-		}
-	}
-	return "", "", false
 }

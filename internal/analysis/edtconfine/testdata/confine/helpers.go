@@ -1,0 +1,60 @@
+// Interprocedural cases (PR 9): the confined mutation hides behind
+// same-package helper chains; edtconfine consults the call-graph summaries
+// and reports the full path at the worker-side call site. Chains deeper
+// than the summary bound degrade to a conservative "cannot prove" finding,
+// never to silence.
+package confine
+
+import (
+	"repro/internal/executor"
+	"repro/internal/gui"
+)
+
+// setStatus > renderStatus: the mutation sits two frames below the block.
+func setStatus(l *gui.Label, s string) { renderStatus(l, s) }
+
+func renderStatus(l *gui.Label, s string) { l.SetText(s) }
+
+func viaHelpers(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	status := tk.NewLabel("status")
+	pool.Post(func() {
+		setStatus(status, "working") // want `\(\*gui\.Label\)\.SetText mutates a confined widget off the event-dispatch thread \(call path setStatus > renderStatus; enclosing block is dispatched via WorkerPool\.Post\)`
+	})
+	tk.InvokeLater(func() {
+		setStatus(status, "done") // clean: the EDT may mutate through helpers
+	})
+}
+
+// guardedRender only mutates when it already runs on the dispatch thread:
+// the IsDispatchThread guard keeps the summary clean.
+func guardedRender(tk *gui.Toolkit, l *gui.Label, s string) {
+	if tk.IsDispatchThread() {
+		l.SetText(s)
+	}
+}
+
+func viaGuardedHelper(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	status := tk.NewLabel("status")
+	pool.Post(func() {
+		guardedRender(tk, status, "checked") // clean: the helper's mutation is guarded
+	})
+}
+
+// d1..d7: the mutation sits six frames below d1 — beyond MaxDepth. Calling
+// d1 from a worker block is reported as unprovable; calling d2 still
+// carries the full five-step path.
+func d1(l *gui.Label) { d2(l) }
+func d2(l *gui.Label) { d3(l) }
+func d3(l *gui.Label) { d4(l) }
+func d4(l *gui.Label) { d5(l) }
+func d5(l *gui.Label) { d6(l) }
+func d6(l *gui.Label) { d7(l) }
+func d7(l *gui.Label) { l.SetText("deep") }
+
+func deepChain(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	status := tk.NewLabel("deep")
+	pool.Post(func() {
+		d1(status) // want `cannot prove d1 keeps confined widgets off this worker block \(dispatched via WorkerPool\.Post\): call-graph summary truncated at depth 5`
+		d2(status) // want `\(\*gui\.Label\)\.SetText mutates a confined widget off the event-dispatch thread \(call path d2 > d3 > d4 > d5 > d6 > d7; enclosing block is dispatched via WorkerPool\.Post\)`
+	})
+}

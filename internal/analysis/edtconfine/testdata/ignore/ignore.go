@@ -22,6 +22,21 @@ func suppressed(tk *gui.Toolkit, pool *executor.WorkerPool) {
 	})
 }
 
+// Path-carrying (interprocedural) findings suppress exactly like direct
+// ones: the diagnostic lands at the helper call site inside the worker
+// block, so that is where the ignore goes — one ignore, one finding.
+func suppressedPath(tk *gui.Toolkit, pool *executor.WorkerPool) {
+	status := tk.NewLabel("status")
+	pool.Post(func() {
+		setViaHelper(status) //ompvet:ignore edtconfine the helper-chain write is deliberate here
+		setViaHelper(status) // want `SetText mutates a confined widget off the event-dispatch thread \(call path setViaHelper > setDeep; enclosing block is dispatched via WorkerPool\.Post\)`
+	})
+}
+
+func setViaHelper(l *gui.Label) { setDeep(l) }
+
+func setDeep(l *gui.Label) { l.SetText("x") }
+
 func stale(tk *gui.Toolkit) {
 	status := tk.NewLabel("ok")
 	tk.InvokeLater(func() {

@@ -1,0 +1,39 @@
+// Parameter propagation (PR 9): tags that flow through one call hop — a
+// helper waiting on (or defining) whichever tag its caller names — are
+// materialized at the constant-string call site, so region attribution and
+// the cycle/undefined checks see through the helper.
+package wait
+
+import "repro/internal/core"
+
+// joinOn waits on whichever tag its caller names.
+func joinOn(rt *core.Runtime, tag string) {
+	rt.WaitTag(tag)
+}
+
+// spawnOn defines a tag through its parameter: InvokeNamed's tag argument.
+func spawnOn(rt *core.Runtime, tag string) {
+	rt.InvokeNamed("helperPool", tag, func() {})
+}
+
+// paramUndefined: the tag reaches WaitTag through joinOn, but nothing in
+// the package defines it.
+func paramUndefined(rt *core.Runtime) {
+	joinOn(rt, "ghost") // want `wait on tag "ghost", but no name_as\(ghost\) directive or InvokeNamed/TargetBlock site defines it`
+}
+
+// paramDefined: spawnOn defines the tag through its parameter, so the
+// joinOn wait resolves cleanly.
+func paramDefined(rt *core.Runtime) {
+	spawnOn(rt, "spawned")
+	joinOn(rt, "spawned")
+}
+
+// paramSelfLoop: inside helperPool's own region, joining a tag scheduled
+// on helperPool is the one-pool self-deadlock — seen through the call hop
+// because the materialized wait sits at the call site, inside the region.
+func paramSelfLoop(rt *core.Runtime) {
+	rt.InvokeNamed("helperPool", "phase", func() {
+		joinOn(rt, "phase") // want `target "helperPool" waits on tag "phase" whose blocks are scheduled on "helperPool" itself`
+	})
+}

@@ -21,6 +21,15 @@
 // Runtime.WaitTag returns immediately on an unknown tag, so such a wait is
 // a silent no-op and almost certainly a typo.
 //
+// Tags travel one level through function parameters (PR 9): a helper
+// `func join(tag string) { rt.WaitTag(tag) }` makes every `join("phase")`
+// call a wait on "phase" attributed at the call site, so the enclosing
+// target region is the caller's; the same applies to InvokeNamed /
+// TargetBlock name_as definitions whose tag is a parameter. Propagation is
+// deliberately single-hop — a helper forwarding its parameter to another
+// helper is not followed — and matches helpers by name (sharpened to
+// same-package functions when type information is available).
+//
 // The pass is purely syntactic (type information sharpens call-site
 // matching but is optional), so `pjc -vet` can run it on a single
 // un-type-checked file.
@@ -67,19 +76,44 @@ type edge struct {
 	pos      token.Pos
 }
 
+// paramDefine records that a helper function schedules blocks on target
+// under the tag passed as its parameter #tagIdx.
+type paramDefine struct {
+	target string
+	tagIdx int
+}
+
 // graph accumulates the package-wide wait-for structure.
 type graph struct {
 	pass    *analysis.Pass
 	defines map[string]map[string]bool // tag -> defining targets
 	regions []region
 	waits   []waitSite
+
+	// paramWaits maps a helper function name to the parameter indices it
+	// waits on; paramDefines to the name_as definitions it performs with a
+	// parameter tag. Both are materialized at constant-string call sites in
+	// a second pass over the files.
+	paramWaits   map[string][]int
+	paramDefines map[string][]paramDefine
 }
 
 func run(pass *analysis.Pass) error {
-	g := &graph{pass: pass, defines: map[string]map[string]bool{}}
+	g := &graph{
+		pass:         pass,
+		defines:      map[string]map[string]bool{},
+		paramWaits:   map[string][]int{},
+		paramDefines: map[string][]paramDefine{},
+	}
 	for _, f := range pass.Files {
 		g.collectDirectives(f)
 		g.collectCalls(f)
+		g.collectParamTags(f)
+	}
+	// Materialize after all files are collected: a helper in one file may
+	// be called from another.
+	for _, f := range pass.Files {
+		g.materializeParamCalls(f)
 	}
 	g.report()
 	return nil
@@ -239,6 +273,148 @@ func (g *graph) collectCalls(f *ast.File) {
 		}
 		return true
 	})
+}
+
+// --- parameter-carried tags ----------------------------------------------
+
+// collectParamTags scans each function declaration for wait/define sites
+// whose tag argument is one of the function's own string parameters,
+// recording the parameter index for call-site materialization.
+func (g *graph) collectParamTags(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Type.Params == nil {
+			continue
+		}
+		paramIdx := map[string]int{}
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				paramIdx[name.Name] = i
+				i++
+			}
+		}
+		if len(paramIdx) == 0 {
+			continue
+		}
+		fname := fd.Name.Name
+		argParam := func(call *ast.CallExpr, i int) (int, bool) {
+			if i >= len(call.Args) {
+				return 0, false
+			}
+			id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+			if !ok {
+				return 0, false
+			}
+			idx, ok := paramIdx[id.Name]
+			return idx, ok
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "WaitTag":
+				if !g.isRuntimeMethod(call, "WaitTag") {
+					return true
+				}
+				if idx, ok := argParam(call, 0); ok {
+					g.paramWaits[fname] = append(g.paramWaits[fname], idx)
+				}
+			case "WaitFor", "Wait":
+				if calleeName(call) == "WaitFor" && !g.isPyjamaFunc(call, "WaitFor") {
+					return true
+				}
+				if calleeName(call) == "Wait" && !g.isRuntimeMethodStrict(call, "Wait") {
+					return true
+				}
+				for i := range call.Args {
+					if idx, ok := argParam(call, i); ok {
+						g.paramWaits[fname] = append(g.paramWaits[fname], idx)
+					}
+				}
+			case "InvokeNamed":
+				if !g.isRuntimeMethod(call, "InvokeNamed") {
+					return true
+				}
+				target, tok := g.stringArg(call, 0)
+				if !tok {
+					return true
+				}
+				if idx, ok := argParam(call, 1); ok {
+					g.paramDefines[fname] = append(g.paramDefines[fname], paramDefine{target: target, tagIdx: idx})
+				}
+			case "TargetBlock", "TargetBlockIf":
+				name := calleeName(call)
+				if !g.isPyjamaFunc(call, name) {
+					return true
+				}
+				base := 0
+				if name == "TargetBlockIf" {
+					base = 1
+				}
+				target, tok := g.stringArg(call, base)
+				if !tok || base+1 >= len(call.Args) || !g.isNameAsMode(call.Args[base+1]) {
+					return true
+				}
+				if idx, ok := argParam(call, base+2); ok {
+					g.paramDefines[fname] = append(g.paramDefines[fname], paramDefine{target: target, tagIdx: idx})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// materializeParamCalls turns each constant-string call of a tag-carrying
+// helper into the wait/define it performs, attributed at the call site (so
+// the enclosing target region is the caller's).
+func (g *graph) materializeParamCalls(f *ast.File) {
+	if len(g.paramWaits) == 0 && len(g.paramDefines) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "" || !g.isLocalFunc(call) {
+			return true
+		}
+		for _, idx := range g.paramWaits[name] {
+			if tag, ok := g.stringArg(call, idx); ok {
+				g.waits = append(g.waits, waitSite{pos: call.Pos(), tags: []string{tag}})
+			}
+		}
+		for _, pd := range g.paramDefines[name] {
+			if tag, ok := g.stringArg(call, pd.tagIdx); ok {
+				g.define(tag, pd.target)
+			}
+		}
+		return true
+	})
+}
+
+// isLocalFunc checks (when types are available) that the call resolves to a
+// function of the package under analysis; without types any callee name
+// matches, consistent with the rest of the pass.
+func (g *graph) isLocalFunc(call *ast.CallExpr) bool {
+	if g.pass.TypesInfo == nil || g.pass.Pkg == nil {
+		return true
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, _ := g.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn != nil && fn.Pkg() == g.pass.Pkg
 }
 
 // litRegion records the function-literal argument of a dispatch call as a

@@ -31,8 +31,18 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/sanitize"
 	"repro/internal/trace"
 )
+
+// sanChecker is the optional confinement-sanitizer surface of an executor:
+// SanCheck asserts (under -tags=ompsan) that the calling goroutine really
+// belongs to the executor, with an independent gid stamp rather than the
+// gid.Registry the inline decision was made from. eventloop.Loop and
+// executor.WorkerPool implement it.
+type sanChecker interface {
+	SanCheck(op string)
+}
 
 // Mode is the scheduling-property-clause of the extended target directive
 // (Figure 5): one of default (zero value), Nowait, NameAs, Await.
@@ -337,7 +347,16 @@ func (r *Runtime) invoke(target string, mode Mode, tag string, block func()) (*e
 	var comp *executor.Completion
 	if e.Owns() {
 		// Algorithm 1 lines 6-7: already in the target's execution context —
-		// execute synchronously by the current thread.
+		// execute synchronously by the current thread. Under -tags=ompsan,
+		// cross-validate the registry's membership answer against the
+		// executor's own goroutine stamp before trusting it: an inline run
+		// on a goroutine the target does not actually own is precisely the
+		// confinement breach the sanitizer exists to catch.
+		if sanitize.Enabled {
+			if sc, ok := e.(sanChecker); ok {
+				sc.SanCheck("inline invoke on " + e.Name())
+			}
+		}
 		r.emit(trace.OpInline, e.Name(), mode)
 		comp = executor.NewCompletedCompletion(executor.RunCaptured(block))
 	} else {

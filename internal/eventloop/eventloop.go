@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/sanitize"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,11 @@ type item struct {
 type Loop struct {
 	name     string
 	registry *gid.Registry
+	// san stamps the dispatch goroutine as this loop's home context
+	// (bound in run); every dispatched event asserts affinity against it
+	// under -tags=ompsan, cross-validating the gid.Registry ownership the
+	// rest of the runtime relies on. No-op in untagged builds.
+	san sanitize.Home
 
 	mu      sync.Mutex
 	q       executor.ChunkQueue[*item]
@@ -149,6 +155,7 @@ func (l *Loop) run() {
 	normal := false
 	defer func() {
 		v := recover()
+		l.san.Unbind()
 		l.registry.Deregister()
 		if !normal || v != nil {
 			// The dispatch goroutine died abnormally (runtime.Goexit in a
@@ -160,6 +167,7 @@ func (l *Loop) run() {
 		l.wg.Done()
 	}()
 	l.registry.Register(l)
+	l.san.Bind("eventloop", l.name)
 	close(l.ready)
 	// Label the dispatch goroutine with the loop's target name so CPU
 	// profiles attribute EDT samples per target (go tool pprof -tags).
@@ -275,6 +283,7 @@ func (l *Loop) next() (*item, bool) {
 }
 
 func (l *Loop) dispatch(it *item) {
+	l.san.Check("dispatch event on " + l.name)
 	start := time.Now()
 	fn := it.fn
 	if ic := l.interceptor.Load(); ic != nil {
@@ -433,6 +442,18 @@ func (l *Loop) InvokeAndWait(fn func()) error {
 
 // Owns reports whether the calling goroutine is the dispatch goroutine.
 func (l *Loop) Owns() bool { return l.registry.IsOwnedBy(l) }
+
+// SanCheck asserts (under -tags=ompsan) that the calling goroutine is the
+// dispatch goroutine, panicking with both stacks on violation. Confined
+// consumers of the loop (the gui toolkit's widgets, core's inline-invoke
+// decision) call it at their mutation points; it is a no-op untagged.
+func (l *Loop) SanCheck(op string) { l.san.Check(op) }
+
+// SanViolate reports a confinement violation an independent mechanism
+// already detected (under -tags=ompsan), panicking with both the violating
+// stack and the stack that bound the dispatch goroutine. No-op untagged —
+// gate on sanitize.Enabled and keep a plain panic as the untagged path.
+func (l *Loop) SanViolate(op string) { l.san.Violate(op) }
 
 // TryRunPending dispatches one queued event on the calling goroutine if one
 // is pending. It refuses to run events off the dispatch goroutine — thread

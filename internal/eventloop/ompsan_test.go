@@ -1,0 +1,67 @@
+//go:build ompsan
+
+package eventloop
+
+import (
+	"testing"
+
+	"repro/internal/gid"
+	"repro/internal/sanitize"
+)
+
+// Proves the sanitizer is measurably exercised by a real event loop: every
+// dispatched event runs an affinity assertion against the loop's home
+// stamp, so the process-wide check counter must advance.
+func TestDispatchExercisesSanitizer(t *testing.T) {
+	var reg gid.Registry
+	l := New("san-edt", &reg)
+	l.Start()
+	defer l.Stop()
+
+	before := sanitize.Checks()
+	for i := 0; i < 10; i++ {
+		if err := l.InvokeAndWait(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sanitize.Checks() - before; got < 10 {
+		t.Fatalf("sanitizer ran %d checks across 10 dispatches, want >= 10", got)
+	}
+}
+
+// A dispatch-goroutine operation invoked from a foreign goroutine must
+// panic with both stacks. SanViolate is the hook the gui toolkit uses when
+// its own policy check has already detected the violation.
+func TestSanViolateCarriesBothStacks(t *testing.T) {
+	var reg gid.Registry
+	l := New("san-edt", &reg)
+	l.Start()
+	defer l.Stop()
+	// Wait for the loop goroutine to bind its home stamp.
+	if err := l.InvokeAndWait(func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("SanViolate did not panic")
+		}
+		msg := v.(string)
+		for _, want := range []string{"ompsan:", "-- violating goroutine stack --", "-- home context bound at --"} {
+			if !contains(msg, want) {
+				t.Fatalf("panic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	l.SanViolate("test violation")
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/gid"
+	"repro/internal/sanitize"
 	"repro/internal/trace"
 )
 
@@ -342,6 +343,11 @@ const workerSpins = 4
 type WorkerPool struct {
 	name     string
 	registry *gid.Registry
+	// san tracks the worker-goroutine member set under -tags=ompsan:
+	// SanCheck cross-validates the gid.Registry's thread-context-awareness
+	// answer (core inlines a block only when the encountering goroutine is
+	// a member) against this second, independent stamp. No-op untagged.
+	san sanitize.Members
 
 	mu       sync.Mutex
 	parked   *parker // LIFO stack of idle (parked) workers
@@ -451,6 +457,8 @@ func (p *WorkerPool) spawnWorker(w *worker, onStarted func()) {
 		normal := false
 		defer func() {
 			v := recover()
+			w.san.Unbind()
+			p.san.Leave()
 			p.registry.Deregister()
 			if !normal || v != nil {
 				p.workerCrashed(w, v)
@@ -458,6 +466,8 @@ func (p *WorkerPool) spawnWorker(w *worker, onStarted func()) {
 			p.wg.Done()
 		}()
 		p.registry.Register(p)
+		w.san.Bind("worker", p.name)
+		p.san.Join("workerpool", p.name)
 		if onStarted != nil {
 			onStarted()
 		}
@@ -666,6 +676,7 @@ func (p *WorkerPool) pickShard() *shard {
 // construction) always pop oldest-first — that is the strict-FIFO guarantee
 // NewSerialExecutor documents.
 func (p *WorkerPool) popLocal(w *worker) *task {
+	w.san.Check("popLocal on " + p.name)
 	sh := w.shard
 	if sh.len.Load() == 0 {
 		return nil
@@ -698,6 +709,7 @@ func (p *WorkerPool) popLocal(w *worker) *task {
 // The batch is staged in the worker's private buffer between the two lock
 // sections — never hold two shard locks at once (see shard.go).
 func (p *WorkerPool) steal(w *worker) *task {
+	w.san.Check("steal on " + p.name)
 	snap := *p.shards.Load()
 	n := len(snap)
 	if n <= 1 {
@@ -779,6 +791,19 @@ func (p *WorkerPool) wakeForBacklog() {
 func (p *WorkerPool) tryRetire(w *worker) bool {
 	p.mu.Lock()
 	if p.shrink == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	if p.nworkers <= 1 {
+		// A worker crash can leave a Shrink credit outstanding with only
+		// one worker alive. The last worker never retires — that would
+		// empty the shard snapshot (invariant: never empty) and strand
+		// every future Post. The crash already delivered the headcount
+		// reduction the credit asked for, so cancel what remains instead
+		// of letting the survivor consume it (a pending credit also keeps
+		// park returning early, which would busy-spin the survivor).
+		p.shrink = 0
+		p.shrinkHint.Store(0)
 		p.mu.Unlock()
 		return false
 	}
@@ -995,6 +1020,13 @@ var ErrQueueFull = errors.New("executor: queue full")
 // Owns reports whether the calling goroutine is one of the pool's workers
 // (or is currently inlined inside one of its tasks).
 func (p *WorkerPool) Owns() bool { return p.registry.IsOwnedBy(p) }
+
+// SanCheck asserts (under -tags=ompsan) that the calling goroutine is one
+// of the pool's worker goroutines, panicking with both stacks on
+// violation. core.Runtime calls it when thread-context awareness chooses
+// to inline a block, so the registry's membership answer is cross-checked
+// against the sanitizer's independent stamp. No-op untagged.
+func (p *WorkerPool) SanCheck(op string) { p.san.Check(op) }
 
 // TryRunPending pops one queued task and runs it on the calling goroutine.
 // The paper's await barrier uses this so a worker waiting on a nested target

@@ -3,6 +3,8 @@ package executor
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sanitize"
 )
 
 // This file holds the sharded run-queue machinery underneath WorkerPool
@@ -136,6 +138,11 @@ type worker struct {
 	pk       *parker
 	ticks    uint
 	stealBuf []*task
+	// san stamps the owning goroutine: ticks and stealBuf are per-worker
+	// confined state (no lock guards them), so under -tags=ompsan the
+	// local-pop and steal paths assert they only ever run on the goroutine
+	// spawnWorker bound. No-op untagged.
+	san sanitize.Home
 }
 
 const (

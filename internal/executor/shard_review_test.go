@@ -6,11 +6,13 @@ import (
 	"time"
 )
 
-// Review repro: Shrink grants a credit while all workers are busy; a worker
-// then crashes (Goexit), dropping nworkers; the lone survivor consumes the
-// stale credit in tryRetire and retires as the LAST worker, emptying the
-// shard snapshot. A subsequent Post must not panic.
-func TestReviewShrinkCreditAfterCrash(t *testing.T) {
+// Shrink grants a credit while all workers are busy; a worker then crashes
+// (Goexit), dropping nworkers; the lone survivor must NOT consume the stale
+// credit and retire as the last worker — that would empty the shard snapshot
+// (invariant: never empty) and strand every future Post. The crash already
+// delivered the headcount reduction the credit asked for, so tryRetire
+// cancels it instead.
+func TestShrinkCreditAfterCrash(t *testing.T) {
 	p := NewWorkerPool("review", 2, nil)
 	defer func() {
 		if r := recover(); r != nil {
@@ -36,18 +38,19 @@ func TestReviewShrinkCreditAfterCrash(t *testing.T) {
 	for i := 0; i < 100 && p.Crashes() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	// Release worker 0; it should NOT be allowed to retire as the last worker.
+	// Release worker 0; it must not be allowed to retire as the last worker.
 	close(block0)
 	time.Sleep(50 * time.Millisecond)
 
 	if w := p.Workers(); w < 1 {
-		t.Logf("pool dropped to %d workers", w)
+		t.Errorf("pool dropped to %d workers; the last worker must survive a stale credit", w)
 	}
 	if n := len(*p.shards.Load()); n == 0 {
-		t.Logf("shard snapshot is empty")
+		t.Errorf("shard snapshot is empty; invariant is that it never empties")
 	}
 	c := p.Post(func() {})
 	if err := c.Wait(); err != nil {
 		t.Fatalf("post after shrink+crash: %v", err)
 	}
+	p.Shutdown()
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/eventloop"
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/sanitize"
 )
 
 // ConfinementPolicy selects how off-EDT widget access is handled.
@@ -90,13 +91,23 @@ func (tk *Toolkit) Dispose() {
 }
 
 // checkConfinement enforces the single-thread rule for a mutation of widget
-// name.
+// name. Under -tags=ompsan it additionally cross-validates the registry's
+// ownership answer against the loop's gid stamp (two independent
+// mechanisms must agree that the caller is the EDT), and a violating
+// mutation panics with both stacks — the violator's and the one that
+// bound the EDT — instead of just the violator's. The CountViolations
+// policy keeps its non-panicking semantics either way, so deliberate-
+// violation benchmarks survive the sanitizer.
 func (tk *Toolkit) checkConfinement(widget string) {
 	if tk.loop.Owns() {
+		tk.loop.SanCheck("mutate widget " + widget)
 		return
 	}
 	tk.violations.Add(1)
 	if tk.policy == PanicOnViolation {
+		if sanitize.Enabled {
+			tk.loop.SanViolate("mutate widget " + widget)
+		}
 		panic(fmt.Sprintf("gui: %s mutated off the event-dispatch thread", widget))
 	}
 }

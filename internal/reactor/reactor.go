@@ -78,6 +78,7 @@ import (
 
 	"repro/internal/gid"
 	"repro/internal/metrics"
+	"repro/internal/sanitize"
 	"repro/internal/trace"
 )
 
@@ -194,6 +195,12 @@ type Reactor struct {
 	p        poller
 	opts     Options
 	rstats   *metrics.ReactorStats
+	// san stamps the poll goroutine as this reactor's home context (bound
+	// in run); the poll-confined paths — read drains, timer fires,
+	// connection teardown — assert affinity against it under -tags=ompsan.
+	// Each supervised generation is a fresh Reactor with a fresh stamp.
+	// No-op untagged.
+	san sanitize.Home
 
 	mu        sync.Mutex
 	conns     map[int]*Conn
@@ -515,10 +522,12 @@ func (r *Reactor) run() {
 			r.crashCleanup(v)
 		}
 		r.p.close()
+		r.san.Unbind()
 		r.registry.Deregister()
 		r.wg.Done()
 	}()
 	r.registry.Register(r)
+	r.san.Bind("reactor", r.name)
 	close(r.ready)
 	pprof.Do(context.Background(), pprof.Labels("target", r.name), func(context.Context) {
 		r.pollLoop()
@@ -707,6 +716,7 @@ func (r *Reactor) connReady(c *Conn, ev *pollEvent) {
 
 // readDrain reads until EAGAIN or EOF — the edge-triggered contract.
 func (r *Reactor) readDrain(c *Conn) {
+	r.san.Check("readDrain on " + r.name)
 	for !c.dead() {
 		n, err := r.ioRead(c.fd, r.readBuf)
 		switch {
@@ -736,6 +746,7 @@ func (r *Reactor) readDrain(c *Conn) {
 // under the write mutex so a concurrent Conn.Write can never issue a
 // syscall on a closed (and possibly kernel-recycled) fd number.
 func (r *Reactor) closeConn(c *Conn, err error) {
+	r.san.Check("closeConn on " + r.name)
 	if !c.closeState.CompareAndSwap(0, 1) {
 		return
 	}

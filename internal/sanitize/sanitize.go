@@ -1,0 +1,36 @@
+// Package sanitize is the runtime half of the repo's confinement story: a
+// build-tag-gated sanitizer ("ompsan") that validates dynamically the same
+// invariants the ompvet static passes prove syntactically — a confined
+// object's state is only ever touched from its home dispatch context.
+//
+// The static passes (edtconfine, blockguard, the callgraph summaries) are
+// deliberately conservative: they report only on definite contexts, so a
+// closure that escapes through an interface, a reflective call, or a
+// dispatch site ompvet does not know about sails through unseen. The
+// sanitizer closes that gap from the other side: every mutation of stamped
+// state asserts, at run time, that the executing goroutine is the one the
+// state is confined to — so *every existing test* doubles as a confinement
+// test when the suite runs under `-tags=ompsan` (see `make sancheck`).
+//
+// Two primitives cover the runtime's two confinement shapes:
+//
+//   - Home — a single-goroutine context (an event loop's dispatch
+//     goroutine, a reactor's poll goroutine, one pool worker). The owner
+//     binds it from its own goroutine via Bind, which stamps the ~3ns
+//     gid.Current identity and captures the binding stack; Check then
+//     panics on any call from a different goroutine, printing BOTH stacks
+//     (the violating goroutine's and the one captured at Bind), which is
+//     exactly the pair a human needs to see which two contexts collided.
+//   - Members — a multi-goroutine context (a worker pool). Worker
+//     goroutines Join/Leave; Check asserts the caller is a current member.
+//     It cross-validates the gid.Registry's thread-context-awareness
+//     answer: when core.Runtime inlines a block because the registry says
+//     the encountering goroutine belongs to the target, the sanitizer
+//     confirms the stamp agrees.
+//
+// Without the ompsan build tag every type is empty and every method is an
+// inlineable no-op, so the hooks cost nothing in production builds. With
+// the tag, a Check is one atomic load plus a gid.Current read (~3ns) on
+// the hit path; binding captures a stack and is therefore only paid at
+// executor start/restart.
+package sanitize

@@ -1,0 +1,142 @@
+//go:build ompsan
+
+package sanitize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recoverString runs fn and returns the recovered panic value as a string
+// ("" when fn does not panic).
+func recoverString(fn func()) (msg string) {
+	defer func() {
+		if v := recover(); v != nil {
+			msg = v.(string)
+		}
+	}()
+	fn()
+	return ""
+}
+
+func TestHomeOwnerPasses(t *testing.T) {
+	var h Home
+	h.Bind("test", "owner")
+	before := Checks()
+	h.Check("mutate")
+	h.Check("mutate again")
+	if got := Checks() - before; got != 2 {
+		t.Fatalf("Checks advanced by %d, want 2", got)
+	}
+}
+
+func TestHomeViolationPanicsWithBothStacks(t *testing.T) {
+	var h Home
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.Bind("eventloop", "edt")
+	}()
+	wg.Wait()
+
+	msg := recoverString(func() { h.Check("mutate widget status") })
+	if msg == "" {
+		t.Fatal("off-home Check did not panic")
+	}
+	for _, want := range []string{
+		"ompsan: mutate widget status",
+		`eventloop "edt"`,
+		"-- violating goroutine stack --",
+		"-- home context bound at --",
+		"sanitize.(*Home).Bind", // the binder's frame must appear in the home stack
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+	// Both stacks must be present and distinct: the violating stack carries
+	// this test function, the home stack carries the binder goroutine.
+	if !strings.Contains(msg, "TestHomeViolationPanicsWithBothStacks") {
+		t.Errorf("violating stack does not show the violating frame:\n%s", msg)
+	}
+}
+
+func TestHomeUnboundPassesVacuously(t *testing.T) {
+	var h Home
+	h.Check("anything") // never bound: restart window, must not panic
+	h.Bind("test", "x")
+	h.Unbind()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.Check("after unbind") // unbound again: must not panic
+	}()
+	<-done
+}
+
+func TestHomeRebindMovesHome(t *testing.T) {
+	var h Home
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.Bind("test", "gen1")
+	}()
+	wg.Wait()
+	// Supervised restart: the new generation's goroutine rebinds, and the
+	// old home becomes a violator while the new one passes.
+	h.Bind("test", "gen2")
+	h.Check("on new home")
+}
+
+func TestHomeDescribe(t *testing.T) {
+	var h Home
+	if d := h.Describe(); d != "" {
+		t.Fatalf("unbound Describe = %q, want empty", d)
+	}
+	h.Bind("reactor", "netA")
+	d := h.Describe()
+	if !strings.Contains(d, `reactor "netA"`) || !strings.Contains(d, "home context") {
+		t.Fatalf("Describe = %q", d)
+	}
+}
+
+func TestMembersCheck(t *testing.T) {
+	var m Members
+	m.Check("before any join") // empty set passes vacuously
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Join("workerpool", "pool")
+		m.Check("as member")
+	}()
+	wg.Wait()
+
+	msg := recoverString(func() { m.Check("run block") })
+	if msg == "" {
+		t.Fatal("non-member Check did not panic")
+	}
+	for _, want := range []string{
+		"ompsan: run block",
+		`workerpool "pool"`,
+		"-- violating goroutine stack --",
+		"joined at --",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestMembersLeave(t *testing.T) {
+	var m Members
+	m.Join("workerpool", "pool")
+	m.Check("while member")
+	m.Leave()
+	// The set is empty again: passes vacuously (pool shut down).
+	m.Check("after leave")
+}
