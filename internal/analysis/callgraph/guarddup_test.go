@@ -1,0 +1,12 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/callgraph"
+)
+
+func TestGuardDup(t *testing.T) {
+	analysistest.Run(t, callgraph.Analyzer, "testdata/guarddup")
+}

@@ -1,0 +1,20 @@
+package guarddup
+
+import (
+	"time"
+
+	"repro/internal/executor"
+)
+
+func helper() { // want `helper may block: time\.Sleep`
+	time.Sleep(time.Millisecond)
+}
+
+// caller calls helper twice: once guarded off-home (blocks stripped), once
+// unguarded. The unguarded call should keep the Blocks effect.
+func caller(p *executor.WorkerPool) { // want `caller may block: time\.Sleep \(call path helper\)`
+	if !p.Owns() {
+		helper()
+	}
+	helper()
+}
