@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet sancheck chaos chaos-net cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
+.PHONY: all build test race vet sancheck chaos chaos-net explore cover fuzz bench bench-baseline bench-smoke bench-net bench-net-baseline report examples lint ci clean
 
 all: build test race
 
@@ -41,6 +41,18 @@ chaos:
 chaos-net:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags=chaos ./internal/reactor/... ./internal/netloop/...
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) run ./cmd/chatbench -chaos -conns 256 -rooms 8 -rounds 3 -out -
+
+# explore runs the deterministic schedule explorer (internal/sim): first
+# the committed regression seed corpus (testdata/regression_seeds.json —
+# pinned fixes must stay green, detector canaries must still fire), then
+# every exploration test over a fresh batch of seeds. SIM_SEED_BASE shifts
+# the fresh batch (a nightly job varies it to keep growing coverage);
+# SIM_RECORD=1 makes failing seeds land in regression_seeds.candidates.json
+# for triage and promotion into the corpus.
+SIM_SEED_BASE ?= 1
+explore:
+	$(GO) test -count=1 -run 'TestReplayRegressionCorpus|TestCorpusReplayIsDeterministic' -v ./internal/sim/
+	SIM_SEED_BASE=$(SIM_SEED_BASE) $(GO) test -count=1 ./internal/sim/
 
 # lint mirrors the CI formatting/vet gates, including ompvet.
 lint:

@@ -183,7 +183,12 @@ func (g *Graph) SummaryOf(fn *types.Func) *Summary {
 // callee summaries.
 func (g *Graph) summarize(fn *types.Func, decl *ast.FuncDecl) *Summary {
 	s := &Summary{}
-	seen := map[*types.Func]bool{}
+	// Each distinct callee composes each effect class at most once — but
+	// per class, not per callee: a guarded call site strips a class, and a
+	// later unguarded call to the same callee must still contribute it
+	// (`if !p.Owns() { helper() }; helper()` keeps helper's Blocks).
+	type composed struct{ blocks, mutates bool }
+	seen := map[*types.Func]*composed{}
 	guards := ownsGuards(g.c, decl.Body)
 	analysis.WalkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok && !immediatelyInvoked(lit, stack) {
@@ -200,23 +205,28 @@ func (g *Graph) summarize(fn *types.Func, decl *ast.FuncDecl) *Summary {
 			if callee == nil || g.decls[callee] == nil || callee == fn {
 				return true
 			}
-			if seen[callee] {
-				// Each distinct callee is composed once: further calls add
-				// the same effects over the same paths.
-				return true
+			st, first := seen[callee], false
+			if st == nil {
+				st, first = &composed{}, true
+				seen[callee] = st
+				g.callees[fn] = append(g.callees[fn], callee)
 			}
-			seen[callee] = true
-			g.callees[fn] = append(g.callees[fn], callee)
 			cs := g.SummaryOf(callee)
 			// A guard around the call site guards everything reached
 			// through it.
-			if guards.offHome(n.Pos()) {
-				cs = cs.withoutBlocks()
+			add := &Summary{Truncated: cs.Truncated}
+			if !guards.offHome(n.Pos()) && !st.blocks {
+				add.Blocks, st.blocks = cs.Blocks, true
 			}
-			if guards.onHome(n.Pos()) {
-				cs = cs.withoutMutates()
+			if !guards.onHome(n.Pos()) && !st.mutates {
+				add.Mutates, st.mutates = cs.Mutates, true
 			}
-			g.compose(s, callee, cs)
+			if first {
+				add.Dispatches = cs.Dispatches
+			}
+			if first || len(add.Blocks) > 0 || len(add.Mutates) > 0 {
+				g.compose(s, callee, add)
+			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && !insideSelect(stack) && !guards.offHome(n.Pos()) {
 				s.Blocks = append(s.Blocks, Effect{Desc: "channel receive", Pos: n.Pos()})
@@ -241,18 +251,6 @@ func (g *Graph) direct(s *Summary, call *ast.CallExpr, guards guardSet) {
 	if desc, ok := g.c.DispatchSite(call); ok {
 		s.Dispatches = append(s.Dispatches, Effect{Desc: desc, Pos: call.Pos()})
 	}
-}
-
-// withoutBlocks returns a copy of the summary with blocking effects
-// removed (the call site is only reached off the home context).
-func (s *Summary) withoutBlocks() *Summary {
-	return &Summary{Mutates: s.Mutates, Dispatches: s.Dispatches, Truncated: s.Truncated}
-}
-
-// withoutMutates returns a copy of the summary with confined-mutation
-// effects removed (the call site is only reached on the home context).
-func (s *Summary) withoutMutates() *Summary {
-	return &Summary{Blocks: s.Blocks, Dispatches: s.Dispatches, Truncated: s.Truncated}
 }
 
 // compose folds callee's summary into s, prefixing paths with the callee

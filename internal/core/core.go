@@ -435,7 +435,11 @@ func (r *Runtime) AwaitDone(done <-chan struct{}) {
 	}
 	owner, _ := r.registry.Owner().(pendingRunner)
 	if owner == nil {
-		<-done
+		// Nothing to help with; park until the signal. Routed through
+		// executor.BlockOn so that under the simulation executor (package
+		// sim) the wait pumps the virtual scheduler instead of
+		// deadlocking the single simulation goroutine.
+		executor.BlockOn(done)
 		return
 	}
 	r.emit(trace.OpAwaitEnter, ownerName(owner), Await)
@@ -473,20 +477,40 @@ func ownerName(owner pendingRunner) string {
 type nameGroup struct {
 	mu    sync.Mutex
 	comps []*executor.Completion
+	// err retains the first error verdict among pruned completions. Pruning
+	// bounds memory on reused tags, but a block that finished — panicked —
+	// before the next add on its tag must still surface through WaitTag;
+	// whether it won that race is a pure accident of scheduling (found by
+	// sim.Explore, seed pinned in internal/sim/testdata).
+	err error
 }
 
 func (g *nameGroup) add(c *executor.Completion) {
 	g.mu.Lock()
 	// Prune already-finished entries so long-running programs that keep
-	// reusing a tag don't accumulate completions without bound.
+	// reusing a tag don't accumulate completions without bound, keeping
+	// only their first error verdict.
 	live := g.comps[:0]
 	for _, old := range g.comps {
 		if !old.Finished() {
 			live = append(live, old)
+			continue
+		}
+		if err := old.Err(); err != nil && g.err == nil {
+			g.err = err
 		}
 	}
 	g.comps = append(live, c)
 	g.mu.Unlock()
+}
+
+// takeErr consumes the retained pruned-block error.
+func (g *nameGroup) takeErr() error {
+	g.mu.Lock()
+	err := g.err
+	g.err = nil
+	g.mu.Unlock()
+	return err
 }
 
 func (g *nameGroup) snapshot() []*executor.Completion {
@@ -521,7 +545,9 @@ func (r *Runtime) WaitTag(tag string) error {
 	if g == nil {
 		return nil
 	}
-	var first error
+	// A pruned block finished before any block still tracked, so its
+	// retained verdict is the tag's first error.
+	first := g.takeErr()
 	for _, c := range g.snapshot() {
 		if err := c.Wait(); err != nil && first == nil {
 			first = err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/eventloop"
 	"repro/internal/executor"
 	"repro/internal/gid"
+	"repro/internal/testutil/poll"
 )
 
 // fixture builds a runtime with an EDT loop and a worker pool, the standard
@@ -133,6 +134,37 @@ func TestTableI_NameAsAndWaitTag(t *testing.T) {
 	}
 }
 
+// TestWaitTagKeepsPrunedPanicVerdict pins an ordering bug found by
+// sim.Explore (internal/sim, corpus scenario "nametag-pruned-panic"): when
+// a tagged block finished — by panicking — before the next InvokeNamed on
+// the same tag, add's pruning dropped the completion together with its
+// error, and WaitTag reported success. The verdict must survive pruning.
+func TestWaitTagKeepsPrunedPanicVerdict(t *testing.T) {
+	f := newFixture(t, 2)
+	comp, err := f.rt.InvokeNamed("worker", "batch", func() { panic("tagged block failed") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministically lose the race the explorer found: let the panicking
+	// block fully finish before the second tagged invoke prunes the group.
+	comp.Wait()
+	if _, err := f.rt.InvokeNamed("worker", "batch", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	err = f.rt.WaitTag("batch")
+	var pe *executor.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("WaitTag lost the pruned block's panic: err = %v", err)
+	}
+	// The verdict is consumed by the join; a fresh batch starts clean.
+	if _, err := f.rt.InvokeNamed("worker", "batch", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.WaitTag("batch"); err != nil {
+		t.Fatalf("second WaitTag after a clean batch: %v", err)
+	}
+}
+
 func TestWaitTagUnknownTagIsNoop(t *testing.T) {
 	f := newFixture(t, 1)
 	if err := f.rt.WaitTag("never-used"); err != nil {
@@ -233,8 +265,9 @@ func TestAwaitOnWorkerHelpsDrainQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Give the worker a moment to enter the barrier, then queue help work.
-	time.Sleep(5 * time.Millisecond)
+	// Wait for the worker to actually park in the barrier, then queue help
+	// work: the queued block can then only run if the awaiting worker helps.
+	poll.UntilBlockedIn(t, "(*WorkerPool).WaitPending")
 	queued, err := f.rt.Invoke("worker", Nowait, func() { helped.Store(true) })
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/testutil/poll"
 	"repro/internal/trace"
 )
 
@@ -96,7 +97,9 @@ func TestInvokeCtxDeadlineOnEDTWithoutPostCancellable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond) // let the deadline pass while queued
+	poll.Until(t, "the context deadline to expire while queued", func() bool {
+		return ctx.Err() != nil
+	})
 	close(gate)
 	if got := comp.Wait(); !errors.Is(got, context.DeadlineExceeded) {
 		t.Fatalf("comp.Err = %v, want DeadlineExceeded", got)

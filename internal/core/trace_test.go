@@ -2,8 +2,8 @@ package core
 
 import (
 	"testing"
-	"time"
 
+	"repro/internal/testutil/poll"
 	"repro/internal/trace"
 )
 
@@ -43,7 +43,7 @@ func TestTraceRecordsSchedulingDecisions(t *testing.T) {
 	outer, _ := f.rt.Invoke("worker", Nowait, func() {
 		f.rt.Invoke("aux2", Await, func() { <-release })
 	})
-	time.Sleep(5 * time.Millisecond)
+	poll.UntilBlockedIn(t, "(*WorkerPool).WaitPending")
 	helped, _ := f.rt.Invoke("worker", Nowait, func() {})
 	helped.Wait()
 	close(release)

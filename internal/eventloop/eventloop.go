@@ -41,6 +41,7 @@ import (
 	"repro/internal/gid"
 	"repro/internal/sanitize"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // ErrNotOnEDT is returned by operations that are confined to the loop's own
@@ -94,10 +95,16 @@ type Loop struct {
 	// rest of the runtime relies on. No-op in untagged builds.
 	san sanitize.Home
 
+	// clock is the loop's time source: DispatchInfo timestamps and
+	// PostDelayed timers go through it. Defaults to the wall clock; tests
+	// and the simulation harness inject a controlled clock with SetClock
+	// before Start.
+	clock vclock.Clock
+
 	mu      sync.Mutex
 	q       executor.ChunkQueue[*item]
 	closed  bool
-	delayed map[*time.Timer]func(error) // pending PostDelayed timers -> their completions
+	delayed map[vclock.Timer]func(error) // pending PostDelayed timers -> their completions
 
 	// Hot-path state read without the lock.
 	qlen     atomic.Int64 // mirror of q.Len(), updated under mu
@@ -133,14 +140,27 @@ func New(name string, reg *gid.Registry) *Loop {
 	l := &Loop{
 		name:     name,
 		registry: reg,
+		clock:    vclock.Wall,
 		q:        executor.NewChunkQueue[*item](),
-		delayed:  make(map[*time.Timer]func(error)),
+		delayed:  make(map[vclock.Timer]func(error)),
 		notify:   make(chan struct{}, 1),
 		stopCh:   make(chan struct{}),
 		ready:    make(chan struct{}),
 	}
 	l.itemPool.New = func() any { return new(item) }
 	return l
+}
+
+// SetClock replaces the loop's time source (nil restores the wall clock).
+// Must be called before Start: the dispatch goroutine reads the clock
+// without synchronization.
+func (l *Loop) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Wall
+	}
+	l.mu.Lock()
+	l.clock = c
+	l.mu.Unlock()
 }
 
 // Start launches the event-dispatch goroutine and returns once it is
@@ -284,7 +304,7 @@ func (l *Loop) next() (*item, bool) {
 
 func (l *Loop) dispatch(it *item) {
 	l.san.Check("dispatch event on " + l.name)
-	start := time.Now()
+	start := l.clock.Now()
 	fn := it.fn
 	if ic := l.interceptor.Load(); ic != nil {
 		fn = (*ic)(it.label, fn)
@@ -319,7 +339,7 @@ func (l *Loop) dispatch(it *item) {
 	err := executor.RunCaptured(fn)
 	l.depth.Add(-1)
 	finished = true
-	end := time.Now()
+	end := l.clock.Now()
 	if err != nil {
 		var pe *executor.PanicError
 		if errors.As(err, &pe) {
@@ -371,7 +391,7 @@ func (l *Loop) PostLabeled(label string, fn func()) *executor.Completion {
 // fires, since the timer goroutine itself carries no span.
 func (l *Loop) postItem(label string, fn func(), complete func(error), spawn trace.SpanID) {
 	it := l.itemPool.Get().(*item)
-	it.fn, it.complete, it.enqueued, it.label = fn, complete, time.Now(), label
+	it.fn, it.complete, it.enqueued, it.label = fn, complete, l.clock.Now(), label
 	it.span, it.spawn = 0, 0
 	if sink := trace.ActiveSink(); sink != nil {
 		it.span = trace.NewSpanID()
@@ -414,8 +434,16 @@ func (l *Loop) PostDelayed(d time.Duration, fn func()) *executor.Completion {
 	if trace.ActiveSink() != nil {
 		spawn = trace.Current()
 	}
-	var tm *time.Timer
-	tm = time.AfterFunc(d, func() {
+	if d <= 0 {
+		// Already due: enqueue directly. Also keeps injected clocks whose
+		// AfterFunc runs non-positive delays synchronously (vclock.Manual)
+		// from re-entering l.mu, which this method holds.
+		l.mu.Unlock()
+		l.postItem("", fn, complete, spawn)
+		return comp
+	}
+	var tm vclock.Timer
+	tm = l.clock.AfterFunc(d, func() {
 		l.mu.Lock()
 		delete(l.delayed, tm)
 		l.mu.Unlock()

@@ -149,12 +149,67 @@ func (c *Completion) Done() <-chan struct{} {
 	}
 }
 
+// blockHook, when installed, is consulted before any goroutine in this
+// package parks waiting for a completion (or, via BlockOn, an arbitrary
+// done channel). It is the scheduler seam of the deterministic simulation
+// executor (package sim): under simulation every task runs on one
+// goroutine, so parking would deadlock — the hook instead pumps the
+// simulation scheduler until ready() reports true. A hook that does not
+// recognize the calling goroutine returns false and the caller parks
+// normally, so real executors and simulated ones coexist in one process.
+var blockHook atomic.Pointer[func(ready func() bool) bool]
+
+// SetBlockHook installs h as the process-wide blocking seam and returns a
+// function restoring the previous hook. h must return quickly with false
+// for goroutines it does not manage; for managed goroutines it must not
+// return until ready() is true. Passing nil h removes the hook.
+func SetBlockHook(h func(ready func() bool) bool) (restore func()) {
+	prev := blockHook.Load()
+	if h == nil {
+		blockHook.Store(nil)
+	} else {
+		blockHook.Store(&h)
+	}
+	return func() { blockHook.Store(prev) }
+}
+
+// hookedWait routes the wait through the installed block hook, reporting
+// whether the hook handled it (in which case ready() is now true).
+func hookedWait(ready func() bool) bool {
+	if p := blockHook.Load(); p != nil {
+		return (*p)(ready)
+	}
+	return false
+}
+
+// BlockOn parks the calling goroutine until done is closed, routing the
+// wait through the block hook first so code that blocks on raw channels
+// (core.AwaitDone's no-owner path) still yields to the simulation
+// scheduler instead of deadlocking it.
+func BlockOn(done <-chan struct{}) {
+	ready := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if hookedWait(ready) {
+		return
+	}
+	<-done
+}
+
 // Wait blocks until the task has finished and returns its error, if any.
 // It yields the processor a few times before parking: short tasks routinely
 // finish inside that window, saving both the done-channel allocation and a
 // park/unpark round trip through the scheduler.
 func (c *Completion) Wait() error {
 	if c.state.Load() == compFinished {
+		return c.Err()
+	}
+	if hookedWait(c.Finished) {
 		return c.Err()
 	}
 	for i := 0; i < completionSpin; i++ {

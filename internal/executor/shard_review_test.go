@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/poll"
 )
 
 // Shrink grants a credit while all workers are busy; a worker then crashes
@@ -35,12 +37,12 @@ func TestShrinkCreditAfterCrash(t *testing.T) {
 	}
 	// Crash worker 1 while the credit is still pending.
 	close(block1)
-	for i := 0; i < 100 && p.Crashes() == 0; i++ {
-		time.Sleep(time.Millisecond)
-	}
-	// Release worker 0; it must not be allowed to retire as the last worker.
+	poll.Until(t, "the worker crash to be observed", func() bool { return p.Crashes() > 0 })
+	// Release worker 0; it must not be allowed to retire as the last
+	// worker. Give the stale credit a bounded window to (incorrectly) take
+	// effect; if the bug is present the wait ends as soon as it manifests.
 	close(block0)
-	time.Sleep(50 * time.Millisecond)
+	poll.Wait(50*time.Millisecond, func() bool { return p.Workers() < 1 })
 
 	if w := p.Workers(); w < 1 {
 		t.Errorf("pool dropped to %d workers; the last worker must survive a stale credit", w)

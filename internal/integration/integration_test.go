@@ -16,6 +16,7 @@ import (
 	"repro/internal/gid"
 	"repro/internal/gui"
 	"repro/internal/kernels"
+	"repro/internal/testutil/poll"
 )
 
 // stack is a full application fixture.
@@ -167,13 +168,9 @@ func TestRandomInvokeStorm(t *testing.T) {
 	}
 	waitDone(t, &wg, time.Minute)
 	// Outer blocks all ran; inner nowait blocks may still be draining.
-	deadline := time.Now().Add(30 * time.Second)
-	for completed.Load() < goroutines*opsPer*2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("completed %d/%d blocks", completed.Load(), goroutines*opsPer*2)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	poll.UntilFor(t, 30*time.Second, "all nowait blocks to drain", func() bool {
+		return completed.Load() >= goroutines*opsPer*2
+	})
 }
 
 // TestTwoEDTs registers two event loops (e.g. two windows with separate

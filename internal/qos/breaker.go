@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // BreakerState is the circuit breaker's position.
@@ -49,6 +50,7 @@ type Breaker struct {
 	name      string
 	threshold int
 	cooldown  time.Duration
+	clock     vclock.Clock // cooldown time source; wall clock by default
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -71,7 +73,19 @@ func NewBreaker(name string, threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
-	return &Breaker{name: name, threshold: threshold, cooldown: cooldown}
+	return &Breaker{name: name, threshold: threshold, cooldown: cooldown, clock: vclock.Wall}
+}
+
+// SetClock replaces the breaker's time source (nil restores the wall
+// clock). Deterministic tests and the simulation executor advance a
+// controlled clock through a cooldown instead of sleeping it out.
+func (b *Breaker) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Wall
+	}
+	b.mu.Lock()
+	b.clock = c
+	b.mu.Unlock()
 }
 
 // Name returns the guarded target's name.
@@ -82,7 +96,7 @@ func (b *Breaker) Name() string { return b.name }
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == Open && time.Since(b.openedAt) >= b.cooldown {
+	if b.state == Open && b.clock.Now().Sub(b.openedAt) >= b.cooldown {
 		return HalfOpen
 	}
 	return b.state
@@ -122,7 +136,7 @@ func (b *Breaker) Allow() error {
 	case Closed:
 		return nil
 	case Open:
-		if time.Since(b.openedAt) < b.cooldown {
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
 			b.rejects.Inc()
 			return ErrBreakerOpen
 		}
@@ -168,7 +182,7 @@ func (b *Breaker) Failure() {
 	switch b.state {
 	case HalfOpen:
 		b.state = Open
-		b.openedAt = time.Now()
+		b.openedAt = b.clock.Now()
 		b.probing = false
 		b.opens.Inc()
 		b.emit(trace.OpBreakerOpen)
@@ -176,7 +190,7 @@ func (b *Breaker) Failure() {
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = Open
-			b.openedAt = time.Now()
+			b.openedAt = b.clock.Now()
 			b.failures = 0
 			b.opens.Inc()
 			b.emit(trace.OpBreakerOpen)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
@@ -48,10 +49,12 @@ func TestBreakerSuccessResetsStreak(t *testing.T) {
 
 func TestBreakerHalfOpenProbeCloses(t *testing.T) {
 	b := NewBreaker("t", 1, 10*time.Millisecond)
+	mc := vclock.NewManual(time.Time{})
+	b.SetClock(mc)
 	buf := trace.NewBuffer(16)
 	b.SetTraceSink(buf)
 	b.Failure() // open
-	time.Sleep(15 * time.Millisecond)
+	mc.Advance(15 * time.Millisecond)
 	if b.State() != HalfOpen {
 		t.Fatalf("state = %v after cooldown, want half-open", b.State())
 	}
@@ -76,8 +79,10 @@ func TestBreakerHalfOpenProbeCloses(t *testing.T) {
 
 func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	b := NewBreaker("t", 1, 10*time.Millisecond)
+	mc := vclock.NewManual(time.Time{})
+	b.SetClock(mc)
 	b.Failure() // open
-	time.Sleep(15 * time.Millisecond)
+	mc.Advance(15 * time.Millisecond)
 	if err := b.Allow(); err != nil {
 		t.Fatalf("probe Allow: %v", err)
 	}

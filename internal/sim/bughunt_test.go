@@ -1,0 +1,111 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// nametagPrunedPanic is the scenario that caught a real ordering bug in
+// core's name_as bookkeeping (fixed in this PR, pinned in the corpus):
+// nameGroup.add pruned *finished* completions to bound memory on reused
+// tags, but pruning also dropped their error verdicts. Schedule-dependent
+// failure: producer A invokes a tagged block that panics; if the block runs
+// to completion before producer B's InvokeNamed on the same tag, B's add
+// pruned the panicked completion and the subsequent WaitTag — documented to
+// return the first captured panic among the joined blocks — returned nil.
+// Under the real runtime the panicking block rarely won that race; under
+// simulation the explorer walks straight into it.
+func nametagPrunedPanic(s *sim.Sim) error {
+	rt := s.Runtime()
+	defer rt.Shutdown()
+	if _, err := s.RegisterPool(rt, "workers"); err != nil {
+		return err
+	}
+	producers := s.NewPool("producers")
+	var ierr [2]error
+	c1 := producers.Post(func() {
+		_, ierr[0] = rt.InvokeNamed("workers", "batch", func() { panic("tagged block failed") })
+	})
+	c2 := producers.Post(func() {
+		_, ierr[1] = rt.InvokeNamed("workers", "batch", func() {})
+	})
+	c1.Wait()
+	c2.Wait()
+	if ierr[0] != nil {
+		return ierr[0]
+	}
+	if ierr[1] != nil {
+		return ierr[1]
+	}
+	if err := rt.WaitTag("batch"); err == nil {
+		return errors.New("WaitTag(batch) lost the panic of a tagged block")
+	}
+	return nil
+}
+
+// demoLostUpdate is the detector canary: a deliberately seeded lost-update
+// bug (read–Yield–write on a shared counter from two pool tasks, the
+// classic increment race at task granularity). It must stay buggy: the
+// corpus pins a seed whose schedule hits the race, and the explore test
+// below proves the explorer finds it within the CI budget. If either ever
+// goes green, the explorer — not the scenario — has broken.
+func demoLostUpdate(s *sim.Sim) error {
+	pool := s.NewPool("workers")
+	counter := 0
+	for i := 0; i < 2; i++ {
+		pool.Post(func() {
+			v := counter // read
+			s.Yield()    // modeled preemption window
+			counter = v + 1
+		})
+	}
+	s.Quiesce()
+	if counter != 2 {
+		return fmt.Errorf("lost update: counter = %d, want 2", counter)
+	}
+	return nil
+}
+
+// TestExploreNametagPrunedPanic replays the bug-hunt scenario across the CI
+// exploration budget; with the core fix in place every schedule must hold.
+func TestExploreNametagPrunedPanic(t *testing.T) {
+	sim.ExploreT(t, "nametag-pruned-panic", sim.Options{Runs: 64}, nametagPrunedPanic)
+}
+
+// TestExploreFindsSeededBug is the detector acceptance criterion: the
+// deliberately seeded ordering bug must be found within the CI exploration
+// budget, and its failure must reproduce from the seed alone.
+func TestExploreFindsSeededBug(t *testing.T) {
+	rep := sim.Explore(sim.Options{Runs: 64}, demoLostUpdate)
+	if !rep.Failed() {
+		t.Fatal("explorer missed the seeded lost-update bug in 64 runs")
+	}
+	f := rep.First()
+	if _, err := sim.Run(f.Seed, demoLostUpdate); err == nil {
+		t.Fatalf("seed %d alone did not reproduce the failure", f.Seed)
+	}
+}
+
+// TestWaitModeAlwaysJoins: under every explored schedule, Wait-mode Invoke
+// returns only after its block ran (Algorithm 1 line 17).
+func TestWaitModeAlwaysJoins(t *testing.T) {
+	sim.ExploreT(t, "wait-joins", sim.Options{Runs: 32}, func(s *sim.Sim) error {
+		rt := s.Runtime()
+		defer rt.Shutdown()
+		if _, err := s.RegisterPool(rt, "workers"); err != nil {
+			return err
+		}
+		done := false
+		if _, err := rt.Invoke("workers", core.Wait, func() { done = true }); err != nil {
+			return err
+		}
+		if !done {
+			return errors.New("Wait-mode Invoke returned before its block ran")
+		}
+		return nil
+	})
+}

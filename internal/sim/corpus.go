@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The regression corpus is an append-only list of (scenario, seed) pairs in
+// testdata/regression_seeds.json. Every entry is replayed on every `go
+// test` run of this package: entries with Expect "pass" pin fixed ordering
+// bugs (the schedule that used to break must stay green), entries with
+// Expect "fail" are detector canaries — scenarios with a deliberately
+// seeded bug whose recorded seed must keep finding it, proving the explorer
+// itself has not gone blind.
+//
+// The explorer never edits the corpus. On failure (with SIM_RECORD set) it
+// appends to a *.candidates.json sidecar; a human promotes candidates into
+// the corpus after triage. This keeps the committed file an intentional,
+// reviewed artifact.
+
+// SeedEntry is one corpus record.
+type SeedEntry struct {
+	// Scenario names the registered scenario body to replay.
+	Scenario string `json:"scenario"`
+	// Seed reproduces the schedule.
+	Seed int64 `json:"seed"`
+	// Expect is "pass" (pinned fix) or "fail" (detector canary).
+	Expect string `json:"expect"`
+	// Added is the date the entry was recorded (informational).
+	Added string `json:"added,omitempty"`
+	// Note says what this seed caught.
+	Note string `json:"note,omitempty"`
+}
+
+// Corpus is the on-disk shape of regression_seeds.json.
+type Corpus struct {
+	Comment string      `json:"comment,omitempty"`
+	Seeds   []SeedEntry `json:"seeds"`
+}
+
+// LoadCorpus reads a corpus file.
+func LoadCorpus(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("sim: corpus %s: %w", path, err)
+	}
+	for i, e := range c.Seeds {
+		if e.Scenario == "" || (e.Expect != "pass" && e.Expect != "fail") {
+			return nil, fmt.Errorf("sim: corpus %s: entry %d: need scenario and expect pass|fail", path, i)
+		}
+	}
+	return &c, nil
+}
+
+// For returns the corpus entries for one scenario.
+func (c *Corpus) For(scenario string) []SeedEntry {
+	var out []SeedEntry
+	for _, e := range c.Seeds {
+		if e.Scenario == scenario {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RecordCandidates appends rep's failing seeds as corpus-candidate entries
+// when the SIM_RECORD environment variable is set (to a directory, or to
+// "1" for ./testdata). Candidates land in regression_seeds.candidates.json
+// next to the corpus, never in the corpus itself.
+func RecordCandidates(t testing.TB, scenario string, rep *Report) {
+	dir := os.Getenv("SIM_RECORD")
+	if dir == "" || !rep.Failed() {
+		return
+	}
+	if dir == "1" {
+		dir = "testdata"
+	}
+	path := filepath.Join(dir, "regression_seeds.candidates.json")
+	var c Corpus
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &c)
+	}
+	for _, f := range rep.Failures {
+		c.Seeds = append(c.Seeds, SeedEntry{
+			Scenario: scenario,
+			Seed:     f.Seed,
+			Expect:   "fail",
+			Note:     fmt.Sprintf("candidate (policy=%s): %v", f.Policy, firstLine(f.Err.Error())),
+		})
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("sim: cannot record candidates: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		t.Logf("sim: cannot record candidates: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Logf("sim: cannot record candidates: %v", err)
+		return
+	}
+	t.Logf("sim: recorded %d candidate seed(s) in %s", len(rep.Failures), path)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Scenario is one simulated test body. It builds its world on s (targets,
+// runtime, posts), drives it, and returns nil when every invariant held
+// under this run's schedule. Explore calls it once per seed with a fresh
+// Sim; it must not retain state that leaks between runs unless the test
+// aggregates across schedules on purpose.
+type Scenario func(s *Sim) error
+
+// Options configures an exploration.
+type Options struct {
+	// Runs is how many fresh seeds to explore (default 64).
+	Runs int
+	// BaseSeed is the first fresh seed; run i uses BaseSeed+i. When zero it
+	// comes from the SIM_SEED_BASE environment variable, defaulting to 1.
+	// Fixing the base keeps CI deterministic; `make explore` with a varying
+	// SIM_SEED_BASE (the nightly batch) keeps growing coverage.
+	BaseSeed int64
+	// Seeds are explicit seeds replayed before the fresh ones — the
+	// regression corpus, or a single failure being reproduced.
+	Seeds []int64
+	// MaxSteps bounds each run's scheduler steps (default 1<<20).
+	MaxSteps int
+	// FailFast stops at the first failure (default: keep going, collecting
+	// every failing seed in the budget).
+	FailFast bool
+}
+
+// Failure is one seed under which the scenario's invariants did not hold.
+type Failure struct {
+	Seed   int64
+	Policy string
+	Err    error
+	Trace  string // decision trace of the failing run
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("seed=%d policy=%s: %v", f.Seed, f.Policy, f.Err)
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Runs     int // scenario executions performed
+	Branches int // total branch decisions (steps with >1 alternative) seen
+	Failures []Failure
+}
+
+// Failed reports whether any explored schedule violated the invariants.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// First returns the first failure, or nil.
+func (r *Report) First() *Failure {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return &r.Failures[0]
+}
+
+// Run executes scenario once under the given seed and returns the decision
+// trace alongside the scenario's verdict. This is the replay primitive: a
+// recorded seed plus the scenario body is a complete reproduction.
+func Run(seed int64, scenario Scenario) (string, error) {
+	s := New(seed)
+	err := s.Execute(scenario)
+	return s.Trace(), err
+}
+
+// Explore replays scenario across perturbed schedules: first every explicit
+// seed (the regression corpus), then Runs fresh seeds from BaseSeed. Each
+// seed fully determines its schedule — runnable-set selection, help-target
+// choice, timer order, delay injection — so any failure here is reproduced
+// by Run(seed, scenario) alone, with no trace files to ship.
+func Explore(opts Options, scenario Scenario) *Report {
+	if opts.Runs <= 0 {
+		opts.Runs = 64
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = envBaseSeed()
+	}
+	rep := &Report{}
+	try := func(seed int64) bool {
+		s := New(seed)
+		if opts.MaxSteps > 0 {
+			s.SetMaxSteps(opts.MaxSteps)
+		}
+		err := s.Execute(scenario)
+		rep.Runs++
+		rep.Branches += s.log.Branches()
+		if err != nil {
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Policy: s.Policy(), Err: err, Trace: s.Trace()})
+			return !opts.FailFast
+		}
+		return true
+	}
+	for _, seed := range opts.Seeds {
+		if !try(seed) {
+			return rep
+		}
+	}
+	for i := 0; i < opts.Runs; i++ {
+		if !try(opts.BaseSeed + int64(i)) {
+			return rep
+		}
+	}
+	return rep
+}
+
+func envBaseSeed() int64 {
+	if v := os.Getenv("SIM_SEED_BASE"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n != 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// ExploreT runs Explore and fails t with the first failing seed and its
+// decision trace. When the SIM_RECORD environment variable is set, failing
+// seeds are also appended as corpus candidates (see RecordCandidates) so a
+// finding can be promoted into testdata/regression_seeds.json.
+func ExploreT(t testing.TB, name string, opts Options, scenario Scenario) *Report {
+	t.Helper()
+	rep := Explore(opts, scenario)
+	if rep.Failed() {
+		RecordCandidates(t, name, rep)
+		f := rep.First()
+		t.Fatalf("sim.Explore %s: %d/%d schedules failed\nfirst failure: %v\nreproduce: sim.Run(%d, scenario)\ndecision trace:\n%s",
+			name, len(rep.Failures), rep.Runs, f, f.Seed, f.Trace)
+	}
+	return rep
+}

@@ -1,0 +1,72 @@
+package sim_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// corpusScenarios maps corpus scenario names to their bodies. Every name
+// referenced by testdata/regression_seeds.json must be registered here;
+// renaming a scenario without updating the corpus is a test failure, not a
+// silent skip.
+var corpusScenarios = map[string]sim.Scenario{
+	"nametag-pruned-panic": nametagPrunedPanic,
+	"lost-update-canary":   demoLostUpdate,
+}
+
+// TestReplayRegressionCorpus re-runs every recorded seed on every `go
+// test`: pass-entries pin fixed ordering bugs (the schedule that used to
+// break must stay green), fail-entries prove the seed alone still
+// reproduces its deliberately seeded bug (the detector has not gone blind).
+func TestReplayRegressionCorpus(t *testing.T) {
+	corpus, err := sim.LoadCorpus("testdata/regression_seeds.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Seeds) == 0 {
+		t.Fatal("empty regression corpus")
+	}
+	for _, e := range corpus.Seeds {
+		e := e
+		t.Run(e.Scenario+"/seed="+strconv.FormatInt(e.Seed, 10), func(t *testing.T) {
+			scen := corpusScenarios[e.Scenario]
+			if scen == nil {
+				t.Fatalf("corpus references unregistered scenario %q", e.Scenario)
+			}
+			trace, err := sim.Run(e.Seed, scen)
+			switch e.Expect {
+			case "pass":
+				if err != nil {
+					t.Fatalf("pinned regression seed %d failed again: %v\ndecision trace:\n%s", e.Seed, err, trace)
+				}
+			case "fail":
+				if err == nil {
+					t.Fatalf("canary seed %d no longer reproduces its seeded bug (note: %s)", e.Seed, e.Note)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusReplayIsDeterministic replays one pinned seed twice and demands
+// identical decision traces — the corpus is only a regression corpus if a
+// seed names exactly one schedule.
+func TestCorpusReplayIsDeterministic(t *testing.T) {
+	corpus, err := sim.LoadCorpus("testdata/regression_seeds.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range corpus.Seeds {
+		scen := corpusScenarios[e.Scenario]
+		if scen == nil {
+			continue
+		}
+		t1, _ := sim.Run(e.Seed, scen)
+		t2, _ := sim.Run(e.Seed, scen)
+		if t1 != t2 {
+			t.Fatalf("%s seed %d: replay diverged", e.Scenario, e.Seed)
+		}
+	}
+}

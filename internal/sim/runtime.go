@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"repro/internal/core"
+)
+
+// Runtime returns a core.Runtime wired to the simulation's goroutine
+// registry, so the directive layer's thread-context awareness (inline vs.
+// post, the await help-first owner lookup) resolves against simulated
+// executors. Core runs unmodified: Invoke/InvokeNamed/WaitTag/Await all
+// work, with every dispatch decision under the seed's control.
+//
+// Register simulated targets with RegisterLoop/RegisterPool (not
+// core.CreateWorker, which would build a real goroutine pool and punch
+// a hole in the simulation).
+func (s *Sim) Runtime() *core.Runtime {
+	return core.NewRuntime(&s.reg)
+}
+
+// RegisterLoop creates a simulated event-loop target and registers it with
+// rt under name.
+func (s *Sim) RegisterLoop(rt *core.Runtime, name string) (*Exec, error) {
+	e := s.NewLoop(name)
+	if err := rt.RegisterEDT(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RegisterPool creates a simulated worker-pool target and registers it with
+// rt under name.
+func (s *Sim) RegisterPool(rt *core.Runtime, name string) (*Exec, error) {
+	e := s.NewPool(name)
+	if err := rt.RegisterTarget(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

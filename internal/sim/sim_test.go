@@ -1,0 +1,298 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/sim"
+)
+
+// mixedScenario is a deliberately branchy workload touching every decision
+// kind: pool reordering, loop FIFO, timers, helping inside an await
+// barrier, and a panic captured into a completion. Used by the determinism
+// tests, which only care that the schedule is rich, not what it computes.
+func mixedScenario(s *sim.Sim) error {
+	rt := s.Runtime()
+	defer rt.Shutdown()
+	loop, err := s.RegisterLoop(rt, "edt")
+	if err != nil {
+		return err
+	}
+	if _, err := s.RegisterPool(rt, "workers"); err != nil {
+		return err
+	}
+	var sum int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := rt.Invoke("workers", core.Nowait, func() { sum += i }); err != nil {
+			return err
+		}
+	}
+	loop.PostDelayed(3*time.Millisecond, func() { sum += 100 })
+	loop.PostDelayed(1*time.Millisecond, func() { sum += 200 })
+	comp, err := rt.Invoke("edt", core.Nowait, func() {
+		// Await from inside the EDT: the barrier helps on the loop's own
+		// queue and pumps the global scheduler.
+		c2, _ := rt.Invoke("workers", core.Nowait, func() { sum += 1000 })
+		rt.AwaitCompletion(c2)
+	})
+	if err != nil {
+		return err
+	}
+	pcomp, _ := rt.Invoke("workers", core.Nowait, func() { panic("boom") })
+	s.Sleep(5 * time.Millisecond)
+	comp.Wait()
+	s.Quiesce()
+	if sum != 10+100+200+1000 {
+		return fmt.Errorf("sum = %d", sum)
+	}
+	var pe *executor.PanicError
+	if !errors.As(pcomp.Err(), &pe) {
+		return fmt.Errorf("panic not captured: %v", pcomp.Err())
+	}
+	return nil
+}
+
+// TestSameSeedSameTrace is the determinism acceptance criterion: the same
+// seed over the same scenario yields a byte-identical decision trace, 20
+// runs in a row, across several seeds and thus all three policies.
+func TestSameSeedSameTrace(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		first, err := sim.Run(seed, mixedScenario)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !strings.Contains(first, "run") {
+			t.Fatalf("seed %d: trace records no decisions:\n%s", seed, first)
+		}
+		for i := 1; i < 20; i++ {
+			again, err := sim.Run(seed, mixedScenario)
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, i, err)
+			}
+			if again != first {
+				t.Fatalf("seed %d run %d: trace diverged\nfirst:\n%s\nagain:\n%s", seed, i, first, again)
+			}
+		}
+	}
+}
+
+// TestSeedsDiverge: different seeds explore different schedules (otherwise
+// Explore is 64 copies of one run).
+func TestSeedsDiverge(t *testing.T) {
+	traces := map[string]int64{}
+	distinct := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		tr, err := sim.Run(seed, mixedScenario)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, dup := traces[tr]; !dup {
+			traces[tr] = seed
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatalf("8 seeds produced %d distinct schedule(s)", distinct)
+	}
+}
+
+func TestLoopFIFOAcrossSchedules(t *testing.T) {
+	sim.ExploreT(t, "loop-fifo", sim.Options{Runs: 32}, func(s *sim.Sim) error {
+		loop := s.NewLoop("edt")
+		var order []int
+		for i := 0; i < 6; i++ {
+			i := i
+			loop.Post(func() { order = append(order, i) })
+		}
+		s.Quiesce()
+		for i, v := range order {
+			if v != i {
+				return fmt.Errorf("EDT dispatch reordered: %v", order)
+			}
+		}
+		if len(order) != 6 {
+			return fmt.Errorf("ran %d of 6", len(order))
+		}
+		return nil
+	})
+}
+
+// TestPoolReordersSomewhere: across seeds the pool must exhibit at least
+// two distinct dispatch orders — evidence the explorer actually perturbs.
+func TestPoolReordersSomewhere(t *testing.T) {
+	orders := map[string]bool{}
+	sim.ExploreT(t, "pool-orders", sim.Options{Runs: 16}, func(s *sim.Sim) error {
+		pool := s.NewPool("workers")
+		var order []byte
+		for i := 0; i < 4; i++ {
+			i := i
+			pool.Post(func() { order = append(order, byte('a'+i)) })
+		}
+		s.Quiesce()
+		orders[string(order)] = true
+		return nil
+	})
+	if len(orders) < 2 {
+		t.Fatalf("16 seeds, pool dispatch always %v", orders)
+	}
+}
+
+func TestVirtualTimers(t *testing.T) {
+	sim.ExploreT(t, "virtual-timers", sim.Options{Runs: 16}, func(s *sim.Sim) error {
+		loop := s.NewLoop("edt")
+		start := s.Now()
+		var order []string
+		loop.PostDelayed(20*time.Millisecond, func() { order = append(order, "late") })
+		loop.PostDelayed(5*time.Millisecond, func() { order = append(order, "early") })
+		comp := loop.PostAt(s.Now().Add(10*time.Millisecond), func() { order = append(order, "mid") })
+		s.Quiesce()
+		if got := strings.Join(order, ","); got != "early,mid,late" {
+			return fmt.Errorf("timer order %q", got)
+		}
+		if comp.Err() != nil {
+			return comp.Err()
+		}
+		if d := s.Now().Sub(start); d != 20*time.Millisecond {
+			return fmt.Errorf("virtual clock advanced %v, want 20ms", d)
+		}
+		return nil
+	})
+}
+
+func TestSleepRunsConcurrentWork(t *testing.T) {
+	_, err := sim.Run(7, func(s *sim.Sim) error {
+		pool := s.NewPool("w")
+		done := false
+		pool.Post(func() { done = true })
+		s.Sleep(time.Millisecond)
+		if !done {
+			return errors.New("posted task did not run during Sleep")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := sim.Run(1, func(s *sim.Sim) error {
+		comp, _ := executor.NewPendingCompletion()
+		comp.Wait() // nothing will ever complete this
+		return nil
+	})
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if !strings.Contains(de.Error(), "decision trace") {
+		t.Fatalf("deadlock report missing trace:\n%v", de)
+	}
+}
+
+func TestStepLimitCatchesLivelock(t *testing.T) {
+	_, err := sim.Run(1, func(s *sim.Sim) error {
+		s.SetMaxSteps(500)
+		pool := s.NewPool("w")
+		var respawn func()
+		respawn = func() { pool.Post(respawn) }
+		pool.Post(respawn)
+		s.Quiesce()
+		return nil
+	})
+	var se *sim.StepLimitError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StepLimitError, got %v", err)
+	}
+}
+
+func TestConfinementPanicsOffGoroutine(t *testing.T) {
+	_, err := sim.Run(1, func(s *sim.Sim) error {
+		pool := s.NewPool("w")
+		errc := make(chan any, 1)
+		go func() {
+			defer func() { errc <- recover() }()
+			pool.Post(func() {})
+		}()
+		if v := <-errc; v != sim.ErrNotSimGoroutine {
+			return fmt.Errorf("off-goroutine Post: recovered %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownRejects(t *testing.T) {
+	_, err := sim.Run(1, func(s *sim.Sim) error {
+		pool := s.NewPool("w")
+		ran := false
+		pool.Post(func() { ran = true })
+		pool.Shutdown()
+		comp := pool.Post(func() {})
+		if !errors.Is(comp.Err(), executor.ErrShutdown) {
+			return fmt.Errorf("post after shutdown: %v", comp.Err())
+		}
+		s.Quiesce()
+		if !ran {
+			return errors.New("pending task dropped by shutdown")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioPanicBecomesError(t *testing.T) {
+	_, err := sim.Run(1, func(s *sim.Sim) error {
+		panic("scenario assertion")
+	})
+	if err == nil || !strings.Contains(err.Error(), "scenario assertion") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSimSingleUse(t *testing.T) {
+	s := sim.New(1)
+	if err := s.Execute(func(*sim.Sim) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Execute(func(*sim.Sim) error { return nil }); err == nil {
+		t.Fatal("second Execute on one Sim should error")
+	}
+}
+
+// TestExploreReportsFailingSeed: a scenario failing only under some
+// schedules yields a report whose seed reproduces the failure standalone.
+func TestExploreReportsFailingSeed(t *testing.T) {
+	scen := func(s *sim.Sim) error {
+		pool := s.NewPool("w")
+		var order []byte
+		pool.Post(func() { order = append(order, 'a') })
+		pool.Post(func() { order = append(order, 'b') })
+		s.Quiesce()
+		if string(order) == "ba" {
+			return errors.New("b overtook a")
+		}
+		return nil
+	}
+	rep := sim.Explore(sim.Options{Runs: 32}, scen)
+	if !rep.Failed() {
+		t.Fatal("32 runs never reordered two pool tasks")
+	}
+	f := rep.First()
+	if _, err := sim.Run(f.Seed, scen); err == nil {
+		t.Fatalf("seed %d did not reproduce standalone", f.Seed)
+	}
+	if f.Trace == "" || rep.Branches == 0 {
+		t.Fatalf("failure carries no trace/branches: %+v", f)
+	}
+}

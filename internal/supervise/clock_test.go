@@ -1,0 +1,44 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gid"
+	"repro/internal/testutil/poll"
+	"repro/internal/vclock"
+)
+
+// TestBackoffOnInjectedClock proves the restart backoff runs on the
+// Options.Clock seam, not wall time: with an hour-long backoff on a manual
+// clock the supervisor parks until the clock is advanced, and no amount of
+// wall-clock waiting releases it.
+func TestBackoffOnInjectedClock(t *testing.T) {
+	var reg gid.Registry
+	mc := vclock.NewManual(time.Time{})
+	s, err := New("w", poolFactory(t, &reg, 1), Options{
+		BackoffInitial: time.Hour,
+		BackoffMax:     time.Hour,
+		Clock:          mc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	s.ReportFailure(errors.New("synthetic failure"))
+	// The supervisor must park in the virtual-clock sleep...
+	poll.UntilBlockedIn(t, "vclock.Sleep")
+	// ...and stay restarting on wall time alone.
+	if err := s.Post(func() {}).Wait(); !errors.Is(err, ErrRestarting) {
+		t.Fatalf("post during virtual backoff: %v, want ErrRestarting", err)
+	}
+	mc.Advance(time.Hour)
+	waitFor(t, 5*time.Second, func() bool {
+		return s.Post(func() {}).Wait() == nil
+	}, "restart to complete after the virtual backoff elapsed")
+	if got := s.Stats().Restarts.Value(); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+}

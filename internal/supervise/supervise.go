@@ -26,6 +26,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // State is a supervised target's lifecycle state.
@@ -120,6 +121,11 @@ type Options struct {
 	// whole executor. Requires the base executor to implement
 	// Grow(int); full replacement is the fallback.
 	RespawnWorkers bool
+	// Clock is the time source for the restart window, backoff sleeps and
+	// health grading (nil = wall clock). Deterministic tests drive the
+	// supervisor through backoffs and quiet windows by advancing a
+	// vclock.Manual instead of sleeping real time out.
+	Clock vclock.Clock
 }
 
 func (o *Options) fill() {
@@ -134,6 +140,9 @@ func (o *Options) fill() {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 2 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.Wall
 	}
 }
 
@@ -309,7 +318,7 @@ func (s *Supervisor) handleFailure(f failure) {
 		s.mu.Unlock() // stale generation, or already given up
 		return
 	}
-	now := time.Now()
+	now := s.opts.Clock.Now()
 	s.pruneLocked(now)
 	s.lastErr = f.reason
 	if len(s.restarts) >= s.opts.MaxRestarts {
@@ -407,19 +416,10 @@ func (s *Supervisor) backoff(n int) time.Duration {
 	return d
 }
 
-// sleep waits d out unless the supervisor is shut down first.
+// sleep waits d out on the configured clock unless the supervisor is shut
+// down first.
 func (s *Supervisor) sleep(d time.Duration) bool {
-	if d <= 0 {
-		return true
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-s.done:
-		return false
-	}
+	return vclock.Sleep(s.opts.Clock, d, s.done)
 }
 
 func (s *Supervisor) snapshot() (State, executor.Executor) {
@@ -542,7 +542,7 @@ func (h TargetHealth) StatusValue() Status {
 func (s *Supervisor) Health() TargetHealth {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pruneLocked(time.Now())
+	s.pruneLocked(s.opts.Clock.Now())
 	h := TargetHealth{
 		Name:           s.name,
 		State:          s.state.String(),

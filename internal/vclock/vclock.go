@@ -1,0 +1,212 @@
+// Package vclock is the runtime's injectable time source. Production code
+// reads the wall clock through the Clock interface instead of calling
+// time.Now / time.AfterFunc directly, which gives tests and the simulation
+// executor (package sim) a seam to substitute a controlled clock:
+//
+//   - Wall forwards to the real time package (the default everywhere);
+//   - Manual is a hand-advanced fake for unit tests, replacing the
+//     "sleep long enough for the timer/cooldown to elapse" idiom with an
+//     explicit, instant Advance;
+//   - sim.Sim exposes its virtual clock through the same interface, so
+//     eventloop timers, qos cooldowns and supervise backoffs run on
+//     simulated time under deterministic schedule exploration.
+//
+// The interface is deliberately minimal — Now and AfterFunc — because every
+// other shape the runtime needs (one-shot sleeps, deadline checks, cancel-
+// lable timers) is derivable from those two without giving implementations
+// more surface to get subtly wrong.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer is a cancellable pending callback, the subset of *time.Timer the
+// runtime uses for AfterFunc timers.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending (true
+	// means the callback will never run; false means it already ran or was
+	// already stopped). Mirrors (*time.Timer).Stop for AfterFunc timers.
+	Stop() bool
+}
+
+// Clock is the time source abstraction.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc schedules fn to run once d has elapsed on this clock and
+	// returns a handle to cancel it. Which goroutine runs fn is the
+	// implementation's business: the wall clock uses the runtime's timer
+	// goroutines, Manual runs it on the goroutine calling Advance, and the
+	// sim clock runs it on the simulation goroutine.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return time.AfterFunc(d, fn)
+}
+
+// Sleep waits d out on clock c unless cancel fires first, reporting whether
+// the full duration elapsed. It is the cancellable-sleep shape the
+// supervisor's restart backoff needs, built from AfterFunc so it works on
+// any Clock. cancel may be nil for an uncancellable sleep.
+func Sleep(c Clock, d time.Duration, cancel <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	fired := make(chan struct{})
+	t := c.AfterFunc(d, func() { close(fired) })
+	defer t.Stop()
+	select {
+	case <-fired:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// Manual is a hand-advanced Clock for tests. Time stands still except
+// during Advance/Set calls, which run due AfterFunc callbacks synchronously
+// on the calling goroutine, in deadline order (ties in registration order).
+// The zero value is not usable; construct with NewManual.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers []*manualTimer // pending, unordered
+}
+
+type manualTimer struct {
+	clock *Manual
+	when  time.Time
+	seq   uint64
+	fn    func()
+	done  bool
+}
+
+// NewManual returns a Manual clock reading start (a zero start is replaced
+// with a fixed arbitrary epoch so tests are reproducible byte-for-byte).
+func NewManual(start time.Time) *Manual {
+	if start.IsZero() {
+		start = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Manual{now: start}
+}
+
+// Now returns the clock's current reading.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// AfterFunc registers fn to run when the clock is advanced past d from now.
+// A non-positive d runs fn synchronously before returning, matching the
+// wall clock's "fires immediately" (modulo goroutine) semantics closely
+// enough for test use while keeping Manual deterministic.
+func (m *Manual) AfterFunc(d time.Duration, fn func()) Timer {
+	m.mu.Lock()
+	t := &manualTimer{clock: m, when: m.now.Add(d), seq: m.seq, fn: fn}
+	m.seq++
+	if d <= 0 {
+		t.done = true
+		m.mu.Unlock()
+		fn()
+		return t
+	}
+	m.timers = append(m.timers, t)
+	m.mu.Unlock()
+	return t
+}
+
+func (t *manualTimer) Stop() bool {
+	m := t.clock
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.done = true
+	for i, p := range m.timers {
+		if p == t {
+			m.timers = append(m.timers[:i], m.timers[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Advance moves the clock forward by d, firing due timers.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	m.mu.Unlock()
+	m.Set(target)
+}
+
+// Set moves the clock to t (never backwards), firing every timer whose
+// deadline is ≤ t in deadline order on the calling goroutine. Callbacks run
+// outside the clock lock, so they may consult Now or register new timers;
+// newly registered timers due before t fire in the same Set.
+func (m *Manual) Set(target time.Time) {
+	for {
+		m.mu.Lock()
+		if target.After(m.now) {
+			// Step time to the next due deadline (or target) before firing
+			// so callbacks that read Now observe their own fire time.
+			next := target
+			for _, t := range m.timers {
+				if !t.when.After(target) && t.when.Before(next) {
+					next = t.when
+				}
+			}
+			m.now = next
+		}
+		var due []*manualTimer
+		keep := m.timers[:0]
+		for _, t := range m.timers {
+			if !t.when.After(m.now) {
+				due = append(due, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		m.timers = keep
+		for _, t := range due {
+			t.done = true
+		}
+		moreLater := m.now.Before(target)
+		m.mu.Unlock()
+		sort.Slice(due, func(i, j int) bool {
+			if !due[i].when.Equal(due[j].when) {
+				return due[i].when.Before(due[j].when)
+			}
+			return due[i].seq < due[j].seq
+		})
+		for _, t := range due {
+			t.fn()
+		}
+		if len(due) == 0 && !moreLater {
+			return
+		}
+	}
+}
+
+// Pending returns the number of timers waiting to fire (for tests that need
+// to know a timer is armed before advancing).
+func (m *Manual) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.timers)
+}
+
+var _ Clock = (*Manual)(nil)

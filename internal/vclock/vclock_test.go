@@ -1,0 +1,142 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	before := time.Now()
+	got := Wall.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestWallAfterFuncStop(t *testing.T) {
+	fired := make(chan struct{})
+	tm := Wall.AfterFunc(time.Hour, func() { close(fired) })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending wall timer = false")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestManualAdvanceFiresInDeadlineOrder(t *testing.T) {
+	m := NewManual(time.Time{})
+	var order []string
+	m.AfterFunc(20*time.Millisecond, func() { order = append(order, "b") })
+	m.AfterFunc(10*time.Millisecond, func() { order = append(order, "a") })
+	m.AfterFunc(20*time.Millisecond, func() { order = append(order, "c") })
+	if len(order) != 0 {
+		t.Fatalf("timers fired before Advance: %v", order)
+	}
+	m.Advance(5 * time.Millisecond)
+	if len(order) != 0 {
+		t.Fatalf("timers fired early: %v", order)
+	}
+	m.Advance(15 * time.Millisecond)
+	want := []string{"a", "b", "c"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("fire order = %v, want %v (deadline order, ties by registration)", order, want)
+	}
+}
+
+func TestManualCallbackSeesOwnFireTime(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	var at time.Time
+	m.AfterFunc(10*time.Millisecond, func() { at = m.Now() })
+	m.Advance(time.Second)
+	if want := start.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback observed Now()=%v, want its own deadline %v", at, want)
+	}
+	if want := start.Add(time.Second); !m.Now().Equal(want) {
+		t.Fatalf("clock settled at %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualCallbackChainsWithinOneAdvance(t *testing.T) {
+	m := NewManual(time.Time{})
+	var hops int
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 3 {
+			m.AfterFunc(10*time.Millisecond, hop)
+		}
+	}
+	m.AfterFunc(10*time.Millisecond, hop)
+	m.Advance(time.Second)
+	if hops != 3 {
+		t.Fatalf("chained timers fired %d times within one Advance, want 3", hops)
+	}
+}
+
+func TestManualStop(t *testing.T) {
+	m := NewManual(time.Time{})
+	fired := false
+	tm := m.AfterFunc(time.Millisecond, func() { fired = true })
+	if m.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", m.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on pending manual timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+	m.Advance(time.Hour)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestManualImmediateAfterFuncRunsSynchronously(t *testing.T) {
+	m := NewManual(time.Time{})
+	ran := false
+	tm := m.AfterFunc(0, func() { ran = true })
+	if !ran {
+		t.Fatal("AfterFunc(0) did not run synchronously")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on an already-fired timer = true")
+	}
+}
+
+func TestSleepOnManualClock(t *testing.T) {
+	m := NewManual(time.Time{})
+	done := make(chan bool, 1)
+	go func() { done <- Sleep(m, 50*time.Millisecond, nil) }()
+	// Wait for the sleeper's timer to arm, then advance past it.
+	for m.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	m.Advance(50 * time.Millisecond)
+	if !<-done {
+		t.Fatal("Sleep = false, want true (full duration elapsed)")
+	}
+}
+
+func TestSleepCancelled(t *testing.T) {
+	m := NewManual(time.Time{})
+	cancel := make(chan struct{})
+	close(cancel)
+	if Sleep(m, time.Hour, cancel) {
+		t.Fatal("Sleep = true with cancel already fired")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("cancelled Sleep leaked a timer: Pending = %d", m.Pending())
+	}
+}
+
+func TestSleepZeroDuration(t *testing.T) {
+	if !Sleep(Wall, 0, nil) {
+		t.Fatal("Sleep(0) = false")
+	}
+}
